@@ -1,0 +1,389 @@
+// Package chronos holds the repository-level benchmark harness
+// (deliverable d): one benchmark per paper figure, regenerating the
+// series the paper's evaluation shows, plus ablation benches for the
+// design choices called out in DESIGN.md §5.
+//
+// Run everything with:
+//
+//	go test -bench=. -benchmem
+//
+// Absolute numbers depend on the host (the substrate is a simulator, not
+// the authors' testbed); the *shape* — who wins, by what factor, where
+// the crossover falls — is asserted in internal/experiments' tests and
+// reported here via b.ReportMetric.
+package chronos
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"chronos/internal/agent"
+	"chronos/internal/core"
+	"chronos/internal/experiments"
+	"chronos/internal/mongoagent"
+	"chronos/internal/mongosim"
+	"chronos/internal/params"
+	"chronos/internal/relstore"
+	"chronos/internal/workload"
+)
+
+// benchConfig sizes the per-figure benches: small enough to iterate,
+// large enough that the comparative shapes are stable.
+func benchConfig() experiments.Config {
+	return experiments.Config{
+		Records:    1000,
+		Operations: 4000,
+		Threads:    []int64{1, 8},
+	}
+}
+
+// BenchmarkE1_Architecture reproduces Fig. 1: the full stack — control,
+// REST, two SuEs, two agents — executing two evaluations concurrently.
+func BenchmarkE1_Architecture(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		rep, err := experiments.E1Architecture(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Data["doneA"] != true || rep.Data["doneB"] != true {
+			b.Fatalf("incomplete: %v", rep.Data)
+		}
+	}
+}
+
+// BenchmarkE2_SystemRegistration reproduces Fig. 2: registering the SuE
+// with all its parameter types and reading the configuration back.
+func BenchmarkE2_SystemRegistration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.E2SystemRegistration(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE3_ParamSpace reproduces Fig. 3a: expanding experiments into
+// job sets of the expected cardinality.
+func BenchmarkE3_ParamSpace(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep, err := experiments.E3ParamSpace()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Data["allMatch"] != true {
+			b.Fatal("cardinality mismatch")
+		}
+	}
+}
+
+// BenchmarkE4_ParallelDeployments reproduces Fig. 3b: the wall-clock
+// speedup from running one evaluation over four identical deployments.
+func BenchmarkE4_ParallelDeployments(b *testing.B) {
+	cfg := benchConfig()
+	var speedup float64
+	for i := 0; i < b.N; i++ {
+		rep, err := experiments.E4ParallelDeployments(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		speedup = rep.Data["speedup"].(float64)
+	}
+	b.ReportMetric(speedup, "speedup_x")
+}
+
+// BenchmarkE5_JobLifecycle reproduces Fig. 3c: the complete job state
+// machine with progress, logs, timeline, abort and re-schedule.
+func BenchmarkE5_JobLifecycle(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.E5JobLifecycle(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE6_EngineComparison reproduces the paper's demo (Fig. 3d):
+// wiredTiger vs mmapv1 across thread counts. The reported metrics are
+// the throughput ratio at the sweep's extremes on the write-heavy mix —
+// the numbers the demo video shows diverging.
+func BenchmarkE6_EngineComparison(b *testing.B) {
+	cfg := benchConfig()
+	var low, high float64
+	for i := 0; i < b.N; i++ {
+		_, res, err := experiments.E6EngineComparison(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		const mix = "write-heavy 50:50"
+		wt, _ := res.Series(mix, "wiredtiger")
+		mm, _ := res.Series(mix, "mmapv1")
+		low = wt.Throughput[0] / mm.Throughput[0]
+		high = wt.Throughput[len(wt.Throughput)-1] / mm.Throughput[len(mm.Throughput)-1]
+	}
+	b.ReportMetric(low, "wt/mmap_1thread")
+	b.ReportMetric(high, "wt/mmap_8threads")
+}
+
+// BenchmarkE7_APIVersioning exercises both REST API versions end to end.
+func BenchmarkE7_APIVersioning(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.E7APIVersioning(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE8_FailureRecovery reproduces the reliability requirement:
+// scripted failures with auto-reschedule, heartbeat-loss recovery and
+// archive export.
+func BenchmarkE8_FailureRecovery(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		rep, err := experiments.E8FailureRecovery(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Data["allFinished"] != true {
+			b.Fatal("recovery incomplete")
+		}
+	}
+}
+
+// --- ablation benches (DESIGN.md §5) ---
+
+// engineThroughput measures ops/sec of a raw engine under a mix.
+func engineThroughput(b *testing.B, engine string, opts mongosim.Options, mix workload.Mix, threads int) float64 {
+	b.Helper()
+	srv, err := mongosim.NewServer(engine, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	coll := srv.Database("bench").Collection("usertable")
+	cfg := workload.Config{
+		RecordCount:    1000,
+		OperationCount: int64(b.N),
+		Mix:            mix,
+		Distribution:   "zipfian",
+		Seed:           42,
+	}.WithDefaults()
+	if err := mongoagent.LoadCollection(coll, cfg, 8); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	meas, err := mongoagent.RunWorkload(coll, cfg, threads, nil, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.StopTimer()
+	return meas.Throughput
+}
+
+// BenchmarkAblation_Compression isolates wiredTiger's block compression:
+// identical CPU-bound update workloads with and without compression.
+func BenchmarkAblation_Compression(b *testing.B) {
+	mix := workload.Mix{workload.OpUpdate: 1}
+	for _, enabled := range []bool{true, false} {
+		name := "on"
+		if !enabled {
+			name = "off"
+		}
+		b.Run("compression="+name, func(b *testing.B) {
+			opts := mongosim.Options{
+				WriteLatency:       mongosim.NoIO, // isolate the CPU cost
+				DisableCompression: !enabled,
+				Seed:               1,
+			}
+			tput := engineThroughput(b, mongosim.EngineWiredTiger, opts, mix, 1)
+			b.ReportMetric(tput, "ops/s")
+		})
+	}
+}
+
+// BenchmarkAblation_Padding isolates mmapv1's power-of-2 record padding:
+// growing updates with padding (in-place) vs without (every growth
+// relocates the record).
+func BenchmarkAblation_Padding(b *testing.B) {
+	for _, padded := range []bool{true, false} {
+		name := "on"
+		if !padded {
+			name = "off"
+		}
+		b.Run("padding="+name, func(b *testing.B) {
+			opts := mongosim.Options{
+				WriteLatency:   mongosim.NoIO,
+				DisablePadding: !padded,
+				Seed:           1,
+			}
+			e, err := mongosim.New(mongosim.EngineMMAPv1, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer e.Close()
+			// Documents that grow by one byte per update, cycling at 64 KB
+			// so the copy cost stays bounded for large b.N.
+			doc := make([]byte, 40)
+			e.Put("doc", doc)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if len(doc) >= 64<<10 {
+					doc = doc[:40]
+				}
+				doc = append(doc, byte(i))
+				e.Put("doc", doc)
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(e.Stats().Moves), "moves")
+		})
+	}
+}
+
+// BenchmarkAblation_Distribution shows how key skew changes the engine
+// gap: zipfian hot keys serialise on wiredTiger's per-document locks,
+// uniform spreads them.
+func BenchmarkAblation_Distribution(b *testing.B) {
+	mix := workload.Mix{workload.OpRead: 0.5, workload.OpUpdate: 0.5}
+	for _, dist := range []string{"zipfian", "uniform"} {
+		b.Run("dist="+dist, func(b *testing.B) {
+			srv, err := mongosim.NewServer(mongosim.EngineWiredTiger, mongosim.Options{Seed: 2})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer srv.Close()
+			coll := srv.Database("bench").Collection("usertable")
+			cfg := workload.Config{
+				RecordCount:    1000,
+				OperationCount: int64(b.N),
+				Mix:            mix,
+				Distribution:   dist,
+				Seed:           42,
+			}.WithDefaults()
+			if err := mongoagent.LoadCollection(coll, cfg, 8); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			meas, err := mongoagent.RunWorkload(coll, cfg, 8, nil, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.StopTimer()
+			b.ReportMetric(meas.Throughput, "ops/s")
+		})
+	}
+}
+
+// BenchmarkRelstoreWAL compares the WAL flush policies: per-commit fsync
+// vs batched (DESIGN.md §5).
+func BenchmarkRelstoreWAL(b *testing.B) {
+	for _, mode := range []struct {
+		name string
+		sync relstore.SyncMode
+	}{
+		{"sync=every-commit", relstore.SyncEveryCommit},
+		{"sync=batched", relstore.SyncBatched},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			db, err := relstore.Open(b.TempDir(), &relstore.Options{Sync: mode.sync})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer db.Close()
+			schema := relstore.Schema{Name: "t", Key: "id", Columns: []relstore.Column{
+				{Name: "id", Type: relstore.TString},
+				{Name: "v", Type: relstore.TInt},
+			}}
+			if err := db.CreateTable(schema); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				err := db.Update(func(tx *relstore.Tx) error {
+					return tx.Put("t", relstore.Row{"id": fmt.Sprintf("k%d", i%1000), "v": int64(i)})
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSchedulerClaim measures the job claim path (the agent-facing
+// hot endpoint) with a deep queue.
+func BenchmarkSchedulerClaim(b *testing.B) {
+	svc, err := core.NewService(relstore.OpenMemory(), nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	u, _ := svc.CreateUser("bench", core.RoleAdmin)
+	p, _ := svc.CreateProject("bench", "", u.ID, nil)
+	defs := []params.Definition{
+		{Name: "idx", Type: params.TypeInterval, Min: 1, Max: 100000, Default: params.Int(1)},
+	}
+	sys, _ := svc.RegisterSystem("sue", "", defs, nil)
+	dep, _ := svc.CreateDeployment(sys.ID, "d", "", "")
+	variants := make([]params.Value, 0, b.N)
+	for i := 0; i < b.N; i++ {
+		variants = append(variants, params.Int(int64(i%100000)+1))
+	}
+	// A single experiment cannot exceed the job cap; chunk if needed.
+	for len(variants) > 0 {
+		n := len(variants)
+		if n > 50000 {
+			n = 50000
+		}
+		exp, err := svc.CreateExperiment(p.ID, sys.ID, fmt.Sprintf("e%d", len(variants)), "",
+			map[string][]params.Value{"idx": variants[:n]}, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := svc.CreateEvaluation(exp.ID); err != nil {
+			b.Fatal(err)
+		}
+		variants = variants[n:]
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, ok, err := svc.ClaimJob(dep.ID)
+		if err != nil || !ok {
+			b.Fatalf("claim %d: %v %v", i, ok, err)
+		}
+	}
+}
+
+// BenchmarkAgentJobRoundTrip measures one complete job execution through
+// the in-process agent (claim -> phases -> result upload).
+func BenchmarkAgentJobRoundTrip(b *testing.B) {
+	svc, err := core.NewService(relstore.OpenMemory(), nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	u, _ := svc.CreateUser("bench", core.RoleAdmin)
+	p, _ := svc.CreateProject("bench", "", u.ID, nil)
+	defs, diagrams := mongoagent.SystemDefinition()
+	sys, _ := svc.RegisterSystem(mongoagent.SystemName, "", defs, diagrams)
+	dep, _ := svc.CreateDeployment(sys.ID, "d", "", "")
+	exp, err := svc.CreateExperiment(p.ID, sys.ID, "e", "",
+		map[string][]params.Value{
+			"records":    {params.Int(200)},
+			"operations": {params.Int(400)},
+		}, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	a := &agent.Agent{
+		Control:      &agent.LocalControl{Svc: svc},
+		DeploymentID: dep.ID,
+		Factory:      mongoagent.NewFactory(mongosim.Options{WriteLatency: mongosim.NoIO, Seed: 1}),
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := svc.CreateEvaluation(exp.ID); err != nil {
+			b.Fatal(err)
+		}
+		worked, err := a.RunOnce(context.Background())
+		if err != nil || !worked {
+			b.Fatalf("round trip %d: %v %v", i, worked, err)
+		}
+	}
+}

@@ -1,0 +1,78 @@
+// Command chronos-agent runs a generic Chronos Agent hosting the MongoDB
+// simulator evaluation client (the paper's demo agent): it polls Chronos
+// Control for jobs of one deployment, executes the benchmark phases, and
+// uploads results over HTTP or to an FTP archive store.
+//
+// Usage:
+//
+//	chronos-agent -control http://localhost:8080 -deployment deployment-000000001 \
+//	    [-api v2] [-agent-token SECRET] [-ftp host:21 -ftp-user u -ftp-pass p]
+package main
+
+import (
+	"context"
+	"flag"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"chronos/internal/agent"
+	"chronos/internal/ftpx"
+	"chronos/internal/mongoagent"
+	"chronos/internal/mongosim"
+	"chronos/pkg/client"
+)
+
+func main() {
+	var (
+		controlURL = flag.String("control", "http://localhost:8080", "Chronos Control base URL")
+		deployment = flag.String("deployment", "", "deployment id this agent serves (required)")
+		apiVersion = flag.String("api", "v2", "REST API version to use (v1 or v2)")
+		agentToken = flag.String("agent-token", "", "shared agent token")
+		ftpAddr    = flag.String("ftp", "", "FTP archive store address (empty = upload archives inline)")
+		ftpUser    = flag.String("ftp-user", "", "FTP user")
+		ftpPass    = flag.String("ftp-pass", "", "FTP password")
+		poll       = flag.Duration("poll", time.Second, "idle poll interval")
+		report     = flag.Duration("report", 2*time.Second, "progress/log reporting interval")
+		ioLatency  = flag.Duration("write-latency", 0, "simulated engine write latency (0 = engine default)")
+	)
+	flag.Parse()
+	if *deployment == "" {
+		log.Fatal("chronos-agent: -deployment is required")
+	}
+
+	opts := []client.Option{client.WithVersion(*apiVersion)}
+	if *agentToken != "" {
+		opts = append(opts, client.WithAgentToken(*agentToken))
+	}
+	c := client.NewClient(*controlURL, opts...)
+	if pong, err := c.Ping(); err != nil {
+		log.Fatalf("chronos-agent: cannot reach control at %s: %v", *controlURL, err)
+	} else {
+		log.Printf("connected to %s (API %s)", pong.Service, pong.Version)
+	}
+
+	a := &agent.Agent{
+		Control:      c,
+		DeploymentID: *deployment,
+		Factory: mongoagent.NewFactory(mongosim.Options{
+			WriteLatency: *ioLatency,
+		}),
+		PollInterval:   *poll,
+		ReportInterval: *report,
+	}
+	if *ftpAddr != "" {
+		a.ArchiveStore = &ftpx.ArchiveStore{Addr: *ftpAddr, User: *ftpUser, Pass: *ftpPass}
+		log.Printf("result archives go to ftp://%s", *ftpAddr)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	log.Printf("agent polling for deployment %s", *deployment)
+	if err := a.Run(ctx); err != nil && err != context.Canceled {
+		log.Fatal(err)
+	}
+	log.Print("agent stopped")
+}

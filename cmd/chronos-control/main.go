@@ -1,0 +1,141 @@
+// Command chronos-control runs the Chronos Control server: the REST API
+// (paper §2.2) and the web UI on one address, backed by a durable
+// embedded store.
+//
+// Usage:
+//
+//	chronos-control -addr :8080 -data ./chronos-data \
+//	    [-agent-token SECRET] [-admin NAME -admin-password PW]
+//
+// With -admin/-admin-password set, session authentication is enabled and
+// the named admin account is bootstrapped on first start; without them
+// the API is open (convenient for local demos, like the original
+// installation script's default).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"strings"
+	"time"
+
+	"chronos/internal/auth"
+	"chronos/internal/core"
+	"chronos/internal/extension"
+	"chronos/internal/relstore"
+	"chronos/internal/rest"
+	"chronos/internal/webui"
+)
+
+func main() {
+	var (
+		addr          = flag.String("addr", ":8080", "listen address for REST API and web UI")
+		dataDir       = flag.String("data", "chronos-data", "directory for the embedded store")
+		agentToken    = flag.String("agent-token", "", "shared token agents must present (empty = open)")
+		adminName     = flag.String("admin", "", "bootstrap admin user name (enables session auth)")
+		adminPassword = flag.String("admin-password", "", "bootstrap admin password")
+		extensions    = flag.String("extensions", "", "comma-separated extension repository directories")
+		watchdog      = flag.Duration("watchdog", 10*time.Second, "heartbeat watchdog interval")
+		hbTimeout     = flag.Duration("heartbeat-timeout", 60*time.Second, "running-job heartbeat timeout")
+	)
+	flag.Parse()
+
+	if err := run(*addr, *dataDir, *agentToken, *adminName, *adminPassword, *extensions, *watchdog, *hbTimeout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(addr, dataDir, agentToken, adminName, adminPassword, extensions string, watchdog, hbTimeout time.Duration) error {
+	db, err := relstore.Open(dataDir, nil)
+	if err != nil {
+		return err
+	}
+	defer db.Close()
+
+	svc, err := core.NewService(db, nil)
+	if err != nil {
+		return err
+	}
+	svc.HeartbeatTimeout = hbTimeout
+	svc.StartWatchdog(context.Background(), watchdog)
+
+	server := rest.NewServer(svc)
+	server.AgentToken = agentToken
+
+	if adminName != "" {
+		if adminPassword == "" {
+			return fmt.Errorf("-admin requires -admin-password")
+		}
+		a, err := auth.New(db, svc, nil)
+		if err != nil {
+			return err
+		}
+		server.Auth = a
+		if err := bootstrapAdmin(svc, a, adminName, adminPassword); err != nil {
+			return err
+		}
+		log.Printf("session auth enabled; admin account %q ready", adminName)
+	}
+
+	for _, dir := range splitNonEmpty(extensions) {
+		repo, err := extension.Load(dir)
+		if err != nil {
+			return fmt.Errorf("extension %s: %w", dir, err)
+		}
+		if err := repo.InstallDiagrams(); err != nil {
+			return err
+		}
+		systems, err := repo.InstallSystems(svc)
+		if err != nil {
+			return err
+		}
+		log.Printf("extension %s: %d systems installed", repo.Source(), len(systems))
+	}
+
+	ui, err := webui.New(svc)
+	if err != nil {
+		return err
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/api/", server.Handler())
+	mux.Handle("/", ui.Handler())
+
+	log.Printf("chronos-control listening on %s (data in %s)", addr, dataDir)
+	return http.ListenAndServe(addr, mux)
+}
+
+// bootstrapAdmin creates the admin account once; subsequent starts only
+// refresh the password.
+func bootstrapAdmin(svc *core.Service, a *auth.Authenticator, name, password string) error {
+	users, err := svc.ListUsers()
+	if err != nil {
+		return err
+	}
+	var admin *core.User
+	for _, u := range users {
+		if u.Name == name {
+			admin = u
+			break
+		}
+	}
+	if admin == nil {
+		admin, err = svc.CreateUser(name, core.RoleAdmin)
+		if err != nil {
+			return err
+		}
+	}
+	return a.SetPassword(admin.ID, password)
+}
+
+func splitNonEmpty(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}

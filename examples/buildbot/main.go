@@ -1,0 +1,145 @@
+// buildbot demonstrates CI-triggered evaluations over the versioned REST
+// API (paper §2.2: "the API offers methods to, for example, schedule an
+// evaluation which is caused by a successful build of the SuEs build
+// bot"), plus the quality-assurance use case of §3: monitoring the
+// performance of an SuE over subsequent change sets by re-running the
+// same experiment.
+//
+// The example starts a real Chronos Control HTTP server on a local port,
+// a Chronos agent connected over REST, and then simulates three "builds"
+// each triggering an evaluation of the same experiment.
+//
+// Run with: go run ./examples/buildbot
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"time"
+
+	"chronos/internal/agent"
+	"chronos/internal/core"
+	"chronos/internal/mongoagent"
+	"chronos/internal/mongosim"
+	"chronos/internal/params"
+	"chronos/internal/relstore"
+	"chronos/internal/rest"
+	"chronos/pkg/client"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// Chronos Control on a real local port.
+	svc, err := core.NewService(relstore.OpenMemory(), nil)
+	if err != nil {
+		return err
+	}
+	server := rest.NewServer(svc)
+	server.Logger = log.New(io.Discard, "", 0) // keep the demo output readable
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	go http.Serve(ln, server.Handler())
+	controlURL := "http://" + ln.Addr().String()
+	fmt.Printf("chronos-control at %s\n", controlURL)
+
+	// One-time setup through the API, as an operator would.
+	c := client.NewClient(controlURL, client.WithVersion("v2"))
+	user, err := c.CreateUser("ci", core.RoleAdmin)
+	if err != nil {
+		return err
+	}
+	project, err := c.CreateProject("quality-assurance", "performance over change sets", user.ID, nil)
+	if err != nil {
+		return err
+	}
+	defs, diagrams := mongoagent.SystemDefinition()
+	sys, err := c.RegisterSystem(mongoagent.SystemName, "simulated MongoDB", defs, diagrams)
+	if err != nil {
+		return err
+	}
+	dep, err := c.CreateDeployment(sys.ID, "ci-runner", "ci", "HEAD")
+	if err != nil {
+		return err
+	}
+	experiment, err := c.CreateExperiment(project.ID, sys.ID, "per-build-benchmark", "",
+		map[string][]params.Value{
+			"records":    {params.Int(1500)},
+			"operations": {params.Int(3000)},
+			"threads":    {params.Int(4)},
+		}, 0)
+	if err != nil {
+		return err
+	}
+
+	// The agent runs continuously, like a CI runner daemon.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	a := &agent.Agent{
+		Control:        client.NewClient(controlURL, client.WithVersion("v2")),
+		DeploymentID:   dep.ID,
+		Factory:        mongoagent.NewFactory(mongosim.Options{}),
+		PollInterval:   50 * time.Millisecond,
+		ReportInterval: 100 * time.Millisecond,
+	}
+	go a.Run(ctx)
+
+	// Three simulated change sets: each successful build POSTs an
+	// evaluation and waits for the verdict.
+	for build := 1; build <= 3; build++ {
+		fmt.Printf("\nbuild #%d succeeded -> scheduling evaluation\n", build)
+		ev, jobs, err := c.CreateEvaluation(experiment.ID)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  evaluation %s (%d job)\n", ev.ID, len(jobs))
+		// Poll the status endpoint like a CI step would.
+		deadline := time.After(2 * time.Minute)
+		for {
+			st, err := c.EvaluationStatus(ev.ID)
+			if err != nil {
+				return err
+			}
+			if st.Done() {
+				fmt.Printf("  done: %d finished, %d failed\n", st.Finished, st.Failed)
+				break
+			}
+			select {
+			case <-deadline:
+				return fmt.Errorf("build %d: evaluation timed out", build)
+			case <-time.After(100 * time.Millisecond):
+			}
+		}
+		// Report the headline number for the change set.
+		res, err := c.JobResult(jobs[0].ID)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  result: %s\n", truncateAt(string(res.JSON), 100))
+	}
+
+	// The experiment's evaluations accumulate — the §3 QA story.
+	evs, err := c.ListExperiments(project.ID)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nproject now tracks %d experiment(s) with per-build evaluations\n", len(evs))
+	return nil
+}
+
+func truncateAt(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n] + "..."
+}

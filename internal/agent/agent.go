@@ -1,0 +1,481 @@
+// Package agent implements the Chronos Agent library, the Go counterpart
+// of the paper's Java reference agent (§2.2): it handles all
+// communication with Chronos Control — claiming job descriptions,
+// streaming log output, updating progress, measuring the standard
+// metrics, and uploading results via HTTP or to an external archive
+// store (the paper's FTP/NAS path).
+//
+// Integrating an evaluation client "narrows down to calling already
+// existing methods": implement Runner's five phases and hand a factory to
+// the Agent.
+package agent
+
+import (
+	"archive/zip"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"chronos/internal/core"
+	"chronos/internal/metrics"
+	"chronos/internal/params"
+)
+
+// Control is the slice of Chronos Control an agent needs. It is
+// implemented by pkg/client.Client (remote, REST) and by LocalControl
+// (in-process, used by examples and benchmarks).
+type Control interface {
+	// ClaimJob requests work for a deployment; job is nil when idle.
+	ClaimJob(deploymentID string) (*core.Job, []params.Definition, error)
+	// Progress reports percent complete and returns the current status.
+	Progress(jobID string, percent int64) (core.JobStatus, error)
+	// Heartbeat signals liveness and returns the current status.
+	Heartbeat(jobID string) (core.JobStatus, error)
+	// AppendLog streams log output.
+	AppendLog(jobID, text string) error
+	// Complete uploads the result.
+	Complete(jobID string, resultJSON, archive []byte) error
+	// Fail reports an execution failure.
+	Fail(jobID, reason string) error
+}
+
+// ArchiveStore stores result archives outside Chronos Control (paper:
+// upload "via HTTP or FTP. The latter allows to use a different server or
+// a NAS ... which also reduces the load and storage requirements on the
+// Chronos Control server"). Implemented by ftpx.ArchiveStore.
+type ArchiveStore interface {
+	// Store persists the archive and returns a reference (e.g. an FTP
+	// URL) that is recorded in the result JSON instead of the payload.
+	Store(jobID string, archive []byte) (ref string, err error)
+}
+
+// Runner is the phase interface an evaluation client implements — the
+// paper's evaluation workflow: set-up, warm-up, execution, analysis,
+// plus clean-up. Each phase receives the RunContext for parameters,
+// logging, progress and abort checks.
+type Runner interface {
+	// Prepare sets up the SuE for the job's exact parameters (for
+	// databases: generate and ingest the benchmark data).
+	Prepare(rc *RunContext) error
+	// WarmUp fills caches/buffers so the measured run reflects realistic
+	// use.
+	WarmUp(rc *RunContext) error
+	// Execute runs the actual benchmark.
+	Execute(rc *RunContext) error
+	// Analyze condenses measurements into the result document every data
+	// item of which Chronos Control can visualise.
+	Analyze(rc *RunContext) (map[string]any, error)
+	// Clean tears down the job's state.
+	Clean(rc *RunContext) error
+}
+
+// Phase names used for the standard phase-duration metrics.
+const (
+	PhasePrepare = "prepare"
+	PhaseWarmUp  = "warmup"
+	PhaseExecute = "execute"
+	PhaseAnalyze = "analyze"
+	PhaseClean   = "clean"
+)
+
+// ErrAborted is returned by RunContext.Err when Chronos Control aborted
+// the job; runners should return promptly once set.
+var ErrAborted = fmt.Errorf("agent: job aborted by chronos control")
+
+// RunContext carries everything a Runner needs during one job.
+type RunContext struct {
+	// Job is the claimed job, including its parameter assignment.
+	Job *core.Job
+	// Definitions are the system's parameter definitions (populated when
+	// the control side provides them, e.g. API v2 or local control).
+	Definitions []params.Definition
+	// Timer measures the workflow phases; the agent manages it.
+	Timer *metrics.PhaseTimer
+
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	mu          sync.Mutex
+	logBuf      bytes.Buffer
+	progress    int64
+	attachments map[string][]byte
+	result      map[string]any
+}
+
+// Params returns the job's parameter assignment.
+func (rc *RunContext) Params() params.Assignment { return rc.Job.Params }
+
+// Context returns a context cancelled when the job is aborted.
+func (rc *RunContext) Context() context.Context { return rc.ctx }
+
+// Err returns ErrAborted once the job has been aborted.
+func (rc *RunContext) Err() error {
+	if rc.ctx.Err() != nil {
+		return ErrAborted
+	}
+	return nil
+}
+
+// Logf appends a line to the buffered job log; the agent flushes the
+// buffer to Chronos Control periodically.
+func (rc *RunContext) Logf(format string, args ...any) {
+	rc.mu.Lock()
+	fmt.Fprintf(&rc.logBuf, format, args...)
+	if n := rc.logBuf.Len(); n > 0 && rc.logBuf.Bytes()[n-1] != '\n' {
+		rc.logBuf.WriteByte('\n')
+	}
+	rc.mu.Unlock()
+}
+
+// SetProgress records percent complete [0,100]; the agent reports it on
+// the next reporting tick.
+func (rc *RunContext) SetProgress(percent int64) {
+	rc.mu.Lock()
+	rc.progress = percent
+	rc.mu.Unlock()
+}
+
+// AttachFile adds a named file to the result zip archive (paper §2.1:
+// "Additional results can be stored in the zip file").
+func (rc *RunContext) AttachFile(name string, data []byte) {
+	rc.mu.Lock()
+	if rc.attachments == nil {
+		rc.attachments = make(map[string][]byte)
+	}
+	rc.attachments[name] = append([]byte(nil), data...)
+	rc.mu.Unlock()
+}
+
+// takeLog drains the buffered log output.
+func (rc *RunContext) takeLog() string {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	s := rc.logBuf.String()
+	rc.logBuf.Reset()
+	return s
+}
+
+// currentProgress reads the reported progress.
+func (rc *RunContext) currentProgress() int64 {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	return rc.progress
+}
+
+// buildArchive zips the attachments; returns nil when there are none.
+func (rc *RunContext) buildArchive() ([]byte, error) {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	if len(rc.attachments) == 0 {
+		return nil, nil
+	}
+	var buf bytes.Buffer
+	zw := zip.NewWriter(&buf)
+	// Sort for deterministic archives.
+	names := make([]string, 0, len(rc.attachments))
+	for n := range rc.attachments {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		w, err := zw.Create(n)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := w.Write(rc.attachments[n]); err != nil {
+			return nil, err
+		}
+	}
+	if err := zw.Close(); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// Agent polls Chronos Control for jobs of one deployment and executes
+// them with runners from Factory.
+type Agent struct {
+	// Control connects to Chronos Control (REST client or local).
+	Control Control
+	// DeploymentID identifies the deployment this agent serves.
+	DeploymentID string
+	// Factory creates a fresh Runner per job.
+	Factory func() Runner
+	// ArchiveStore, when set, receives result archives instead of
+	// uploading them inline (the FTP/NAS path).
+	ArchiveStore ArchiveStore
+	// PollInterval is the idle wait between claim attempts.
+	PollInterval time.Duration
+	// ReportInterval is the cadence of progress/log/heartbeat reporting.
+	ReportInterval time.Duration
+}
+
+// withDefaults fills unset intervals.
+func (a *Agent) withDefaults() {
+	if a.PollInterval == 0 {
+		a.PollInterval = 500 * time.Millisecond
+	}
+	if a.ReportInterval == 0 {
+		a.ReportInterval = 250 * time.Millisecond
+	}
+}
+
+// Run polls for and executes jobs until ctx is cancelled.
+func (a *Agent) Run(ctx context.Context) error {
+	a.withDefaults()
+	for {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		default:
+		}
+		worked, err := a.RunOnce(ctx)
+		if err != nil {
+			return err
+		}
+		if !worked {
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(a.PollInterval):
+			}
+		}
+	}
+}
+
+// Drain executes jobs until the queue is empty, then returns the number
+// of jobs executed. Used by examples and benchmarks.
+func (a *Agent) Drain(ctx context.Context) (int, error) {
+	a.withDefaults()
+	n := 0
+	for {
+		worked, err := a.RunOnce(ctx)
+		if err != nil {
+			return n, err
+		}
+		if !worked {
+			return n, nil
+		}
+		n++
+	}
+}
+
+// RunOnce claims and executes at most one job. worked reports whether a
+// job was executed. Errors from the runner are reported to Chronos
+// Control as job failures, not returned; only communication errors
+// surface here.
+func (a *Agent) RunOnce(ctx context.Context) (worked bool, err error) {
+	a.withDefaults()
+	job, defs, err := a.Control.ClaimJob(a.DeploymentID)
+	if err != nil {
+		return false, fmt.Errorf("agent: claim: %w", err)
+	}
+	if job == nil {
+		return false, nil
+	}
+	a.executeJob(ctx, job, defs)
+	return true, nil
+}
+
+// executeJob runs the full workflow for one claimed job.
+func (a *Agent) executeJob(parent context.Context, job *core.Job, defs []params.Definition) {
+	jobCtx, cancel := context.WithCancel(parent)
+	defer cancel()
+	rc := &RunContext{
+		Job:         job,
+		Definitions: defs,
+		Timer:       metrics.NewPhaseTimer(nil),
+		ctx:         jobCtx,
+		cancel:      cancel,
+	}
+
+	// Reporter: flush logs + progress on a fixed cadence; observe aborts.
+	var wg sync.WaitGroup
+	reporterDone := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		ticker := time.NewTicker(a.ReportInterval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-reporterDone:
+				return
+			case <-ticker.C:
+				a.report(rc)
+			}
+		}
+	}()
+
+	runErr := a.runPhases(rc)
+
+	close(reporterDone)
+	wg.Wait()
+	a.report(rc) // final flush
+
+	if runErr != nil {
+		if text := rc.takeLog(); text != "" {
+			a.Control.AppendLog(job.ID, text)
+		}
+		// An abort is already recorded server-side; anything else fails
+		// the job (and may trigger automatic re-scheduling there).
+		if runErr != ErrAborted {
+			a.Control.Fail(job.ID, runErr.Error())
+		}
+		return
+	}
+
+	resultJSON, archive, err := a.buildResult(rc)
+	if err != nil {
+		a.Control.Fail(job.ID, fmt.Sprintf("agent: build result: %v", err))
+		return
+	}
+	if err := a.Control.Complete(job.ID, resultJSON, archive); err != nil {
+		// Completion raced an abort or the control is gone; nothing to do.
+		return
+	}
+}
+
+// report sends buffered logs and current progress; on an abort response
+// it cancels the job context.
+func (a *Agent) report(rc *RunContext) {
+	if text := rc.takeLog(); text != "" {
+		a.Control.AppendLog(rc.Job.ID, text)
+	}
+	st, err := a.Control.Progress(rc.Job.ID, rc.currentProgress())
+	if err != nil {
+		return // transient; next tick retries
+	}
+	if st != core.StatusRunning {
+		rc.cancel()
+	}
+}
+
+// runPhases executes the five workflow phases with panic isolation.
+func (a *Agent) runPhases(rc *RunContext) (err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("agent: runner panic: %v", p)
+		}
+	}()
+	runner := a.Factory()
+	phases := []struct {
+		name string
+		fn   func(*RunContext) error
+	}{
+		{PhasePrepare, runner.Prepare},
+		{PhaseWarmUp, runner.WarmUp},
+		{PhaseExecute, runner.Execute},
+		{PhaseAnalyze, func(rc *RunContext) error {
+			res, err := runner.Analyze(rc)
+			if err != nil {
+				return err
+			}
+			rc.mu.Lock()
+			rc.result = res
+			rc.mu.Unlock()
+			return nil
+		}},
+	}
+	for _, ph := range phases {
+		if rc.Err() != nil {
+			// Still clean up the SuE after an abort.
+			rc.Timer.Time(PhaseClean, func() error { return runner.Clean(rc) })
+			return ErrAborted
+		}
+		if err := rc.Timer.Time(ph.name, func() error { return ph.fn(rc) }); err != nil {
+			rc.Timer.Time(PhaseClean, func() error { return runner.Clean(rc) })
+			return fmt.Errorf("agent: phase %s: %w", ph.name, err)
+		}
+	}
+	if err := rc.Timer.Time(PhaseClean, func() error { return runner.Clean(rc) }); err != nil {
+		return fmt.Errorf("agent: phase clean: %w", err)
+	}
+	if rc.Err() != nil {
+		return ErrAborted
+	}
+	return nil
+}
+
+// buildResult merges the runner's analysis with the standard metrics and
+// renders the result JSON plus the zip archive (possibly offloaded).
+func (a *Agent) buildResult(rc *RunContext) (resultJSON, archive []byte, err error) {
+	rc.mu.Lock()
+	result := rc.result
+	rc.mu.Unlock()
+	if result == nil {
+		result = map[string]any{}
+	}
+	// Standard metrics the agent library contributes automatically.
+	result["phases"] = rc.Timer.Durations()
+	result["parameters"] = rc.Job.Params
+
+	archive, err = rc.buildArchive()
+	if err != nil {
+		return nil, nil, err
+	}
+	if archive != nil && a.ArchiveStore != nil {
+		ref, err := a.ArchiveStore.Store(rc.Job.ID, archive)
+		if err != nil {
+			return nil, nil, fmt.Errorf("agent: archive store: %w", err)
+		}
+		result["archiveRef"] = ref
+		archive = nil
+	}
+	resultJSON, err = json.Marshal(result)
+	if err != nil {
+		return nil, nil, err
+	}
+	return resultJSON, archive, nil
+}
+
+// LocalControl adapts a core.Service to the Control interface for
+// in-process agents (examples, tests, benchmarks). It behaves like the v2
+// API: claims include the system's parameter definitions.
+type LocalControl struct {
+	Svc *core.Service
+}
+
+var _ Control = (*LocalControl)(nil)
+
+// ClaimJob implements Control.
+func (l *LocalControl) ClaimJob(deploymentID string) (*core.Job, []params.Definition, error) {
+	job, ok, err := l.Svc.ClaimJob(deploymentID)
+	if err != nil || !ok {
+		return nil, nil, err
+	}
+	var defs []params.Definition
+	if sys, err := l.Svc.GetSystem(job.SystemID); err == nil {
+		defs = sys.Parameters
+	}
+	return job, defs, nil
+}
+
+// Progress implements Control.
+func (l *LocalControl) Progress(jobID string, percent int64) (core.JobStatus, error) {
+	return l.Svc.Progress(jobID, percent)
+}
+
+// Heartbeat implements Control.
+func (l *LocalControl) Heartbeat(jobID string) (core.JobStatus, error) {
+	return l.Svc.Heartbeat(jobID)
+}
+
+// AppendLog implements Control.
+func (l *LocalControl) AppendLog(jobID, text string) error {
+	return l.Svc.AppendJobLog(jobID, text)
+}
+
+// Complete implements Control.
+func (l *LocalControl) Complete(jobID string, resultJSON, archive []byte) error {
+	return l.Svc.CompleteJob(jobID, resultJSON, archive)
+}
+
+// Fail implements Control.
+func (l *LocalControl) Fail(jobID, reason string) error {
+	return l.Svc.FailJob(jobID, reason)
+}

@@ -1,0 +1,356 @@
+package agent
+
+import (
+	"archive/zip"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"chronos/internal/core"
+	"chronos/internal/metrics"
+	"chronos/internal/params"
+	"chronos/internal/relstore"
+)
+
+// testRunner is a configurable Runner for the agent tests.
+type testRunner struct {
+	prepareErr error
+	executeErr error
+	panicIn    string
+	slow       time.Duration
+	result     map[string]any
+	phases     []string
+}
+
+func (r *testRunner) phase(rc *RunContext, name string) error {
+	r.phases = append(r.phases, name)
+	rc.Logf("phase %s", name)
+	if r.panicIn == name {
+		panic("deliberate panic in " + name)
+	}
+	if r.slow > 0 {
+		select {
+		case <-rc.Context().Done():
+			return rc.Err()
+		case <-time.After(r.slow):
+		}
+	}
+	return nil
+}
+
+func (r *testRunner) Prepare(rc *RunContext) error {
+	if err := r.phase(rc, PhasePrepare); err != nil {
+		return err
+	}
+	return r.prepareErr
+}
+func (r *testRunner) WarmUp(rc *RunContext) error { return r.phase(rc, PhaseWarmUp) }
+func (r *testRunner) Execute(rc *RunContext) error {
+	rc.SetProgress(50)
+	if err := r.phase(rc, PhaseExecute); err != nil {
+		return err
+	}
+	return r.executeErr
+}
+func (r *testRunner) Analyze(rc *RunContext) (map[string]any, error) {
+	r.phase(rc, PhaseAnalyze)
+	rc.AttachFile("raw.csv", []byte("a,b\n1,2\n"))
+	if r.result != nil {
+		return r.result, nil
+	}
+	return map[string]any{"throughput": 123.0}, nil
+}
+func (r *testRunner) Clean(rc *RunContext) error { return r.phase(rc, PhaseClean) }
+
+// fixture creates a service with one scheduled evaluation of 'jobs' jobs.
+func setupJobs(t *testing.T, jobs int) (*core.Service, string) {
+	t.Helper()
+	clock := metrics.NewManualClock(time.Unix(1e9, 0))
+	svc, err := core.NewService(relstore.OpenMemory(), clock.Now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, _ := svc.CreateUser("u", core.RoleAdmin)
+	p, _ := svc.CreateProject("p", "", u.ID, nil)
+	defs := []params.Definition{
+		{Name: "threads", Type: params.TypeInterval, Min: 1, Max: 64, Default: params.Int(1)},
+	}
+	sys, _ := svc.RegisterSystem("sue", "", defs, nil)
+	dep, err := svc.CreateDeployment(sys.ID, "d", "", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	variants := make([]params.Value, jobs)
+	for i := range variants {
+		variants[i] = params.Int(int64(i + 1))
+	}
+	exp, err := svc.CreateExperiment(p.ID, sys.ID, "e", "", map[string][]params.Value{"threads": variants}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := svc.CreateEvaluation(exp.ID); err != nil {
+		t.Fatal(err)
+	}
+	return svc, dep.ID
+}
+
+func newAgent(svc *core.Service, depID string, factory func() Runner) *Agent {
+	return &Agent{
+		Control:        &LocalControl{Svc: svc},
+		DeploymentID:   depID,
+		Factory:        factory,
+		PollInterval:   5 * time.Millisecond,
+		ReportInterval: 5 * time.Millisecond,
+	}
+}
+
+func TestAgentHappyPath(t *testing.T) {
+	svc, depID := setupJobs(t, 2)
+	var runners []*testRunner
+	a := newAgent(svc, depID, func() Runner {
+		r := &testRunner{}
+		runners = append(runners, r)
+		return r
+	})
+	n, err := a.Drain(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("drained %d jobs", n)
+	}
+	// Each runner went through all five phases in order.
+	for _, r := range runners {
+		want := []string{PhasePrepare, PhaseWarmUp, PhaseExecute, PhaseAnalyze, PhaseClean}
+		if strings.Join(r.phases, ",") != strings.Join(want, ",") {
+			t.Fatalf("phases = %v", r.phases)
+		}
+	}
+	// Jobs finished with results carrying runner analysis + standard
+	// metrics + zip archive.
+	evs, _ := svc.ListEvaluations("")
+	jobs, _ := svc.ListJobs(evs[0].ID)
+	for _, j := range jobs {
+		if j.Status != core.StatusFinished {
+			t.Fatalf("job %s = %s (%s)", j.ID, j.Status, j.Error)
+		}
+		res, err := svc.GetJobResult(j.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var doc map[string]any
+		if err := json.Unmarshal(res.JSON, &doc); err != nil {
+			t.Fatal(err)
+		}
+		if doc["throughput"] != 123.0 {
+			t.Fatalf("result = %v", doc)
+		}
+		if _, ok := doc["phases"]; !ok {
+			t.Fatal("standard phase metrics missing")
+		}
+		if _, ok := doc["parameters"]; !ok {
+			t.Fatal("parameters missing from result")
+		}
+		// Archive is a zip with the attached file.
+		zr, err := zip.NewReader(bytes.NewReader(res.Archive), int64(len(res.Archive)))
+		if err != nil {
+			t.Fatalf("archive: %v", err)
+		}
+		if len(zr.File) != 1 || zr.File[0].Name != "raw.csv" {
+			t.Fatalf("archive contents: %v", zr.File)
+		}
+		// Logs streamed.
+		logs, _ := svc.JobLogs(j.ID)
+		if len(logs) == 0 {
+			t.Fatal("no logs streamed")
+		}
+	}
+}
+
+func TestAgentReportsFailure(t *testing.T) {
+	svc, depID := setupJobs(t, 1)
+	a := newAgent(svc, depID, func() Runner {
+		return &testRunner{executeErr: fmt.Errorf("disk exploded")}
+	})
+	// DefaultMaxAttempts is 3: drain runs the job three times (auto
+	// reschedule) before it sticks as failed.
+	n, err := a.Drain(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Fatalf("attempts = %d, want 3", n)
+	}
+	evs, _ := svc.ListEvaluations("")
+	jobs, _ := svc.ListJobs(evs[0].ID)
+	j := jobs[0]
+	if j.Status != core.StatusFailed {
+		t.Fatalf("status = %s", j.Status)
+	}
+	if !strings.Contains(j.Error, "disk exploded") || !strings.Contains(j.Error, PhaseExecute) {
+		t.Fatalf("error = %q", j.Error)
+	}
+}
+
+func TestAgentRunnerPanicBecomesFailure(t *testing.T) {
+	svc, depID := setupJobs(t, 1)
+	a := newAgent(svc, depID, func() Runner {
+		return &testRunner{panicIn: PhaseWarmUp}
+	})
+	if _, err := a.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	evs, _ := svc.ListEvaluations("")
+	jobs, _ := svc.ListJobs(evs[0].ID)
+	if jobs[0].Status != core.StatusFailed {
+		t.Fatalf("status = %s", jobs[0].Status)
+	}
+	if !strings.Contains(jobs[0].Error, "panic") {
+		t.Fatalf("error = %q", jobs[0].Error)
+	}
+}
+
+func TestAgentCleansUpAfterPhaseError(t *testing.T) {
+	svc, depID := setupJobs(t, 1)
+	var r *testRunner
+	a := newAgent(svc, depID, func() Runner {
+		r = &testRunner{prepareErr: fmt.Errorf("no data")}
+		return r
+	})
+	a.RunOnce(context.Background())
+	// Clean must still have run.
+	found := false
+	for _, p := range r.phases {
+		if p == PhaseClean {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("clean not run after failure: %v", r.phases)
+	}
+}
+
+func TestAgentObservesAbort(t *testing.T) {
+	svc, depID := setupJobs(t, 1)
+	a := newAgent(svc, depID, func() Runner {
+		return &testRunner{slow: 2 * time.Second} // long phase, interruptible
+	})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		a.RunOnce(context.Background())
+	}()
+	// Wait for the job to be running, then abort it server-side.
+	var jobID string
+	deadline := time.After(2 * time.Second)
+	for jobID == "" {
+		select {
+		case <-deadline:
+			t.Fatal("job never started")
+		case <-time.After(5 * time.Millisecond):
+		}
+		evs, _ := svc.ListEvaluations("")
+		jobs, _ := svc.ListJobs(evs[0].ID)
+		if jobs[0].Status == core.StatusRunning {
+			jobID = jobs[0].ID
+		}
+	}
+	if err := svc.AbortJob(jobID); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	select {
+	case <-done:
+	case <-time.After(3 * time.Second):
+		t.Fatal("agent did not notice abort")
+	}
+	if time.Since(start) > 1500*time.Millisecond {
+		t.Fatal("agent reacted too slowly to abort")
+	}
+	j, _ := svc.GetJob(jobID)
+	if j.Status != core.StatusAborted {
+		t.Fatalf("status = %s", j.Status)
+	}
+}
+
+func TestAgentRunStopsOnContextCancel(t *testing.T) {
+	svc, depID := setupJobs(t, 1)
+	a := newAgent(svc, depID, func() Runner { return &testRunner{} })
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() { errc <- a.Run(ctx) }()
+	// Give it time to drain the queue and go idle, then cancel.
+	time.Sleep(100 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-errc:
+		if err != context.Canceled {
+			t.Fatalf("Run returned %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Run did not stop")
+	}
+}
+
+// memStore is an in-memory ArchiveStore.
+type memStore struct {
+	stored map[string][]byte
+}
+
+func (m *memStore) Store(jobID string, archive []byte) (string, error) {
+	if m.stored == nil {
+		m.stored = map[string][]byte{}
+	}
+	m.stored[jobID] = archive
+	return "mem://" + jobID, nil
+}
+
+func TestAgentOffloadsArchive(t *testing.T) {
+	svc, depID := setupJobs(t, 1)
+	store := &memStore{}
+	a := newAgent(svc, depID, func() Runner { return &testRunner{} })
+	a.ArchiveStore = store
+	if _, err := a.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	evs, _ := svc.ListEvaluations("")
+	jobs, _ := svc.ListJobs(evs[0].ID)
+	res, err := svc.GetJobResult(jobs[0].ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Archive went to the store, not inline.
+	if len(res.Archive) != 0 {
+		t.Fatal("archive uploaded inline despite store")
+	}
+	var doc map[string]any
+	json.Unmarshal(res.JSON, &doc)
+	ref, _ := doc["archiveRef"].(string)
+	if ref != "mem://"+jobs[0].ID {
+		t.Fatalf("archiveRef = %q", ref)
+	}
+	if len(store.stored[jobs[0].ID]) == 0 {
+		t.Fatal("store did not receive the archive")
+	}
+}
+
+func TestLocalControlProvidesDefinitions(t *testing.T) {
+	svc, depID := setupJobs(t, 1)
+	lc := &LocalControl{Svc: svc}
+	job, defs, err := lc.ClaimJob(depID)
+	if err != nil || job == nil {
+		t.Fatalf("claim: %v", err)
+	}
+	if len(defs) != 1 || defs[0].Name != "threads" {
+		t.Fatalf("defs = %v", defs)
+	}
+	// Empty queue claims return nil without error.
+	job2, _, err := lc.ClaimJob(depID)
+	if err != nil || job2 != nil {
+		t.Fatalf("empty claim = %v, %v", job2, err)
+	}
+}

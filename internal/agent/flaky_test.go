@@ -1,0 +1,78 @@
+package agent
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"chronos/internal/core"
+	"chronos/internal/params"
+)
+
+// flakyControl wraps a Control and fails every other progress/log call —
+// the kind of transient network trouble a long-running evaluation must
+// survive (requirement iii).
+type flakyControl struct {
+	Control
+	calls atomic.Int64
+}
+
+func (f *flakyControl) Progress(jobID string, percent int64) (core.JobStatus, error) {
+	if f.calls.Add(1)%2 == 0 {
+		return "", context.DeadlineExceeded
+	}
+	return f.Control.Progress(jobID, percent)
+}
+
+func (f *flakyControl) AppendLog(jobID, text string) error {
+	if f.calls.Add(1)%2 == 0 {
+		return context.DeadlineExceeded
+	}
+	return f.Control.AppendLog(jobID, text)
+}
+
+func TestAgentSurvivesTransientControlErrors(t *testing.T) {
+	svc, depID := setupJobs(t, 2)
+	a := &Agent{
+		Control:        &flakyControl{Control: &LocalControl{Svc: svc}},
+		DeploymentID:   depID,
+		Factory:        func() Runner { return &testRunner{slow: 30 * time.Millisecond} },
+		PollInterval:   5 * time.Millisecond,
+		ReportInterval: 5 * time.Millisecond,
+	}
+	n, err := a.Drain(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("drained %d", n)
+	}
+	evs, _ := svc.ListEvaluations("")
+	jobs, _ := svc.ListJobs(evs[0].ID)
+	for _, j := range jobs {
+		if j.Status != core.StatusFinished {
+			t.Fatalf("job %s = %s (%s)", j.ID, j.Status, j.Error)
+		}
+	}
+}
+
+// claimErrControl fails claims, which must surface (unlike reporting
+// noise, a broken claim path means the agent cannot work at all).
+type claimErrControl struct{ Control }
+
+func (c claimErrControl) ClaimJob(string) (*core.Job, []params.Definition, error) {
+	return nil, nil, context.DeadlineExceeded
+}
+
+func TestAgentSurfacesClaimErrors(t *testing.T) {
+	svc, depID := setupJobs(t, 1)
+	a := &Agent{
+		Control:      claimErrControl{&LocalControl{Svc: svc}},
+		DeploymentID: depID,
+		Factory:      func() Runner { return &testRunner{} },
+	}
+	if _, err := a.RunOnce(context.Background()); err == nil {
+		t.Fatal("claim error swallowed")
+	}
+}

@@ -1,0 +1,182 @@
+package analysis
+
+import (
+	"fmt"
+	"strings"
+)
+
+// formatY renders a y value compactly (12345678 -> 12.3M).
+func formatY(v float64) string {
+	switch {
+	case v >= 1e9:
+		return fmt.Sprintf("%.2fG", v/1e9)
+	case v >= 1e6:
+		return fmt.Sprintf("%.2fM", v/1e6)
+	case v >= 1e4:
+		return fmt.Sprintf("%.1fk", v/1e3)
+	case v == float64(int64(v)):
+		return fmt.Sprintf("%.0f", v)
+	default:
+		return fmt.Sprintf("%.2f", v)
+	}
+}
+
+// lineRenderer renders line diagrams: a value table plus per-series
+// scaled bars per x step — the terminal equivalent of Fig. 3d's line
+// chart.
+type lineRenderer struct{}
+
+func (lineRenderer) Type() string { return "line" }
+
+func (lineRenderer) ASCII(c *Chart, width int) (string, error) {
+	if width <= 0 {
+		width = 80
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s (%s)\n", c.Spec.Title, c.Spec.Metric)
+	labels := c.XLabels()
+	if len(labels) == 0 {
+		sb.WriteString("  (no data)\n")
+		return sb.String(), nil
+	}
+	// Header: x | series...
+	xHdr := c.Spec.XParam
+	if xHdr == "" {
+		xHdr = "x"
+	}
+	fmt.Fprintf(&sb, "%12s", xHdr)
+	for _, s := range c.Series {
+		fmt.Fprintf(&sb, " %14s", truncate(s.Name, 14))
+	}
+	sb.WriteString("\n")
+	max := c.MaxY()
+	barWidth := width - 12 - 15*len(c.Series) - 4
+	if barWidth < 10 {
+		barWidth = 10
+	}
+	for _, x := range labels {
+		fmt.Fprintf(&sb, "%12s", truncate(x, 12))
+		for _, s := range c.Series {
+			if y, ok := s.ValueAt(x); ok {
+				fmt.Fprintf(&sb, " %14s", formatY(y))
+			} else {
+				fmt.Fprintf(&sb, " %14s", "-")
+			}
+		}
+		sb.WriteString("\n")
+	}
+	// Per-series sparkbars across x for quick shape reading.
+	for _, s := range c.Series {
+		fmt.Fprintf(&sb, "%12s ", truncate(s.Name, 12))
+		for _, x := range labels {
+			y, ok := s.ValueAt(x)
+			if !ok {
+				sb.WriteString(" ")
+				continue
+			}
+			sb.WriteString(sparkChar(y, max))
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String(), nil
+}
+
+// sparkChar maps a value to one of eight block heights.
+var sparkBlocks = []rune("▁▂▃▄▅▆▇█")
+
+func sparkChar(y, max float64) string {
+	if max <= 0 {
+		return " "
+	}
+	idx := int(y / max * float64(len(sparkBlocks)))
+	if idx >= len(sparkBlocks) {
+		idx = len(sparkBlocks) - 1
+	}
+	if idx < 0 {
+		idx = 0
+	}
+	return string(sparkBlocks[idx])
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	if n <= 1 {
+		return s[:n]
+	}
+	return s[:n-1] + "…"
+}
+
+// barRenderer renders grouped horizontal bars.
+type barRenderer struct{}
+
+func (barRenderer) Type() string { return "bar" }
+
+func (barRenderer) ASCII(c *Chart, width int) (string, error) {
+	if width <= 0 {
+		width = 80
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s (%s)\n", c.Spec.Title, c.Spec.Metric)
+	labels := c.XLabels()
+	if len(labels) == 0 {
+		sb.WriteString("  (no data)\n")
+		return sb.String(), nil
+	}
+	max := c.MaxY()
+	barWidth := width - 40
+	if barWidth < 10 {
+		barWidth = 10
+	}
+	for _, x := range labels {
+		fmt.Fprintf(&sb, "  %s:\n", x)
+		for _, s := range c.Series {
+			y, ok := s.ValueAt(x)
+			if !ok {
+				continue
+			}
+			n := 0
+			if max > 0 {
+				n = int(y / max * float64(barWidth))
+			}
+			fmt.Fprintf(&sb, "    %-14s |%s %s\n", truncate(s.Name, 14),
+				strings.Repeat("█", n), formatY(y))
+		}
+	}
+	return sb.String(), nil
+}
+
+// pieRenderer renders proportions as a percentage table with bars.
+type pieRenderer struct{}
+
+func (pieRenderer) Type() string { return "pie" }
+
+func (pieRenderer) ASCII(c *Chart, width int) (string, error) {
+	if width <= 0 {
+		width = 80
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s (%s)\n", c.Spec.Title, c.Spec.Metric)
+	total := c.TotalY()
+	if total <= 0 {
+		sb.WriteString("  (no data)\n")
+		return sb.String(), nil
+	}
+	barWidth := width - 44
+	if barWidth < 10 {
+		barWidth = 10
+	}
+	for _, s := range c.Series {
+		for _, p := range s.Points {
+			frac := p.Y / total
+			label := s.Name
+			if p.X != "" && p.X != s.Name {
+				label = s.Name + "/" + p.X
+			}
+			fmt.Fprintf(&sb, "  %-20s %6.1f%% |%s| %s\n", truncate(label, 20),
+				frac*100, strings.Repeat("#", int(frac*float64(barWidth))), formatY(p.Y))
+		}
+	}
+	return sb.String(), nil
+}

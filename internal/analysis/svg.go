@@ -1,0 +1,203 @@
+package analysis
+
+import (
+	"fmt"
+	"html"
+	"math"
+	"strings"
+)
+
+// seriesColors is the palette cycled across series.
+var seriesColors = []string{
+	"#1f77b4", "#ff7f0e", "#2ca02c", "#d62728",
+	"#9467bd", "#8c564b", "#e377c2", "#7f7f7f",
+}
+
+func colorFor(i int) string { return seriesColors[i%len(seriesColors)] }
+
+// svgHeader opens the document with a white background and title.
+func svgHeader(sb *strings.Builder, c *Chart, w, h int) {
+	fmt.Fprintf(sb, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`, w, h, w, h)
+	fmt.Fprintf(sb, `<rect width="%d" height="%d" fill="white"/>`, w, h)
+	fmt.Fprintf(sb, `<text x="%d" y="16" font-family="sans-serif" font-size="13" text-anchor="middle" font-weight="bold">%s</text>`,
+		w/2, html.EscapeString(c.Spec.Title))
+}
+
+// chartArea computes the plot rectangle inside the margins.
+type chartArea struct {
+	left, top, right, bottom int
+}
+
+func (a chartArea) width() int  { return a.right - a.left }
+func (a chartArea) height() int { return a.bottom - a.top }
+
+// drawAxesAndLegend emits axis lines, y ticks and the series legend.
+func drawAxesAndLegend(sb *strings.Builder, c *Chart, area chartArea, maxY float64) {
+	fmt.Fprintf(sb, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`,
+		area.left, area.top, area.left, area.bottom)
+	fmt.Fprintf(sb, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`,
+		area.left, area.bottom, area.right, area.bottom)
+	// Four y ticks.
+	for i := 0; i <= 4; i++ {
+		y := area.bottom - i*area.height()/4
+		val := maxY * float64(i) / 4
+		fmt.Fprintf(sb, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="#ccc"/>`,
+			area.left, y, area.right, y)
+		fmt.Fprintf(sb, `<text x="%d" y="%d" font-family="sans-serif" font-size="10" text-anchor="end">%s</text>`,
+			area.left-4, y+3, formatY(val))
+	}
+	// Legend across the top right.
+	lx := area.left
+	for i, s := range c.Series {
+		fmt.Fprintf(sb, `<rect x="%d" y="%d" width="10" height="10" fill="%s"/>`, lx, area.top-14, colorFor(i))
+		fmt.Fprintf(sb, `<text x="%d" y="%d" font-family="sans-serif" font-size="10">%s</text>`,
+			lx+13, area.top-5, html.EscapeString(s.Name))
+		lx += 13 + 7*len(s.Name) + 12
+	}
+}
+
+// SVG for line charts: one polyline per series with point markers.
+func (lineRenderer) SVG(c *Chart, w, h int) (string, error) {
+	if w <= 0 || h <= 0 {
+		w, h = 640, 360
+	}
+	var sb strings.Builder
+	svgHeader(&sb, c, w, h)
+	area := chartArea{left: 56, top: 40, right: w - 16, bottom: h - 36}
+	labels := c.XLabels()
+	maxY := c.MaxY()
+	if maxY == 0 {
+		maxY = 1
+	}
+	drawAxesAndLegend(&sb, c, area, maxY)
+	// X positions: evenly spaced labels.
+	xPos := func(i int) int {
+		if len(labels) <= 1 {
+			return area.left + area.width()/2
+		}
+		return area.left + i*area.width()/(len(labels)-1)
+	}
+	for i, x := range labels {
+		fmt.Fprintf(&sb, `<text x="%d" y="%d" font-family="sans-serif" font-size="10" text-anchor="middle">%s</text>`,
+			xPos(i), area.bottom+14, html.EscapeString(x))
+	}
+	for si, s := range c.Series {
+		var pts []string
+		for i, x := range labels {
+			y, ok := s.ValueAt(x)
+			if !ok {
+				continue
+			}
+			py := area.bottom - int(y/maxY*float64(area.height()))
+			pts = append(pts, fmt.Sprintf("%d,%d", xPos(i), py))
+			fmt.Fprintf(&sb, `<circle cx="%d" cy="%d" r="3" fill="%s"/>`, xPos(i), py, colorFor(si))
+		}
+		if len(pts) > 1 {
+			fmt.Fprintf(&sb, `<polyline points="%s" fill="none" stroke="%s" stroke-width="2"/>`,
+				strings.Join(pts, " "), colorFor(si))
+		}
+	}
+	sb.WriteString("</svg>")
+	return sb.String(), nil
+}
+
+// SVG for bar charts: grouped vertical bars per x label.
+func (barRenderer) SVG(c *Chart, w, h int) (string, error) {
+	if w <= 0 || h <= 0 {
+		w, h = 640, 360
+	}
+	var sb strings.Builder
+	svgHeader(&sb, c, w, h)
+	area := chartArea{left: 56, top: 40, right: w - 16, bottom: h - 36}
+	labels := c.XLabels()
+	maxY := c.MaxY()
+	if maxY == 0 {
+		maxY = 1
+	}
+	drawAxesAndLegend(&sb, c, area, maxY)
+	if len(labels) == 0 {
+		sb.WriteString("</svg>")
+		return sb.String(), nil
+	}
+	groupW := area.width() / len(labels)
+	barW := groupW / (len(c.Series) + 1)
+	if barW < 2 {
+		barW = 2
+	}
+	for i, x := range labels {
+		gx := area.left + i*groupW
+		fmt.Fprintf(&sb, `<text x="%d" y="%d" font-family="sans-serif" font-size="10" text-anchor="middle">%s</text>`,
+			gx+groupW/2, area.bottom+14, html.EscapeString(x))
+		for si, s := range c.Series {
+			y, ok := s.ValueAt(x)
+			if !ok {
+				continue
+			}
+			bh := int(y / maxY * float64(area.height()))
+			bx := gx + barW/2 + si*barW
+			fmt.Fprintf(&sb, `<rect x="%d" y="%d" width="%d" height="%d" fill="%s"/>`,
+				bx, area.bottom-bh, barW-1, bh, colorFor(si))
+		}
+	}
+	sb.WriteString("</svg>")
+	return sb.String(), nil
+}
+
+// SVG for pie charts: arc slices with a side legend.
+func (pieRenderer) SVG(c *Chart, w, h int) (string, error) {
+	if w <= 0 || h <= 0 {
+		w, h = 480, 360
+	}
+	var sb strings.Builder
+	svgHeader(&sb, c, w, h)
+	total := c.TotalY()
+	cx, cy := w/3, h/2+10
+	r := h/2 - 40
+	if total <= 0 {
+		sb.WriteString("</svg>")
+		return sb.String(), nil
+	}
+	type slice struct {
+		label string
+		value float64
+	}
+	var slices []slice
+	for _, s := range c.Series {
+		for _, p := range s.Points {
+			label := s.Name
+			if p.X != "" && p.X != s.Name {
+				label = s.Name + "/" + p.X
+			}
+			slices = append(slices, slice{label, p.Y})
+		}
+	}
+	angle := -math.Pi / 2
+	ly := 40
+	for i, sl := range slices {
+		frac := sl.value / total
+		next := angle + frac*2*math.Pi
+		// Large-arc flag for slices over half the pie.
+		large := 0
+		if frac > 0.5 {
+			large = 1
+		}
+		x1 := float64(cx) + float64(r)*math.Cos(angle)
+		y1 := float64(cy) + float64(r)*math.Sin(angle)
+		x2 := float64(cx) + float64(r)*math.Cos(next)
+		y2 := float64(cy) + float64(r)*math.Sin(next)
+		if frac >= 0.999999 {
+			// A full circle cannot be a single arc path.
+			fmt.Fprintf(&sb, `<circle cx="%d" cy="%d" r="%d" fill="%s"/>`, cx, cy, r, colorFor(i))
+		} else {
+			fmt.Fprintf(&sb, `<path d="M%d,%d L%.1f,%.1f A%d,%d 0 %d 1 %.1f,%.1f Z" fill="%s"/>`,
+				cx, cy, x1, y1, r, r, large, x2, y2, colorFor(i))
+		}
+		fmt.Fprintf(&sb, `<rect x="%d" y="%d" width="10" height="10" fill="%s"/>`, 2*w/3, ly, colorFor(i))
+		fmt.Fprintf(&sb, `<text x="%d" y="%d" font-family="sans-serif" font-size="11">%s (%.1f%%)</text>`,
+			2*w/3+14, ly+9, html.EscapeString(sl.label), frac*100)
+		ly += 16
+		angle = next
+	}
+	sb.WriteString("</svg>")
+	return sb.String(), nil
+}

@@ -1,0 +1,141 @@
+// Package api declares the wire types (request and response bodies) of
+// the Chronos Control REST API. Both the server (internal/rest) and the
+// Go client SDK (pkg/client) build on these, keeping the two sides of the
+// protocol in a single place.
+package api
+
+import (
+	"chronos/internal/core"
+	"chronos/internal/params"
+)
+
+// PingResponse reports the API version and server identity.
+type PingResponse struct {
+	Service  string   `json:"service"`
+	Version  string   `json:"version"`
+	Versions []string `json:"versions"`
+}
+
+// LoginRequest carries credentials.
+type LoginRequest struct {
+	User     string `json:"user"`
+	Password string `json:"password"`
+}
+
+// LoginResponse carries the bearer token.
+type LoginResponse struct {
+	Token  string    `json:"token"`
+	UserID string    `json:"userId"`
+	Role   core.Role `json:"role"`
+}
+
+// CreateUserRequest registers an account.
+type CreateUserRequest struct {
+	Name string    `json:"name"`
+	Role core.Role `json:"role"`
+}
+
+// CreateProjectRequest creates a project.
+type CreateProjectRequest struct {
+	Name        string   `json:"name"`
+	Description string   `json:"description,omitempty"`
+	OwnerID     string   `json:"ownerId"`
+	MemberIDs   []string `json:"memberIds,omitempty"`
+}
+
+// AddMemberRequest adds a user to a project.
+type AddMemberRequest struct {
+	UserID string `json:"userId"`
+}
+
+// RegisterSystemRequest declares an SuE.
+type RegisterSystemRequest struct {
+	Name        string              `json:"name"`
+	Description string              `json:"description,omitempty"`
+	Parameters  []params.Definition `json:"parameters"`
+	Diagrams    []core.DiagramSpec  `json:"diagrams,omitempty"`
+}
+
+// CreateDeploymentRequest registers an SuE instance.
+type CreateDeploymentRequest struct {
+	SystemID    string `json:"systemId"`
+	Name        string `json:"name"`
+	Environment string `json:"environment,omitempty"`
+	Version     string `json:"version,omitempty"`
+}
+
+// SetActiveRequest toggles a deployment.
+type SetActiveRequest struct {
+	Active bool `json:"active"`
+}
+
+// CreateExperimentRequest defines an evaluation.
+type CreateExperimentRequest struct {
+	ProjectID   string                    `json:"projectId"`
+	SystemID    string                    `json:"systemId"`
+	Name        string                    `json:"name"`
+	Description string                    `json:"description,omitempty"`
+	Settings    map[string][]params.Value `json:"settings"`
+	MaxAttempts int                       `json:"maxAttempts,omitempty"`
+}
+
+// CreateEvaluationRequest schedules a run of an experiment. This is also
+// the endpoint a build bot calls after a successful build (paper §2.2).
+type CreateEvaluationRequest struct {
+	ExperimentID string `json:"experimentId"`
+}
+
+// CreateEvaluationResponse returns the evaluation and its jobs.
+type CreateEvaluationResponse struct {
+	Evaluation *core.Evaluation `json:"evaluation"`
+	Jobs       []*core.Job      `json:"jobs"`
+}
+
+// ClaimRequest asks for work on behalf of a deployment.
+type ClaimRequest struct {
+	DeploymentID string `json:"deploymentId"`
+}
+
+// ClaimResponse carries the claimed job; Job is nil when no work is
+// available. The v2 API additionally inlines the system's parameter
+// definitions so agents need no extra round-trip.
+type ClaimResponse struct {
+	Job *core.Job `json:"job,omitempty"`
+	// Parameters is only populated by /api/v2 (versioned evolution).
+	Parameters []params.Definition `json:"parameters,omitempty"`
+}
+
+// ProgressRequest reports completion percentage.
+type ProgressRequest struct {
+	Percent int64 `json:"percent"`
+}
+
+// StatusResponse reports the job's current status after an agent call,
+// letting agents observe aborts.
+type StatusResponse struct {
+	Status core.JobStatus `json:"status"`
+}
+
+// LogRequest streams a chunk of agent log output.
+type LogRequest struct {
+	Text string `json:"text"`
+}
+
+// CompleteRequest uploads the job result. Archive travels base64-encoded
+// within the JSON body (the []byte JSON encoding).
+type CompleteRequest struct {
+	ResultJSON []byte `json:"resultJson"`
+	Archive    []byte `json:"archive,omitempty"`
+}
+
+// FailRequest reports a job failure.
+type FailRequest struct {
+	Reason string `json:"reason"`
+}
+
+// BatchUpdateRequest is the v2-only combined progress+log+heartbeat call,
+// reducing chatty agents to one request per reporting interval.
+type BatchUpdateRequest struct {
+	Percent *int64 `json:"percent,omitempty"`
+	Log     string `json:"log,omitempty"`
+}

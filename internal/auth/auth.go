@@ -1,0 +1,238 @@
+// Package auth implements Chronos Control's session and role-based user
+// management (paper §2.2: "an advanced session and role-based user
+// management to support the deployment in a multi-user environment").
+//
+// Credentials are stored as salted, iterated SHA-256 digests (stdlib
+// only; the iteration count makes brute force expensive). Sessions are
+// random 128-bit bearer tokens with server-side expiry.
+package auth
+
+import (
+	"crypto/rand"
+	"crypto/sha256"
+	"crypto/subtle"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"chronos/internal/core"
+	"chronos/internal/relstore"
+)
+
+// Errors returned by the authenticator.
+var (
+	// ErrBadCredentials covers unknown users and wrong passwords alike so
+	// responses do not leak which part failed.
+	ErrBadCredentials = errors.New("auth: invalid credentials")
+	// ErrNoSession means the presented token is unknown or expired.
+	ErrNoSession = errors.New("auth: no such session")
+)
+
+// hashIterations is the number of chained SHA-256 applications.
+const hashIterations = 4096
+
+// credentialsTable persists password records.
+const credentialsTable = "credentials"
+
+// Authenticator manages passwords and sessions on top of the core user
+// registry. Sessions are kept in memory (they are cheap to re-establish);
+// credentials persist in the store.
+type Authenticator struct {
+	db  *relstore.DB
+	svc *core.Service
+
+	// SessionTTL bounds session lifetime; renewed on use.
+	SessionTTL time.Duration
+
+	mu       sync.Mutex
+	sessions map[string]*Session
+	clock    func() time.Time
+}
+
+// Session is an authenticated browser or API session.
+type Session struct {
+	Token   string
+	UserID  string
+	Role    core.Role
+	Expires time.Time
+}
+
+// New creates an Authenticator backed by the same database as the
+// service. clock may be nil for wall time.
+func New(db *relstore.DB, svc *core.Service, clock func() time.Time) (*Authenticator, error) {
+	err := db.CreateTable(relstore.Schema{
+		Name: credentialsTable,
+		Key:  "id", // user id
+		Columns: []relstore.Column{
+			{Name: "id", Type: relstore.TString},
+			{Name: "salt", Type: relstore.TBytes},
+			{Name: "hash", Type: relstore.TBytes},
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	if clock == nil {
+		clock = time.Now
+	}
+	return &Authenticator{
+		db:         db,
+		svc:        svc,
+		SessionTTL: 12 * time.Hour,
+		sessions:   make(map[string]*Session),
+		clock:      clock,
+	}, nil
+}
+
+// hashPassword derives the stored digest for password and salt.
+func hashPassword(password string, salt []byte) []byte {
+	sum := sha256.Sum256(append(salt, []byte(password)...))
+	for i := 1; i < hashIterations; i++ {
+		sum = sha256.Sum256(sum[:])
+	}
+	return sum[:]
+}
+
+// randomBytes returns n cryptographically random bytes.
+func randomBytes(n int) ([]byte, error) {
+	b := make([]byte, n)
+	if _, err := rand.Read(b); err != nil {
+		return nil, fmt.Errorf("auth: entropy: %w", err)
+	}
+	return b, nil
+}
+
+// SetPassword stores (or replaces) a user's password.
+func (a *Authenticator) SetPassword(userID, password string) error {
+	if len(password) < 4 {
+		return fmt.Errorf("auth: password too short")
+	}
+	if _, err := a.svc.GetUser(userID); err != nil {
+		return err
+	}
+	salt, err := randomBytes(16)
+	if err != nil {
+		return err
+	}
+	hash := hashPassword(password, salt)
+	return a.db.Update(func(tx *relstore.Tx) error {
+		return tx.Put(credentialsTable, relstore.Row{"id": userID, "salt": salt, "hash": hash})
+	})
+}
+
+// Login verifies credentials by user name and opens a session.
+func (a *Authenticator) Login(userName, password string) (*Session, error) {
+	users, err := a.svc.ListUsers()
+	if err != nil {
+		return nil, err
+	}
+	var user *core.User
+	for _, u := range users {
+		if u.Name == userName {
+			user = u
+			break
+		}
+	}
+	if user == nil || user.Disabled {
+		// Burn the same hashing cost as a real check to level timing.
+		hashPassword(password, []byte("timing-equalizer"))
+		return nil, ErrBadCredentials
+	}
+	var salt, stored []byte
+	err = a.db.View(func(tx *relstore.Tx) error {
+		row, err := tx.Get(credentialsTable, user.ID)
+		if err != nil {
+			return err
+		}
+		salt = row["salt"].([]byte)
+		stored = row["hash"].([]byte)
+		return nil
+	})
+	if err != nil {
+		hashPassword(password, []byte("timing-equalizer"))
+		return nil, ErrBadCredentials
+	}
+	if subtle.ConstantTimeCompare(hashPassword(password, salt), stored) != 1 {
+		return nil, ErrBadCredentials
+	}
+	tok, err := randomBytes(16)
+	if err != nil {
+		return nil, err
+	}
+	s := &Session{
+		Token:   hex.EncodeToString(tok),
+		UserID:  user.ID,
+		Role:    user.Role,
+		Expires: a.clock().Add(a.SessionTTL),
+	}
+	a.mu.Lock()
+	a.sessions[s.Token] = s
+	a.mu.Unlock()
+	return s, nil
+}
+
+// Validate resolves a bearer token to its session, renewing the expiry.
+func (a *Authenticator) Validate(token string) (*Session, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	s, ok := a.sessions[token]
+	if !ok {
+		return nil, ErrNoSession
+	}
+	if a.clock().After(s.Expires) {
+		delete(a.sessions, token)
+		return nil, ErrNoSession
+	}
+	s.Expires = a.clock().Add(a.SessionTTL)
+	return s, nil
+}
+
+// Logout terminates the session with the given token.
+func (a *Authenticator) Logout(token string) {
+	a.mu.Lock()
+	delete(a.sessions, token)
+	a.mu.Unlock()
+}
+
+// SessionCount reports live (possibly expired but uncollected) sessions.
+func (a *Authenticator) SessionCount() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.sessions)
+}
+
+// PurgeExpired drops expired sessions; called periodically by the server.
+func (a *Authenticator) PurgeExpired() int {
+	now := a.clock()
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	purged := 0
+	for tok, s := range a.sessions {
+		if now.After(s.Expires) {
+			delete(a.sessions, tok)
+			purged++
+		}
+	}
+	return purged
+}
+
+// Authorize checks role-based access: admins may do anything; the
+// required role otherwise must match exactly or be weaker (member implies
+// viewer access).
+func Authorize(s *Session, required core.Role) error {
+	if s == nil {
+		return ErrNoSession
+	}
+	switch {
+	case s.Role == core.RoleAdmin:
+		return nil
+	case required == core.RoleViewer:
+		return nil // every authenticated role may read
+	case required == core.RoleMember && s.Role == core.RoleMember:
+		return nil
+	default:
+		return fmt.Errorf("auth: role %s lacks %s access", s.Role, required)
+	}
+}

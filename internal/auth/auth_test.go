@@ -1,0 +1,196 @@
+package auth
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"chronos/internal/core"
+	"chronos/internal/metrics"
+	"chronos/internal/relstore"
+)
+
+func newAuthFixture(t *testing.T) (*Authenticator, *core.Service, *metrics.ManualClock) {
+	t.Helper()
+	clock := metrics.NewManualClock(time.Unix(1e9, 0))
+	db := relstore.OpenMemory()
+	svc, err := core.NewService(db, clock.Now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := New(db, svc, clock.Now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a, svc, clock
+}
+
+func TestLoginFlow(t *testing.T) {
+	a, svc, _ := newAuthFixture(t)
+	u, _ := svc.CreateUser("marco", core.RoleAdmin)
+	if err := a.SetPassword(u.ID, "hunter22"); err != nil {
+		t.Fatal(err)
+	}
+	s, err := a.Login("marco", "hunter22")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.UserID != u.ID || s.Role != core.RoleAdmin || s.Token == "" {
+		t.Fatalf("session = %+v", s)
+	}
+	got, err := a.Validate(s.Token)
+	if err != nil || got.UserID != u.ID {
+		t.Fatalf("validate = %+v, %v", got, err)
+	}
+	a.Logout(s.Token)
+	if _, err := a.Validate(s.Token); !errors.Is(err, ErrNoSession) {
+		t.Fatalf("after logout: %v", err)
+	}
+}
+
+func TestLoginFailures(t *testing.T) {
+	a, svc, _ := newAuthFixture(t)
+	u, _ := svc.CreateUser("marco", core.RoleMember)
+	a.SetPassword(u.ID, "correct-pw")
+
+	if _, err := a.Login("marco", "wrong"); !errors.Is(err, ErrBadCredentials) {
+		t.Fatalf("wrong password: %v", err)
+	}
+	if _, err := a.Login("ghost", "whatever"); !errors.Is(err, ErrBadCredentials) {
+		t.Fatalf("unknown user: %v", err)
+	}
+	// A user without a password record cannot log in.
+	u2, _ := svc.CreateUser("nopw", core.RoleMember)
+	_ = u2
+	if _, err := a.Login("nopw", ""); !errors.Is(err, ErrBadCredentials) {
+		t.Fatalf("passwordless user: %v", err)
+	}
+}
+
+func TestSetPasswordValidation(t *testing.T) {
+	a, svc, _ := newAuthFixture(t)
+	u, _ := svc.CreateUser("u", core.RoleMember)
+	if err := a.SetPassword(u.ID, "abc"); err == nil {
+		t.Fatal("short password accepted")
+	}
+	if err := a.SetPassword("user-000000404", "longenough"); err == nil {
+		t.Fatal("ghost user accepted")
+	}
+	// Password change invalidates the old one.
+	a.SetPassword(u.ID, "first-pw")
+	a.SetPassword(u.ID, "second-pw")
+	if _, err := a.Login("u", "first-pw"); err == nil {
+		t.Fatal("old password still valid")
+	}
+	if _, err := a.Login("u", "second-pw"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSessionExpiry(t *testing.T) {
+	a, svc, clock := newAuthFixture(t)
+	u, _ := svc.CreateUser("u", core.RoleMember)
+	a.SetPassword(u.ID, "longenough")
+	a.SessionTTL = time.Hour
+
+	s, err := a.Login("u", "longenough")
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock.Advance(30 * time.Minute)
+	if _, err := a.Validate(s.Token); err != nil {
+		t.Fatalf("mid-ttl validate: %v", err)
+	}
+	// Validation renews: another 45 minutes stays valid.
+	clock.Advance(45 * time.Minute)
+	if _, err := a.Validate(s.Token); err != nil {
+		t.Fatalf("renewed validate: %v", err)
+	}
+	clock.Advance(2 * time.Hour)
+	if _, err := a.Validate(s.Token); !errors.Is(err, ErrNoSession) {
+		t.Fatalf("expired validate: %v", err)
+	}
+}
+
+func TestPurgeExpired(t *testing.T) {
+	a, svc, clock := newAuthFixture(t)
+	u, _ := svc.CreateUser("u", core.RoleMember)
+	a.SetPassword(u.ID, "longenough")
+	a.SessionTTL = time.Minute
+	a.Login("u", "longenough")
+	a.Login("u", "longenough")
+	if a.SessionCount() != 2 {
+		t.Fatalf("sessions = %d", a.SessionCount())
+	}
+	clock.Advance(2 * time.Minute)
+	if purged := a.PurgeExpired(); purged != 2 {
+		t.Fatalf("purged = %d", purged)
+	}
+	if a.SessionCount() != 0 {
+		t.Fatalf("sessions after purge = %d", a.SessionCount())
+	}
+}
+
+func TestDisabledUserCannotLogin(t *testing.T) {
+	a, svc, _ := newAuthFixture(t)
+	u, _ := svc.CreateUser("u", core.RoleMember)
+	a.SetPassword(u.ID, "longenough")
+	// Disable via the store (no service endpoint needed for the test).
+	users, _ := svc.ListUsers()
+	users[0].Disabled = true
+	err := svc.Store().DB().Update(func(tx *relstore.Tx) error {
+		return svc.Store().PutUser(tx, users[0])
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Login("u", "longenough"); !errors.Is(err, ErrBadCredentials) {
+		t.Fatalf("disabled login: %v", err)
+	}
+	_ = u
+}
+
+func TestAuthorize(t *testing.T) {
+	admin := &Session{Role: core.RoleAdmin}
+	member := &Session{Role: core.RoleMember}
+	viewer := &Session{Role: core.RoleViewer}
+
+	if err := Authorize(admin, core.RoleAdmin); err != nil {
+		t.Fatal(err)
+	}
+	if err := Authorize(member, core.RoleMember); err != nil {
+		t.Fatal(err)
+	}
+	if err := Authorize(member, core.RoleViewer); err != nil {
+		t.Fatal(err)
+	}
+	if err := Authorize(viewer, core.RoleViewer); err != nil {
+		t.Fatal(err)
+	}
+	if err := Authorize(viewer, core.RoleMember); err == nil {
+		t.Fatal("viewer got member access")
+	}
+	if err := Authorize(member, core.RoleAdmin); err == nil {
+		t.Fatal("member got admin access")
+	}
+	if err := Authorize(nil, core.RoleViewer); !errors.Is(err, ErrNoSession) {
+		t.Fatalf("nil session: %v", err)
+	}
+}
+
+func TestPasswordHashDeterministicAndSalted(t *testing.T) {
+	salt := []byte("0123456789abcdef")
+	h1 := hashPassword("pw", salt)
+	h2 := hashPassword("pw", salt)
+	if string(h1) != string(h2) {
+		t.Fatal("hash not deterministic")
+	}
+	h3 := hashPassword("pw", []byte("different-salt!!"))
+	if string(h1) == string(h3) {
+		t.Fatal("salt has no effect")
+	}
+	h4 := hashPassword("pw2", salt)
+	if string(h1) == string(h4) {
+		t.Fatal("password has no effect")
+	}
+}

@@ -1,0 +1,499 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"chronos/internal/params"
+	"chronos/internal/relstore"
+)
+
+// CreateEvaluation runs an experiment: the parameter space expands into
+// one job per assignment, all created in state scheduled (paper §2.1:
+// "An evaluation is the run of an experiment and consists of one or
+// multiple jobs").
+func (s *Service) CreateEvaluation(experimentID string) (*Evaluation, []*Job, error) {
+	var (
+		ev   *Evaluation
+		jobs []*Job
+	)
+	err := s.store.db.Update(func(tx *relstore.Tx) error {
+		exp, err := s.store.GetExperiment(tx, experimentID)
+		if err != nil {
+			return mapNotFound(err)
+		}
+		if exp.Archived {
+			return ErrArchived
+		}
+		sys, err := s.store.GetSystem(tx, exp.SystemID)
+		if err != nil {
+			return mapNotFound(err)
+		}
+		space, err := params.NewSpace(sys.Parameters, exp.Settings)
+		if err != nil {
+			return err
+		}
+		n, err := tx.NextSeq(tableEvaluations)
+		if err != nil {
+			return err
+		}
+		now := s.now()
+		ev = &Evaluation{
+			ID:           paddedID("evaluation", n),
+			ExperimentID: exp.ID,
+			Number:       n,
+			Created:      now,
+		}
+		if err := s.store.PutEvaluation(tx, ev); err != nil {
+			return err
+		}
+		jobs = nil
+		for i, assignment := range space.Expand() {
+			jn, err := tx.NextSeq(tableJobs)
+			if err != nil {
+				return err
+			}
+			j := &Job{
+				ID:           paddedID("job", jn),
+				EvaluationID: ev.ID,
+				SystemID:     exp.SystemID,
+				Index:        int64(i),
+				Params:       assignment,
+				Status:       StatusScheduled,
+				Attempts:     0,
+				Created:      now,
+			}
+			if err := s.store.PutJob(tx, j); err != nil {
+				return err
+			}
+			if err := s.putEvent(tx, j.ID, EventCreated, "job created: "+j.Label()); err != nil {
+				return err
+			}
+			jobs = append(jobs, j)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return ev, jobs, nil
+}
+
+// GetEvaluation returns the evaluation with the given id.
+func (s *Service) GetEvaluation(id string) (*Evaluation, error) {
+	var ev *Evaluation
+	err := s.store.db.View(func(tx *relstore.Tx) error {
+		var err error
+		ev, err = s.store.GetEvaluation(tx, id)
+		return mapNotFound(err)
+	})
+	return ev, err
+}
+
+// ListEvaluations returns the evaluations of an experiment.
+func (s *Service) ListEvaluations(experimentID string) ([]*Evaluation, error) {
+	var out []*Evaluation
+	err := s.store.db.View(func(tx *relstore.Tx) error {
+		var err error
+		out, err = s.store.ListEvaluations(tx, experimentID)
+		return err
+	})
+	return out, err
+}
+
+// ListJobs returns the jobs of an evaluation in creation order.
+func (s *Service) ListJobs(evaluationID string) ([]*Job, error) {
+	var out []*Job
+	err := s.store.db.View(func(tx *relstore.Tx) error {
+		var err error
+		out, err = s.store.ListJobsByEvaluation(tx, evaluationID)
+		return err
+	})
+	return out, err
+}
+
+// GetJob returns the job with the given id.
+func (s *Service) GetJob(id string) (*Job, error) {
+	var j *Job
+	err := s.store.db.View(func(tx *relstore.Tx) error {
+		var err error
+		j, err = s.store.GetJob(tx, id)
+		return mapNotFound(err)
+	})
+	return j, err
+}
+
+// putEvent appends a timeline event inside an existing transaction.
+func (s *Service) putEvent(tx *relstore.Tx, jobID string, kind EventKind, msg string) error {
+	n, err := tx.NextSeq(tableEvents)
+	if err != nil {
+		return err
+	}
+	return s.store.PutEvent(tx, &Event{
+		ID:      paddedID("event", n),
+		JobID:   jobID,
+		Kind:    kind,
+		Message: msg,
+		Time:    s.now(),
+	})
+}
+
+// transition applies a validated job state change inside tx.
+func (s *Service) transition(tx *relstore.Tx, j *Job, to JobStatus) error {
+	if !CanTransition(j.Status, to) {
+		return fmt.Errorf("%w: %s -> %s (job %s)", ErrInvalidTransition, j.Status, to, j.ID)
+	}
+	j.Status = to
+	return nil
+}
+
+// ClaimJob hands the oldest scheduled job of the deployment's system to
+// the calling agent (paper §2.2: clients request job descriptions via the
+// REST API). The claim is atomic: concurrent agents never receive the
+// same job. ok is false when no work is available.
+func (s *Service) ClaimJob(deploymentID string) (job *Job, ok bool, err error) {
+	err = s.store.db.Update(func(tx *relstore.Tx) error {
+		job, ok = nil, false
+		dep, err := s.store.GetDeployment(tx, deploymentID)
+		if err != nil {
+			return mapNotFound(err)
+		}
+		if !dep.Active {
+			return ErrInactiveDeployment
+		}
+		candidates, err := s.store.ListJobsByStatus(tx, StatusScheduled, dep.SystemID)
+		if err != nil {
+			return err
+		}
+		if len(candidates) == 0 {
+			return nil
+		}
+		j := candidates[0] // Select orders by id == creation order
+		if err := s.transition(tx, j, StatusRunning); err != nil {
+			return err
+		}
+		now := s.now()
+		j.DeploymentID = dep.ID
+		j.Attempts++
+		j.Started = now
+		j.Heartbeat = now
+		j.Progress = 0
+		if err := s.store.PutJob(tx, j); err != nil {
+			return err
+		}
+		if err := s.putEvent(tx, j.ID, EventClaimed, "claimed by "+dep.Name+" ("+dep.ID+")"); err != nil {
+			return err
+		}
+		job, ok = j, true
+		return nil
+	})
+	if err != nil {
+		return nil, false, err
+	}
+	return job, ok, nil
+}
+
+// Progress records an agent's progress update (0-100) and doubles as a
+// heartbeat. It returns the job's current status so agents observe aborts
+// promptly.
+func (s *Service) Progress(jobID string, percent int64) (JobStatus, error) {
+	if percent < 0 {
+		percent = 0
+	}
+	if percent > 100 {
+		percent = 100
+	}
+	var status JobStatus
+	err := s.store.db.Update(func(tx *relstore.Tx) error {
+		j, err := s.store.GetJob(tx, jobID)
+		if err != nil {
+			return mapNotFound(err)
+		}
+		status = j.Status
+		if j.Status != StatusRunning {
+			return nil // job was aborted/failed meanwhile; just report
+		}
+		j.Progress = percent
+		j.Heartbeat = s.now()
+		return s.store.PutJob(tx, j)
+	})
+	return status, err
+}
+
+// Heartbeat refreshes the agent liveness timestamp without touching the
+// progress value, and reports the job's current status.
+func (s *Service) Heartbeat(jobID string) (JobStatus, error) {
+	var status JobStatus
+	err := s.store.db.Update(func(tx *relstore.Tx) error {
+		j, err := s.store.GetJob(tx, jobID)
+		if err != nil {
+			return mapNotFound(err)
+		}
+		status = j.Status
+		if j.Status != StatusRunning {
+			return nil
+		}
+		j.Heartbeat = s.now()
+		return s.store.PutJob(tx, j)
+	})
+	return status, err
+}
+
+// AppendJobLog stores a chunk of agent log output (paper §2.2: the agent
+// periodically sends the logger output to Chronos Control).
+func (s *Service) AppendJobLog(jobID, text string) error {
+	return s.store.db.Update(func(tx *relstore.Tx) error {
+		if _, err := s.store.GetJob(tx, jobID); err != nil {
+			return mapNotFound(err)
+		}
+		n, err := tx.NextSeq(tableLogs)
+		if err != nil {
+			return err
+		}
+		return s.store.AppendLog(tx, &LogChunk{JobID: jobID, Seq: n, Text: text, Time: s.now()})
+	})
+}
+
+// JobLogs returns a job's log chunks in order.
+func (s *Service) JobLogs(jobID string) ([]*LogChunk, error) {
+	var out []*LogChunk
+	err := s.store.db.View(func(tx *relstore.Tx) error {
+		var err error
+		out, err = s.store.ListLogs(tx, jobID)
+		return err
+	})
+	return out, err
+}
+
+// JobTimeline returns a job's events in order (paper Fig. 3c).
+func (s *Service) JobTimeline(jobID string) ([]*Event, error) {
+	var out []*Event
+	err := s.store.db.View(func(tx *relstore.Tx) error {
+		var err error
+		out, err = s.store.ListEvents(tx, jobID)
+		return err
+	})
+	return out, err
+}
+
+// CompleteJob records a successful run with its result (JSON + optional
+// zip archive).
+func (s *Service) CompleteJob(jobID string, resultJSON, archive []byte) error {
+	return s.store.db.Update(func(tx *relstore.Tx) error {
+		j, err := s.store.GetJob(tx, jobID)
+		if err != nil {
+			return mapNotFound(err)
+		}
+		if err := s.transition(tx, j, StatusFinished); err != nil {
+			return err
+		}
+		j.Progress = 100
+		j.Finished = s.now()
+		if err := s.store.PutJob(tx, j); err != nil {
+			return err
+		}
+		if err := s.store.PutResult(tx, &Result{
+			JobID: jobID, JSON: resultJSON, Archive: archive, Uploaded: s.now(),
+		}); err != nil {
+			return err
+		}
+		if err := s.putEvent(tx, jobID, EventResult, fmt.Sprintf("result uploaded (%d bytes json, %d bytes archive)", len(resultJSON), len(archive))); err != nil {
+			return err
+		}
+		return s.putEvent(tx, jobID, EventFinished, "job finished")
+	})
+}
+
+// FailJob records a failed run. If the experiment's attempt budget is not
+// exhausted the job is automatically re-scheduled (requirement iii:
+// automated failure handling and recovery).
+func (s *Service) FailJob(jobID, reason string) error {
+	return s.failJob(jobID, reason, EventFailed)
+}
+
+// failJob implements FailJob with a configurable primary event kind so
+// the watchdog can mark heartbeat losses distinctly.
+func (s *Service) failJob(jobID, reason string, kind EventKind) error {
+	return s.store.db.Update(func(tx *relstore.Tx) error {
+		j, err := s.store.GetJob(tx, jobID)
+		if err != nil {
+			return mapNotFound(err)
+		}
+		if err := s.transition(tx, j, StatusFailed); err != nil {
+			return err
+		}
+		j.Error = reason
+		j.Finished = s.now()
+		j.DeploymentID = ""
+		if err := s.store.PutJob(tx, j); err != nil {
+			return err
+		}
+		if err := s.putEvent(tx, jobID, kind, reason); err != nil {
+			return err
+		}
+		// Automatic recovery: re-schedule while attempts remain.
+		max := int64(s.DefaultMaxAttempts)
+		if ev, err := s.store.GetEvaluation(tx, j.EvaluationID); err == nil {
+			if exp, err := s.store.GetExperiment(tx, ev.ExperimentID); err == nil && exp.MaxAttempts > 0 {
+				max = int64(exp.MaxAttempts)
+			}
+		}
+		if j.Attempts < max {
+			if err := s.transition(tx, j, StatusScheduled); err != nil {
+				return err
+			}
+			j.Error = ""
+			j.Progress = 0
+			if err := s.store.PutJob(tx, j); err != nil {
+				return err
+			}
+			return s.putEvent(tx, jobID, EventRescheduled,
+				fmt.Sprintf("auto-rescheduled (attempt %d/%d)", j.Attempts, max))
+		}
+		return nil
+	})
+}
+
+// AbortJob cancels a scheduled or running job (paper §2.1: "Jobs which
+// are in the status scheduled or running can be aborted"). Running agents
+// observe the abort through their next progress/heartbeat response.
+func (s *Service) AbortJob(jobID string) error {
+	return s.store.db.Update(func(tx *relstore.Tx) error {
+		j, err := s.store.GetJob(tx, jobID)
+		if err != nil {
+			return mapNotFound(err)
+		}
+		if err := s.transition(tx, j, StatusAborted); err != nil {
+			return err
+		}
+		j.Finished = s.now()
+		if err := s.store.PutJob(tx, j); err != nil {
+			return err
+		}
+		return s.putEvent(tx, jobID, EventAborted, "aborted by user")
+	})
+}
+
+// RescheduleJob manually returns a failed job to the queue (paper §2.1:
+// "those which are failed can be re-scheduled").
+func (s *Service) RescheduleJob(jobID string) error {
+	return s.store.db.Update(func(tx *relstore.Tx) error {
+		j, err := s.store.GetJob(tx, jobID)
+		if err != nil {
+			return mapNotFound(err)
+		}
+		if err := s.transition(tx, j, StatusScheduled); err != nil {
+			return err
+		}
+		j.Error = ""
+		j.Progress = 0
+		j.DeploymentID = ""
+		if err := s.store.PutJob(tx, j); err != nil {
+			return err
+		}
+		return s.putEvent(tx, jobID, EventRescheduled, "re-scheduled by user")
+	})
+}
+
+// GetJobResult returns the uploaded result of a job.
+func (s *Service) GetJobResult(jobID string) (*Result, error) {
+	var r *Result
+	err := s.store.db.View(func(tx *relstore.Tx) error {
+		var err error
+		r, err = s.store.GetResult(tx, jobID)
+		return mapNotFound(err)
+	})
+	return r, err
+}
+
+// EvaluationStatusOf aggregates job states for the evaluation overview
+// (paper Fig. 3b).
+func (s *Service) EvaluationStatusOf(evaluationID string) (EvaluationStatus, error) {
+	st := EvaluationStatus{EvaluationID: evaluationID}
+	err := s.store.db.View(func(tx *relstore.Tx) error {
+		if _, err := s.store.GetEvaluation(tx, evaluationID); err != nil {
+			return mapNotFound(err)
+		}
+		jobs, err := s.store.ListJobsByEvaluation(tx, evaluationID)
+		if err != nil {
+			return err
+		}
+		var progress int64
+		for _, j := range jobs {
+			st.Total++
+			progress += j.Progress
+			switch j.Status {
+			case StatusScheduled:
+				st.Scheduled++
+			case StatusRunning:
+				st.Running++
+			case StatusFinished:
+				st.Finished++
+			case StatusAborted:
+				st.Aborted++
+			case StatusFailed:
+				st.Failed++
+			}
+		}
+		if st.Total > 0 {
+			st.Progress = float64(progress) / float64(st.Total)
+		}
+		return nil
+	})
+	return st, err
+}
+
+// CheckHeartbeats fails every running job whose agent has not reported
+// within HeartbeatTimeout. It returns the ids of newly failed jobs. The
+// watchdog calls this periodically; tests call it directly with a manual
+// clock.
+func (s *Service) CheckHeartbeats() ([]string, error) {
+	cutoff := s.now().Add(-s.HeartbeatTimeout)
+	var stale []string
+	err := s.store.db.View(func(tx *relstore.Tx) error {
+		jobs, err := s.store.ListJobsByStatus(tx, StatusRunning, "")
+		if err != nil {
+			return err
+		}
+		for _, j := range jobs {
+			if j.Heartbeat.Before(cutoff) {
+				stale = append(stale, j.ID)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var failed []string
+	for _, id := range stale {
+		err := s.failJob(id, fmt.Sprintf("agent heartbeat lost (timeout %v)", s.HeartbeatTimeout), EventHeartbeatLost)
+		if err != nil {
+			// The job may have finished between scan and fail; skip it.
+			continue
+		}
+		failed = append(failed, id)
+	}
+	return failed, nil
+}
+
+// StartWatchdog runs CheckHeartbeats every interval until ctx is
+// cancelled (requirement iii: reliability for long-running evaluations).
+func (s *Service) StartWatchdog(ctx context.Context, interval time.Duration) {
+	go func() {
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-ticker.C:
+				// Errors here are transient storage issues; the next tick
+				// retries. Failing jobs twice is prevented by the state
+				// machine.
+				s.CheckHeartbeats()
+			}
+		}
+	}()
+}

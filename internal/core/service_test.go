@@ -1,0 +1,347 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"chronos/internal/metrics"
+	"chronos/internal/params"
+	"chronos/internal/relstore"
+)
+
+// newTestService returns a service over an in-memory store with a manual
+// clock.
+func newTestService(t *testing.T) (*Service, *metrics.ManualClock) {
+	t.Helper()
+	clock := metrics.NewManualClock(time.Date(2020, 3, 30, 9, 0, 0, 0, time.UTC))
+	svc, err := NewService(relstore.OpenMemory(), clock.Now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return svc, clock
+}
+
+// mongoParams returns the demo system's parameter definitions.
+func mongoParams() []params.Definition {
+	return []params.Definition{
+		{Name: "engine", Type: params.TypeValue, ValueKind: params.KindString,
+			Options: []string{"wiredtiger", "mmapv1"}, Default: params.String_("wiredtiger")},
+		{Name: "threads", Type: params.TypeInterval, Min: 1, Max: 64, Default: params.Int(1)},
+		{Name: "operations", Type: params.TypeValue, ValueKind: params.KindInt,
+			Min: 1, Max: 1e9, Default: params.Int(1000)},
+	}
+}
+
+// registerDemo sets up user, project, system, deployment, experiment and
+// returns their ids.
+func registerDemo(t *testing.T, svc *Service) (projectID, systemID, deploymentID, experimentID string) {
+	t.Helper()
+	u, err := svc.CreateUser("marco", RoleAdmin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := svc.CreateProject("mongodb-eval", "storage engine comparison", u.ID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := svc.RegisterSystem("mongodb", "document store", mongoParams(), []DiagramSpec{
+		{Type: "line", Title: "Throughput", Metric: "throughput", XParam: "threads", SeriesParam: "engine"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dep, err := svc.CreateDeployment(sys.ID, "local-1", "sim", "4.0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	exp, err := svc.CreateExperiment(p.ID, sys.ID, "engines-vs-threads", "",
+		map[string][]params.Value{
+			"engine":  {params.String_("wiredtiger"), params.String_("mmapv1")},
+			"threads": {params.Int(1), params.Int(2)},
+		}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p.ID, sys.ID, dep.ID, exp.ID
+}
+
+func TestUserLifecycle(t *testing.T) {
+	svc, _ := newTestService(t)
+	u, err := svc.CreateUser("alice", RoleMember)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.ID == "" || u.Role != RoleMember {
+		t.Fatalf("user = %+v", u)
+	}
+	got, err := svc.GetUser(u.ID)
+	if err != nil || got.Name != "alice" {
+		t.Fatalf("GetUser = %+v, %v", got, err)
+	}
+	if _, err := svc.CreateUser("alice", RoleMember); err == nil {
+		t.Fatal("duplicate user accepted")
+	}
+	if _, err := svc.CreateUser("", RoleMember); err == nil {
+		t.Fatal("empty name accepted")
+	}
+	if _, err := svc.CreateUser("bob", Role("superuser")); err == nil {
+		t.Fatal("unknown role accepted")
+	}
+	if _, err := svc.GetUser("user-000009999"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("missing user error = %v", err)
+	}
+	users, err := svc.ListUsers()
+	if err != nil || len(users) != 1 {
+		t.Fatalf("ListUsers = %v, %v", users, err)
+	}
+}
+
+func TestProjectLifecycle(t *testing.T) {
+	svc, _ := newTestService(t)
+	owner, _ := svc.CreateUser("owner", RoleAdmin)
+	member, _ := svc.CreateUser("member", RoleMember)
+
+	if _, err := svc.CreateProject("p", "", "user-000000404", nil); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("ghost owner error = %v", err)
+	}
+	if _, err := svc.CreateProject("", "", owner.ID, nil); err == nil {
+		t.Fatal("unnamed project accepted")
+	}
+	p, err := svc.CreateProject("proj", "desc", owner.ID, []string{member.ID})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.HasMember(owner.ID) || !p.HasMember(member.ID) {
+		t.Fatal("membership wrong")
+	}
+	third, _ := svc.CreateUser("third", RoleViewer)
+	if err := svc.AddProjectMember(p.ID, third.ID); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := svc.GetProject(p.ID)
+	if !got.HasMember(third.ID) {
+		t.Fatal("AddProjectMember lost")
+	}
+	// Adding twice is a no-op.
+	if err := svc.AddProjectMember(p.ID, third.ID); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = svc.GetProject(p.ID)
+	if len(got.MemberIDs) != 2 {
+		t.Fatalf("members = %v", got.MemberIDs)
+	}
+	if err := svc.ArchiveProject(p.ID); err != nil {
+		t.Fatal(err)
+	}
+	// Archived projects reject membership changes, even no-op ones.
+	if err := svc.AddProjectMember(p.ID, owner.ID); !errors.Is(err, ErrArchived) {
+		t.Fatalf("archived project membership change: %v", err)
+	}
+	fourth, _ := svc.CreateUser("fourth", RoleViewer)
+	if err := svc.AddProjectMember(p.ID, fourth.ID); !errors.Is(err, ErrArchived) {
+		t.Fatalf("archived project accepted member: %v", err)
+	}
+	ps, _ := svc.ListProjects()
+	if len(ps) != 1 || !ps[0].Archived {
+		t.Fatalf("ListProjects = %+v", ps[0])
+	}
+}
+
+func TestRegisterSystemValidation(t *testing.T) {
+	svc, _ := newTestService(t)
+	if _, err := svc.RegisterSystem("", "", nil, nil); err == nil {
+		t.Fatal("unnamed system accepted")
+	}
+	bad := []params.Definition{{Name: "x", Type: params.TypeValue}} // no kind
+	if _, err := svc.RegisterSystem("s", "", bad, nil); err == nil {
+		t.Fatal("invalid parameter accepted")
+	}
+	dup := []params.Definition{
+		{Name: "x", Type: params.TypeBoolean, Default: params.Bool(false)},
+		{Name: "x", Type: params.TypeBoolean, Default: params.Bool(false)},
+	}
+	if _, err := svc.RegisterSystem("s", "", dup, nil); err == nil {
+		t.Fatal("duplicate parameter accepted")
+	}
+	if _, err := svc.RegisterSystem("s", "", nil, []DiagramSpec{{Type: "line"}}); err == nil {
+		t.Fatal("diagram without metric accepted")
+	}
+	sys, err := svc.RegisterSystem("mongodb", "", mongoParams(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d, ok := sys.ParamDef("engine"); !ok || d.Type != params.TypeValue {
+		t.Fatal("ParamDef lookup failed")
+	}
+	if _, ok := sys.ParamDef("ghost"); ok {
+		t.Fatal("ghost ParamDef found")
+	}
+	all, _ := svc.ListSystems()
+	if len(all) != 1 {
+		t.Fatalf("ListSystems = %d", len(all))
+	}
+}
+
+func TestDeployments(t *testing.T) {
+	svc, _ := newTestService(t)
+	if _, err := svc.CreateDeployment("system-000000404", "d", "", ""); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("ghost system error = %v", err)
+	}
+	sys, _ := svc.RegisterSystem("mongodb", "", mongoParams(), nil)
+	d1, err := svc.CreateDeployment(sys.ID, "node-a", "aws", "4.0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d1.Active {
+		t.Fatal("new deployment should be active")
+	}
+	svc.CreateDeployment(sys.ID, "node-b", "aws", "4.0")
+	deps, _ := svc.ListDeployments(sys.ID)
+	if len(deps) != 2 {
+		t.Fatalf("ListDeployments = %d", len(deps))
+	}
+	if err := svc.SetDeploymentActive(d1.ID, false); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := svc.ListDeployments(sys.ID)
+	inactive := 0
+	for _, d := range got {
+		if !d.Active {
+			inactive++
+		}
+	}
+	if inactive != 1 {
+		t.Fatalf("inactive = %d", inactive)
+	}
+}
+
+func TestCreateExperimentValidation(t *testing.T) {
+	svc, _ := newTestService(t)
+	pID, sID, _, _ := registerDemo(t, svc)
+
+	// Unknown parameter in settings.
+	_, err := svc.CreateExperiment(pID, sID, "bad", "", map[string][]params.Value{
+		"warp": {params.Int(9)},
+	}, 0)
+	if err == nil || !strings.Contains(err.Error(), "unknown parameters") {
+		t.Fatalf("unknown param error = %v", err)
+	}
+	// Out-of-bounds interval.
+	_, err = svc.CreateExperiment(pID, sID, "bad", "", map[string][]params.Value{
+		"threads": {params.Int(1000)},
+	}, 0)
+	if err == nil {
+		t.Fatal("out-of-bounds threads accepted")
+	}
+	// Archived project rejects new experiments.
+	if err := svc.ArchiveProject(pID); err != nil {
+		t.Fatal(err)
+	}
+	_, err = svc.CreateExperiment(pID, sID, "late", "", nil, 0)
+	if !errors.Is(err, ErrArchived) {
+		t.Fatalf("archived project error = %v", err)
+	}
+}
+
+func TestExperimentDefaults(t *testing.T) {
+	svc, _ := newTestService(t)
+	_, _, _, expID := registerDemo(t, svc)
+	exp, err := svc.GetExperiment(expID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exp.MaxAttempts != svc.DefaultMaxAttempts {
+		t.Fatalf("MaxAttempts = %d", exp.MaxAttempts)
+	}
+	exps, _ := svc.ListExperiments(exp.ProjectID)
+	if len(exps) != 1 {
+		t.Fatalf("ListExperiments = %d", len(exps))
+	}
+	if err := svc.ArchiveExperiment(expID); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := svc.CreateEvaluation(expID); !errors.Is(err, ErrArchived) {
+		t.Fatalf("archived experiment ran: %v", err)
+	}
+}
+
+func TestCreateEvaluationExpandsSpace(t *testing.T) {
+	svc, _ := newTestService(t)
+	_, _, _, expID := registerDemo(t, svc)
+	ev, jobs, err := svc.CreateEvaluation(expID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 engines x 2 thread counts = 4 jobs; operations defaulted.
+	if len(jobs) != 4 {
+		t.Fatalf("jobs = %d", len(jobs))
+	}
+	for _, j := range jobs {
+		if j.Status != StatusScheduled {
+			t.Fatalf("job %s status = %s", j.ID, j.Status)
+		}
+		if j.Params.Int("operations", -1) != 1000 {
+			t.Fatalf("default operations missing: %s", j.Label())
+		}
+	}
+	// Jobs are listed in creation order.
+	listed, err := svc.ListJobs(ev.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, j := range listed {
+		if j.Index != int64(i) {
+			t.Fatalf("job order: index %d at position %d", j.Index, i)
+		}
+	}
+	st, err := svc.EvaluationStatusOf(ev.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Total != 4 || st.Scheduled != 4 || st.Done() {
+		t.Fatalf("status = %+v", st)
+	}
+	// Each job has a created event.
+	tl, _ := svc.JobTimeline(jobs[0].ID)
+	if len(tl) != 1 || tl[0].Kind != EventCreated {
+		t.Fatalf("timeline = %+v", tl)
+	}
+	// A second evaluation of the same experiment numbers up.
+	ev2, _, err := svc.CreateEvaluation(expID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev2.Number <= ev.Number {
+		t.Fatalf("evaluation numbers: %d then %d", ev.Number, ev2.Number)
+	}
+}
+
+func TestConcurrentServiceUse(t *testing.T) {
+	svc, _ := newTestService(t)
+	_, sysID, _, expID := registerDemo(t, svc)
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, _, err := svc.CreateEvaluation(expID); err != nil {
+				t.Errorf("CreateEvaluation: %v", err)
+			}
+		}()
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if _, err := svc.ListDeployments(sysID); err != nil {
+				t.Errorf("ListDeployments: %v", err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	evs, _ := svc.ListEvaluations(expID)
+	if len(evs) != 4 {
+		t.Fatalf("evaluations = %d", len(evs))
+	}
+}

@@ -1,0 +1,388 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"chronos/internal/relstore"
+)
+
+// Store maps the Chronos domain entities onto relstore tables. Each table
+// carries the scalar columns used in queries (indexed where the access
+// paths need it) plus the full entity as JSON, mirroring how the original
+// Chronos Control keeps its MySQL schema thin and reconstructs rich
+// objects in the application layer.
+type Store struct {
+	db *relstore.DB
+}
+
+// Table names.
+const (
+	tableUsers       = "users"
+	tableProjects    = "projects"
+	tableSystems     = "systems"
+	tableDeployments = "deployments"
+	tableExperiments = "experiments"
+	tableEvaluations = "evaluations"
+	tableJobs        = "jobs"
+	tableResults     = "results"
+	tableLogs        = "logs"
+	tableEvents      = "events"
+)
+
+// NewStore creates all tables on the given database.
+func NewStore(db *relstore.DB) (*Store, error) {
+	schemas := []relstore.Schema{
+		{Name: tableUsers, Key: "id", Columns: []relstore.Column{
+			{Name: "id", Type: relstore.TString},
+			{Name: "name", Type: relstore.TString, Indexed: true},
+			{Name: "data", Type: relstore.TBytes},
+		}},
+		{Name: tableProjects, Key: "id", Columns: []relstore.Column{
+			{Name: "id", Type: relstore.TString},
+			{Name: "archived", Type: relstore.TBool},
+			{Name: "data", Type: relstore.TBytes},
+		}},
+		{Name: tableSystems, Key: "id", Columns: []relstore.Column{
+			{Name: "id", Type: relstore.TString},
+			{Name: "name", Type: relstore.TString, Indexed: true},
+			{Name: "data", Type: relstore.TBytes},
+		}},
+		{Name: tableDeployments, Key: "id", Columns: []relstore.Column{
+			{Name: "id", Type: relstore.TString},
+			{Name: "systemId", Type: relstore.TString, Indexed: true},
+			{Name: "active", Type: relstore.TBool},
+			{Name: "data", Type: relstore.TBytes},
+		}},
+		{Name: tableExperiments, Key: "id", Columns: []relstore.Column{
+			{Name: "id", Type: relstore.TString},
+			{Name: "projectId", Type: relstore.TString, Indexed: true},
+			{Name: "systemId", Type: relstore.TString, Indexed: true},
+			{Name: "data", Type: relstore.TBytes},
+		}},
+		{Name: tableEvaluations, Key: "id", Columns: []relstore.Column{
+			{Name: "id", Type: relstore.TString},
+			{Name: "experimentId", Type: relstore.TString, Indexed: true},
+			{Name: "data", Type: relstore.TBytes},
+		}},
+		{Name: tableJobs, Key: "id", Columns: []relstore.Column{
+			{Name: "id", Type: relstore.TString},
+			{Name: "evaluationId", Type: relstore.TString, Indexed: true},
+			{Name: "systemId", Type: relstore.TString, Indexed: true},
+			{Name: "status", Type: relstore.TString, Indexed: true},
+			{Name: "created", Type: relstore.TTime},
+			{Name: "data", Type: relstore.TBytes},
+		}},
+		{Name: tableResults, Key: "id", Columns: []relstore.Column{
+			{Name: "id", Type: relstore.TString}, // job id
+			{Name: "data", Type: relstore.TBytes},
+		}},
+		{Name: tableLogs, Key: "id", Columns: []relstore.Column{
+			{Name: "id", Type: relstore.TString}, // jobId#seq
+			{Name: "jobId", Type: relstore.TString, Indexed: true},
+			{Name: "seq", Type: relstore.TInt},
+			{Name: "data", Type: relstore.TBytes},
+		}},
+		{Name: tableEvents, Key: "id", Columns: []relstore.Column{
+			{Name: "id", Type: relstore.TString},
+			{Name: "jobId", Type: relstore.TString, Indexed: true},
+			{Name: "time", Type: relstore.TTime},
+			{Name: "data", Type: relstore.TBytes},
+		}},
+	}
+	for _, s := range schemas {
+		if err := db.CreateTable(s); err != nil {
+			return nil, fmt.Errorf("core: create table %s: %w", s.Name, err)
+		}
+	}
+	return &Store{db: db}, nil
+}
+
+// DB exposes the underlying store for transaction control.
+func (s *Store) DB() *relstore.DB { return s.db }
+
+// putJSON marshals entity into the table's data column alongside the
+// scalar query columns.
+func putJSON(tx *relstore.Tx, table string, row relstore.Row, entity any) error {
+	data, err := json.Marshal(entity)
+	if err != nil {
+		return fmt.Errorf("core: marshal %s row: %w", table, err)
+	}
+	row["data"] = data
+	return tx.Put(table, row)
+}
+
+// getJSON unmarshals the data column of the row with the given id.
+func getJSON(tx *relstore.Tx, table, id string, out any) error {
+	row, err := tx.Get(table, id)
+	if err != nil {
+		return err
+	}
+	return json.Unmarshal(row["data"].([]byte), out)
+}
+
+// --- Users ---
+
+// PutUser stores a user.
+func (s *Store) PutUser(tx *relstore.Tx, u *User) error {
+	return putJSON(tx, tableUsers, relstore.Row{"id": u.ID, "name": u.Name}, u)
+}
+
+// GetUser loads a user by id.
+func (s *Store) GetUser(tx *relstore.Tx, id string) (*User, error) {
+	var u User
+	if err := getJSON(tx, tableUsers, id, &u); err != nil {
+		return nil, err
+	}
+	return &u, nil
+}
+
+// FindUserByName returns the user with the given (unique) name.
+func (s *Store) FindUserByName(tx *relstore.Tx, name string) (*User, error) {
+	rows, err := tx.Select(tableUsers, relstore.NewQuery().Eq("name", name).Limit(1))
+	if err != nil {
+		return nil, err
+	}
+	if len(rows) == 0 {
+		return nil, relstore.ErrNotFound
+	}
+	var u User
+	if err := json.Unmarshal(rows[0]["data"].([]byte), &u); err != nil {
+		return nil, err
+	}
+	return &u, nil
+}
+
+// ListUsers returns all users ordered by id.
+func (s *Store) ListUsers(tx *relstore.Tx) ([]*User, error) {
+	return selectJSON[User](tx, tableUsers, relstore.NewQuery())
+}
+
+// --- Projects ---
+
+// PutProject stores a project.
+func (s *Store) PutProject(tx *relstore.Tx, p *Project) error {
+	return putJSON(tx, tableProjects, relstore.Row{"id": p.ID, "archived": p.Archived}, p)
+}
+
+// GetProject loads a project by id.
+func (s *Store) GetProject(tx *relstore.Tx, id string) (*Project, error) {
+	var p Project
+	if err := getJSON(tx, tableProjects, id, &p); err != nil {
+		return nil, err
+	}
+	return &p, nil
+}
+
+// ListProjects returns all projects ordered by id.
+func (s *Store) ListProjects(tx *relstore.Tx) ([]*Project, error) {
+	return selectJSON[Project](tx, tableProjects, relstore.NewQuery())
+}
+
+// --- Systems ---
+
+// PutSystem stores a system.
+func (s *Store) PutSystem(tx *relstore.Tx, sys *System) error {
+	return putJSON(tx, tableSystems, relstore.Row{"id": sys.ID, "name": sys.Name}, sys)
+}
+
+// GetSystem loads a system by id.
+func (s *Store) GetSystem(tx *relstore.Tx, id string) (*System, error) {
+	var sys System
+	if err := getJSON(tx, tableSystems, id, &sys); err != nil {
+		return nil, err
+	}
+	return &sys, nil
+}
+
+// ListSystems returns all systems ordered by id.
+func (s *Store) ListSystems(tx *relstore.Tx) ([]*System, error) {
+	return selectJSON[System](tx, tableSystems, relstore.NewQuery())
+}
+
+// --- Deployments ---
+
+// PutDeployment stores a deployment.
+func (s *Store) PutDeployment(tx *relstore.Tx, d *Deployment) error {
+	row := relstore.Row{"id": d.ID, "systemId": d.SystemID, "active": d.Active}
+	return putJSON(tx, tableDeployments, row, d)
+}
+
+// GetDeployment loads a deployment by id.
+func (s *Store) GetDeployment(tx *relstore.Tx, id string) (*Deployment, error) {
+	var d Deployment
+	if err := getJSON(tx, tableDeployments, id, &d); err != nil {
+		return nil, err
+	}
+	return &d, nil
+}
+
+// ListDeployments returns the deployments of a system (all systems when
+// systemID is empty).
+func (s *Store) ListDeployments(tx *relstore.Tx, systemID string) ([]*Deployment, error) {
+	q := relstore.NewQuery()
+	if systemID != "" {
+		q = q.Eq("systemId", systemID)
+	}
+	return selectJSON[Deployment](tx, tableDeployments, q)
+}
+
+// --- Experiments ---
+
+// PutExperiment stores an experiment.
+func (s *Store) PutExperiment(tx *relstore.Tx, e *Experiment) error {
+	row := relstore.Row{"id": e.ID, "projectId": e.ProjectID, "systemId": e.SystemID}
+	return putJSON(tx, tableExperiments, row, e)
+}
+
+// GetExperiment loads an experiment by id.
+func (s *Store) GetExperiment(tx *relstore.Tx, id string) (*Experiment, error) {
+	var e Experiment
+	if err := getJSON(tx, tableExperiments, id, &e); err != nil {
+		return nil, err
+	}
+	return &e, nil
+}
+
+// ListExperiments returns the experiments of a project (all when empty).
+func (s *Store) ListExperiments(tx *relstore.Tx, projectID string) ([]*Experiment, error) {
+	q := relstore.NewQuery()
+	if projectID != "" {
+		q = q.Eq("projectId", projectID)
+	}
+	return selectJSON[Experiment](tx, tableExperiments, q)
+}
+
+// --- Evaluations ---
+
+// PutEvaluation stores an evaluation.
+func (s *Store) PutEvaluation(tx *relstore.Tx, ev *Evaluation) error {
+	row := relstore.Row{"id": ev.ID, "experimentId": ev.ExperimentID}
+	return putJSON(tx, tableEvaluations, row, ev)
+}
+
+// GetEvaluation loads an evaluation by id.
+func (s *Store) GetEvaluation(tx *relstore.Tx, id string) (*Evaluation, error) {
+	var ev Evaluation
+	if err := getJSON(tx, tableEvaluations, id, &ev); err != nil {
+		return nil, err
+	}
+	return &ev, nil
+}
+
+// ListEvaluations returns the evaluations of an experiment (all when
+// empty).
+func (s *Store) ListEvaluations(tx *relstore.Tx, experimentID string) ([]*Evaluation, error) {
+	q := relstore.NewQuery()
+	if experimentID != "" {
+		q = q.Eq("experimentId", experimentID)
+	}
+	return selectJSON[Evaluation](tx, tableEvaluations, q)
+}
+
+// --- Jobs ---
+
+// PutJob stores a job.
+func (s *Store) PutJob(tx *relstore.Tx, j *Job) error {
+	row := relstore.Row{
+		"id":           j.ID,
+		"evaluationId": j.EvaluationID,
+		"systemId":     j.SystemID,
+		"status":       string(j.Status),
+		"created":      j.Created,
+	}
+	return putJSON(tx, tableJobs, row, j)
+}
+
+// GetJob loads a job by id.
+func (s *Store) GetJob(tx *relstore.Tx, id string) (*Job, error) {
+	var j Job
+	if err := getJSON(tx, tableJobs, id, &j); err != nil {
+		return nil, err
+	}
+	return &j, nil
+}
+
+// ListJobsByEvaluation returns all jobs of an evaluation ordered by id.
+func (s *Store) ListJobsByEvaluation(tx *relstore.Tx, evaluationID string) ([]*Job, error) {
+	return selectJSON[Job](tx, tableJobs, relstore.NewQuery().Eq("evaluationId", evaluationID))
+}
+
+// ListJobsByStatus returns jobs with the given status, optionally
+// restricted to a system.
+func (s *Store) ListJobsByStatus(tx *relstore.Tx, status JobStatus, systemID string) ([]*Job, error) {
+	q := relstore.NewQuery().Eq("status", string(status))
+	if systemID != "" {
+		q = q.Where(func(r relstore.Row) bool { return r["systemId"] == systemID })
+	}
+	return selectJSON[Job](tx, tableJobs, q)
+}
+
+// --- Results ---
+
+// PutResult stores a job result.
+func (s *Store) PutResult(tx *relstore.Tx, r *Result) error {
+	return putJSON(tx, tableResults, relstore.Row{"id": r.JobID}, r)
+}
+
+// GetResult loads the result of a job.
+func (s *Store) GetResult(tx *relstore.Tx, jobID string) (*Result, error) {
+	var r Result
+	if err := getJSON(tx, tableResults, jobID, &r); err != nil {
+		return nil, err
+	}
+	return &r, nil
+}
+
+// --- Logs ---
+
+// AppendLog stores one log chunk for a job.
+func (s *Store) AppendLog(tx *relstore.Tx, c *LogChunk) error {
+	id := fmt.Sprintf("%s#%012d", c.JobID, c.Seq)
+	row := relstore.Row{"id": id, "jobId": c.JobID, "seq": c.Seq}
+	return putJSON(tx, tableLogs, row, c)
+}
+
+// ListLogs returns a job's log chunks in sequence order.
+func (s *Store) ListLogs(tx *relstore.Tx, jobID string) ([]*LogChunk, error) {
+	// Chunk ids embed a zero-padded sequence number, so id order == seq
+	// order, which Select already guarantees.
+	return selectJSON[LogChunk](tx, tableLogs, relstore.NewQuery().Eq("jobId", jobID))
+}
+
+// --- Events ---
+
+// PutEvent stores a timeline event.
+func (s *Store) PutEvent(tx *relstore.Tx, e *Event) error {
+	row := relstore.Row{"id": e.ID, "jobId": e.JobID, "time": e.Time}
+	return putJSON(tx, tableEvents, row, e)
+}
+
+// ListEvents returns a job's events in id (creation) order.
+func (s *Store) ListEvents(tx *relstore.Tx, jobID string) ([]*Event, error) {
+	return selectJSON[Event](tx, tableEvents, relstore.NewQuery().Eq("jobId", jobID))
+}
+
+// selectJSON decodes the data column of every matching row.
+func selectJSON[T any](tx *relstore.Tx, table string, q *relstore.Query) ([]*T, error) {
+	rows, err := tx.Select(table, q)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*T, 0, len(rows))
+	for _, row := range rows {
+		var v T
+		if err := json.Unmarshal(row["data"].([]byte), &v); err != nil {
+			return nil, fmt.Errorf("core: decode %s row: %w", table, err)
+		}
+		out = append(out, &v)
+	}
+	return out, nil
+}
+
+// nowUTC truncates to microseconds so timestamps survive JSON and WAL
+// round-trips identically on all platforms.
+func nowUTC(clock func() time.Time) time.Time {
+	return clock().UTC().Truncate(time.Microsecond)
+}

@@ -1,0 +1,110 @@
+// Package httputil provides the small shared HTTP plumbing of Chronos
+// Control: JSON envelopes, request decoding with size limits, a logging
+// and panic-recovery middleware, and request ids for correlating agent
+// traffic in the logs.
+package httputil
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"sync/atomic"
+	"time"
+)
+
+// MaxBodyBytes bounds request bodies (result archives are the largest
+// legitimate payloads).
+const MaxBodyBytes = 64 << 20
+
+// envelope is the uniform response wrapper: exactly one of Data or Error
+// is set.
+type envelope struct {
+	Data  any    `json:"data,omitempty"`
+	Error string `json:"error,omitempty"`
+}
+
+// WriteJSON writes a success envelope.
+func WriteJSON(w http.ResponseWriter, status int, data any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	// Encoding errors after the header is out can only be logged.
+	if err := json.NewEncoder(w).Encode(envelope{Data: data}); err != nil {
+		log.Printf("httputil: encode response: %v", err)
+	}
+}
+
+// WriteError writes an error envelope.
+func WriteError(w http.ResponseWriter, status int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if encErr := json.NewEncoder(w).Encode(envelope{Error: err.Error()}); encErr != nil {
+		log.Printf("httputil: encode error response: %v", encErr)
+	}
+}
+
+// DecodeJSON parses the request body into dst, rejecting unknown fields
+// and oversized bodies.
+func DecodeJSON(r *http.Request, dst any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, MaxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		return fmt.Errorf("invalid request body: %w", err)
+	}
+	return nil
+}
+
+// ReadEnvelope parses a response produced by WriteJSON/WriteError into
+// data (may be nil to discard) and returns the embedded error if set.
+// Used by the Go client SDK.
+func ReadEnvelope(body []byte, data any) error {
+	var env struct {
+		Data  json.RawMessage `json:"data"`
+		Error string          `json:"error"`
+	}
+	if err := json.Unmarshal(body, &env); err != nil {
+		return fmt.Errorf("invalid response envelope: %w", err)
+	}
+	if env.Error != "" {
+		return fmt.Errorf("%s", env.Error)
+	}
+	if data != nil && len(env.Data) > 0 {
+		return json.Unmarshal(env.Data, data)
+	}
+	return nil
+}
+
+var requestCounter atomic.Int64
+
+// statusRecorder captures the response code for the access log.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// LogRequests wraps a handler with access logging, request ids and panic
+// recovery. A panicking handler yields a 500 instead of killing the
+// control server (requirement iii: reliability).
+func LogRequests(logger *log.Logger, next http.Handler) http.Handler {
+	if logger == nil {
+		logger = log.Default()
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := requestCounter.Add(1)
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		defer func() {
+			if p := recover(); p != nil {
+				logger.Printf("req %d: panic: %v", id, p)
+				WriteError(rec, http.StatusInternalServerError, fmt.Errorf("internal error"))
+			}
+			logger.Printf("req %d: %s %s -> %d (%v)", id, r.Method, r.URL.Path, rec.status, time.Since(start).Round(time.Microsecond))
+		}()
+		next.ServeHTTP(rec, r)
+	})
+}

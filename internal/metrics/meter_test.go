@@ -1,0 +1,154 @@
+package metrics
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestMeterRate(t *testing.T) {
+	clock := NewManualClock(time.Unix(0, 0))
+	m := NewMeter(clock)
+	if m.Rate() != 0 {
+		t.Fatal("rate before start should be 0")
+	}
+	m.Start()
+	m.Add(500)
+	clock.Advance(2 * time.Second)
+	m.Stop()
+	if got := m.Rate(); got != 250 {
+		t.Fatalf("Rate = %v, want 250", got)
+	}
+	if m.Count() != 500 {
+		t.Fatalf("Count = %d, want 500", m.Count())
+	}
+	if m.Elapsed() != 2*time.Second {
+		t.Fatalf("Elapsed = %v, want 2s", m.Elapsed())
+	}
+	// Advancing after Stop must not change the window.
+	clock.Advance(time.Hour)
+	if got := m.Rate(); got != 250 {
+		t.Fatalf("Rate after stop = %v, want 250", got)
+	}
+}
+
+func TestMeterRestartResetsCount(t *testing.T) {
+	clock := NewManualClock(time.Unix(0, 0))
+	m := NewMeter(clock)
+	m.Start()
+	m.Add(10)
+	m.Stop()
+	m.Start()
+	clock.Advance(time.Second)
+	if m.Count() != 0 {
+		t.Fatalf("restart should reset count, got %d", m.Count())
+	}
+}
+
+func TestMeterConcurrentAdd(t *testing.T) {
+	clock := NewManualClock(time.Unix(0, 0))
+	m := NewMeter(clock)
+	m.Start()
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				m.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if m.Count() != 16000 {
+		t.Fatalf("concurrent count = %d", m.Count())
+	}
+}
+
+func TestMeterRealClockDefault(t *testing.T) {
+	m := NewMeter(nil)
+	m.Start()
+	m.Add(1)
+	if m.Elapsed() < 0 {
+		t.Fatal("elapsed should be non-negative")
+	}
+}
+
+func TestPhaseTimer(t *testing.T) {
+	clock := NewManualClock(time.Unix(0, 0))
+	pt := NewPhaseTimer(clock)
+	pt.Start("setup")
+	clock.Advance(100 * time.Millisecond)
+	pt.Stop("setup")
+	pt.Start("execute")
+	clock.Advance(time.Second)
+	pt.Stop("execute")
+
+	if d := pt.Duration("setup"); d != 100*time.Millisecond {
+		t.Fatalf("setup duration = %v", d)
+	}
+	if d := pt.Duration("execute"); d != time.Second {
+		t.Fatalf("execute duration = %v", d)
+	}
+	ds := pt.Durations()
+	if len(ds) != 2 || ds[0].Phase != "setup" || ds[1].Phase != "execute" {
+		t.Fatalf("Durations order wrong: %v", ds)
+	}
+	if ds[1].String() != "execute=1s" {
+		t.Fatalf("String = %q", ds[1].String())
+	}
+}
+
+func TestPhaseTimerStopWithoutStart(t *testing.T) {
+	pt := NewPhaseTimer(nil)
+	pt.Stop("ghost") // must not panic
+	if d := pt.Duration("ghost"); d != 0 {
+		t.Fatalf("ghost duration = %v", d)
+	}
+}
+
+func TestPhaseTimerAccumulates(t *testing.T) {
+	clock := NewManualClock(time.Unix(0, 0))
+	pt := NewPhaseTimer(clock)
+	for i := 0; i < 3; i++ {
+		pt.Start("warmup")
+		clock.Advance(50 * time.Millisecond)
+		pt.Stop("warmup")
+	}
+	if d := pt.Duration("warmup"); d != 150*time.Millisecond {
+		t.Fatalf("accumulated duration = %v, want 150ms", d)
+	}
+	if n := len(pt.Durations()); n != 1 {
+		t.Fatalf("phase should appear once, got %d", n)
+	}
+}
+
+func TestPhaseTimerTime(t *testing.T) {
+	clock := NewManualClock(time.Unix(0, 0))
+	pt := NewPhaseTimer(clock)
+	wantErr := errors.New("boom")
+	err := pt.Time("analyze", func() error {
+		clock.Advance(time.Second)
+		return wantErr
+	})
+	if !errors.Is(err, wantErr) {
+		t.Fatalf("Time should propagate error, got %v", err)
+	}
+	if d := pt.Duration("analyze"); d != time.Second {
+		t.Fatalf("analyze duration = %v", d)
+	}
+}
+
+func TestMeasurementsSortedOperationNames(t *testing.T) {
+	m := Measurements{PerOperation: map[string]Snapshot{
+		"update": {}, "read": {}, "insert": {},
+	}}
+	got := m.SortedOperationNames()
+	want := []string{"insert", "read", "update"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("SortedOperationNames = %v, want %v", got, want)
+		}
+	}
+}

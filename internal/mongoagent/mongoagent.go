@@ -1,0 +1,415 @@
+// Package mongoagent implements the evaluation client of the paper's
+// demonstration: a Chronos agent runner that benchmarks the MongoDB
+// simulator's two storage engines (wiredTiger vs mmapv1) under YCSB-style
+// workloads. It is the Go counterpart of the "MongoDB Chronos agent"
+// published with the paper.
+//
+// The runner understands the parameters declared by SystemDefinition:
+//
+//	engine        value(string): wiredtiger | mmapv1
+//	threads       interval: number of client threads
+//	records       value(int): table size loaded in the prepare phase
+//	operations    value(int): operations executed in the execute phase
+//	mix           ratio: read:update proportions
+//	distribution  value(string): zipfian | uniform | latest | sequential
+package mongoagent
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"chronos/internal/agent"
+	"chronos/internal/core"
+	"chronos/internal/metrics"
+	"chronos/internal/mongosim"
+	"chronos/internal/params"
+	"chronos/internal/workload"
+)
+
+// SystemName is the SuE name registered in Chronos Control.
+const SystemName = "mongodb-sim"
+
+// SystemDefinition returns the parameter definitions and result diagrams
+// used to register the MongoDB SuE in Chronos Control (paper Fig. 2).
+func SystemDefinition() ([]params.Definition, []core.DiagramSpec) {
+	defs := []params.Definition{
+		{
+			Name: "engine", Label: "Storage Engine", Type: params.TypeValue,
+			ValueKind:   params.KindString,
+			Options:     []string{mongosim.EngineWiredTiger, mongosim.EngineMMAPv1},
+			Default:     params.String_(mongosim.EngineWiredTiger),
+			Description: "MongoDB storage engine under evaluation",
+		},
+		{
+			Name: "threads", Label: "Client Threads", Type: params.TypeInterval,
+			Min: 1, Max: 128, Default: params.Int(1),
+			Description: "number of concurrent benchmark client threads",
+		},
+		{
+			Name: "records", Label: "Record Count", Type: params.TypeValue,
+			ValueKind: params.KindInt, Min: 1, Max: 1e8, Default: params.Int(10000),
+			Description: "records loaded before the run",
+		},
+		{
+			Name: "operations", Label: "Operation Count", Type: params.TypeValue,
+			ValueKind: params.KindInt, Min: 1, Max: 1e9, Default: params.Int(20000),
+			Description: "operations executed in the measured phase",
+		},
+		{
+			Name: "mix", Label: "Read/Update Mix", Type: params.TypeRatio,
+			RatioParts: []string{"read", "update"}, Default: params.Ratio(50, 50),
+			Description: "proportion of reads to updates",
+		},
+		{
+			Name: "distribution", Label: "Request Distribution", Type: params.TypeValue,
+			ValueKind:   params.KindString,
+			Options:     []string{"zipfian", "uniform", "latest", "sequential"},
+			Default:     params.String_("zipfian"),
+			Description: "key access distribution",
+		},
+	}
+	diagrams := []core.DiagramSpec{
+		{Type: "line", Title: "Throughput vs Threads", Metric: "throughput",
+			XParam: "threads", SeriesParam: "engine"},
+		{Type: "bar", Title: "p95 Latency", Metric: "latency_p95_us",
+			XParam: "threads", SeriesParam: "engine"},
+		{Type: "pie", Title: "Operation Mix", Metric: "operations"},
+	}
+	return defs, diagrams
+}
+
+// Runner executes one benchmark job against a fresh simulator instance.
+type Runner struct {
+	// EngineOptions tunes the simulated engines (I/O latency, cache,
+	// compression); Seed is overridden per job for reproducibility.
+	EngineOptions mongosim.Options
+
+	server  *mongosim.Server
+	coll    *mongosim.Collection
+	cfg     workload.Config
+	threads int
+	meas    metrics.Measurements
+}
+
+var _ agent.Runner = (*Runner)(nil)
+
+// NewFactory returns an agent.Runner factory with shared engine options.
+func NewFactory(opts mongosim.Options) func() agent.Runner {
+	return func() agent.Runner { return &Runner{EngineOptions: opts} }
+}
+
+// configFromParams derives the workload configuration from job params.
+func configFromParams(a params.Assignment) (workload.Config, int, string, error) {
+	engine := a.String("engine", mongosim.EngineWiredTiger)
+	threads := int(a.Int("threads", 1))
+	if threads < 1 {
+		return workload.Config{}, 0, "", fmt.Errorf("mongoagent: %d threads", threads)
+	}
+	mixVal, ok := a["mix"]
+	readPart, updatePart := 50, 50
+	if ok {
+		if parts, ok := mixVal.AsRatio(); ok && len(parts) == 2 {
+			readPart, updatePart = parts[0], parts[1]
+		}
+	}
+	cfg := workload.Config{
+		Name:           "chronos-demo",
+		RecordCount:    a.Int("records", 10000),
+		OperationCount: a.Int("operations", 20000),
+		Mix:            workload.MixFromRatio(readPart, updatePart),
+		Distribution:   a.String("distribution", "zipfian"),
+		Seed:           42,
+	}
+	cfg = cfg.WithDefaults()
+	if err := cfg.Validate(); err != nil {
+		return workload.Config{}, 0, "", err
+	}
+	return cfg, threads, engine, nil
+}
+
+// Prepare creates the simulator deployment and loads the records
+// (paper §1: "the generation of benchmark data and their ingestion").
+func (r *Runner) Prepare(rc *agent.RunContext) error {
+	cfg, threads, engine, err := configFromParams(rc.Params())
+	if err != nil {
+		return err
+	}
+	r.cfg, r.threads = cfg, threads
+	srv, err := mongosim.NewServer(engine, r.EngineOptions)
+	if err != nil {
+		return err
+	}
+	r.server = srv
+	r.coll = srv.Database("benchmark").Collection("usertable")
+	rc.Logf("prepare: engine=%s records=%d", engine, cfg.RecordCount)
+
+	// Parallel load: each loader owns a key stripe.
+	return LoadCollection(r.coll, cfg, 8)
+}
+
+// WarmUp reads a sample of the table so caches are populated.
+func (r *Runner) WarmUp(rc *agent.RunContext) error {
+	rc.Logf("warmup: reading %d sample keys", r.cfg.RecordCount/10+1)
+	gen, err := workload.NewGenerator(r.cfg, 9999)
+	if err != nil {
+		return err
+	}
+	for i := int64(0); i < r.cfg.RecordCount/10+1; i++ {
+		if i%1024 == 0 && rc.Err() != nil {
+			return rc.Err()
+		}
+		op := gen.NextOp()
+		r.coll.FindOne(op.Key)
+	}
+	return nil
+}
+
+// Execute runs the measured operation mix.
+func (r *Runner) Execute(rc *agent.RunContext) error {
+	rc.Logf("execute: ops=%d threads=%d mix=%s dist=%s",
+		r.cfg.OperationCount, r.threads, r.cfg.Mix, r.cfg.Distribution)
+	meas, err := RunWorkload(r.coll, r.cfg, r.threads, func(done, total int64) {
+		rc.SetProgress(done * 100 / total)
+		if rc.Err() != nil {
+			// Returning through the progress callback aborts workers.
+			return
+		}
+	}, rc.Err)
+	if err != nil {
+		return err
+	}
+	r.meas = meas
+	return rc.Err()
+}
+
+// Analyze renders the result document Chronos Control visualises.
+func (r *Runner) Analyze(rc *agent.RunContext) (map[string]any, error) {
+	st := r.coll.Stats()
+	rc.Logf("analyze: %.0f ops/s, p95=%dus", r.meas.Throughput, r.meas.Latency.P95/1000)
+	result := map[string]any{
+		"throughput":      r.meas.Throughput,
+		"operations":      r.meas.Operations,
+		"errors":          r.meas.Errors,
+		"latency_mean_us": int64(r.meas.Latency.Mean) / 1000,
+		"latency_p50_us":  r.meas.Latency.P50 / 1000,
+		"latency_p95_us":  r.meas.Latency.P95 / 1000,
+		"latency_p99_us":  r.meas.Latency.P99 / 1000,
+		"engine":          st.Engine,
+		"engineStats": map[string]any{
+			"documents":        st.Documents,
+			"compressionRatio": st.CompressionRatio(),
+			"cacheHits":        st.CacheHits,
+			"cacheMisses":      st.CacheMisses,
+			"moves":            st.Moves,
+			"checkpoints":      st.Checkpoints,
+		},
+	}
+	// Per-operation latency CSV as auxiliary artefact.
+	csv := "operation,count,mean_ns,p50_ns,p95_ns,p99_ns\n"
+	for _, name := range r.meas.SortedOperationNames() {
+		s := r.meas.PerOperation[name]
+		csv += fmt.Sprintf("%s,%d,%.0f,%d,%d,%d\n", name, s.Count, s.Mean, s.P50, s.P95, s.P99)
+	}
+	rc.AttachFile("latencies.csv", []byte(csv))
+	return result, nil
+}
+
+// Clean shuts the simulator down.
+func (r *Runner) Clean(rc *agent.RunContext) error {
+	if r.server != nil {
+		return r.server.Close()
+	}
+	return nil
+}
+
+// LoadCollection bulk-loads cfg.RecordCount records with the given
+// parallelism. Exported for benchmarks and examples that need a loaded
+// collection without the full agent workflow.
+func LoadCollection(coll *mongosim.Collection, cfg workload.Config, loaders int) error {
+	if loaders < 1 {
+		loaders = 1
+	}
+	var wg sync.WaitGroup
+	errc := make(chan error, loaders)
+	for l := 0; l < loaders; l++ {
+		wg.Add(1)
+		go func(l int) {
+			defer wg.Done()
+			gen, err := workload.NewGenerator(cfg, 10000+l)
+			if err != nil {
+				errc <- err
+				return
+			}
+			for i := int64(l); i < cfg.RecordCount; i += int64(loaders) {
+				doc := recordToDoc(workload.Key(i), gen.Record())
+				if err := coll.ReplaceOne(doc); err != nil {
+					errc <- err
+					return
+				}
+			}
+		}(l)
+	}
+	wg.Wait()
+	select {
+	case err := <-errc:
+		return err
+	default:
+		return nil
+	}
+}
+
+// recordToDoc converts generated fields into a document.
+func recordToDoc(key string, fields map[string][]byte) mongosim.Document {
+	doc := make(mongosim.Document, len(fields)+1)
+	doc[mongosim.IDField] = key
+	for k, v := range fields {
+		doc[k] = string(v)
+	}
+	return doc
+}
+
+// RunWorkload executes the configured mix against the collection with the
+// given number of client threads and returns the standard measurements.
+// progress (may be nil) receives (done, total) after every batch; abortErr
+// (may be nil) is polled between batches and stops workers when non-nil.
+func RunWorkload(coll *mongosim.Collection, cfg workload.Config, threads int, progress func(done, total int64), abortErr func() error) (metrics.Measurements, error) {
+	if threads < 1 {
+		return metrics.Measurements{}, fmt.Errorf("mongoagent: %d threads", threads)
+	}
+	total := cfg.OperationCount
+	perWorker := total / int64(threads)
+	if perWorker == 0 {
+		perWorker = 1
+	}
+
+	type workerOut struct {
+		hist   metrics.Histogram
+		perOp  map[string]*metrics.Histogram
+		errors int64
+		done   int64
+	}
+	outs := make([]workerOut, threads)
+	var doneOps int64
+	var doneMu sync.Mutex
+
+	meter := metrics.NewMeter(nil)
+	meter.Start()
+	var wg sync.WaitGroup
+	for w := 0; w < threads; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			out := &outs[w]
+			out.perOp = make(map[string]*metrics.Histogram)
+			gen, err := workload.NewGenerator(cfg, w)
+			if err != nil {
+				out.errors++
+				return
+			}
+			const batch = 128
+			for i := int64(0); i < perWorker; i++ {
+				if i%batch == 0 {
+					if abortErr != nil && abortErr() != nil {
+						return
+					}
+					doneMu.Lock()
+					doneOps += min64(batch, perWorker-i)
+					if progress != nil {
+						progress(doneOps, total)
+					}
+					doneMu.Unlock()
+				}
+				op := gen.NextOp()
+				start := time.Now()
+				if err := applyOp(coll, op); err != nil {
+					out.errors++
+				}
+				lat := time.Since(start).Nanoseconds()
+				out.hist.Record(lat)
+				h := out.perOp[string(op.Type)]
+				if h == nil {
+					h = &metrics.Histogram{}
+					out.perOp[string(op.Type)] = h
+				}
+				h.Record(lat)
+				out.done++
+			}
+		}(w)
+	}
+	wg.Wait()
+	meter.Stop()
+
+	// Merge worker histograms.
+	var meas metrics.Measurements
+	var all metrics.Histogram
+	perOp := map[string]*metrics.Histogram{}
+	for i := range outs {
+		all.Merge(&outs[i].hist)
+		meas.Errors += outs[i].errors
+		meas.Operations += outs[i].done
+		for name, h := range outs[i].perOp {
+			dst := perOp[name]
+			if dst == nil {
+				dst = &metrics.Histogram{}
+				perOp[name] = dst
+			}
+			dst.Merge(h)
+		}
+	}
+	meter.Add(meas.Operations)
+	meas.Throughput = float64(meas.Operations) / meter.Elapsed().Seconds()
+	meas.Latency = all.Snapshot()
+	meas.PerOperation = map[string]metrics.Snapshot{}
+	for name, h := range perOp {
+		meas.PerOperation[name] = h.Snapshot()
+	}
+	return meas, nil
+}
+
+// applyOp maps one generated operation onto the collection API.
+func applyOp(coll *mongosim.Collection, op workload.Op) error {
+	switch op.Type {
+	case workload.OpRead:
+		_, err := coll.FindOne(op.Key)
+		return ignoreMissing(err)
+	case workload.OpUpdate:
+		patch := make(mongosim.Document, len(op.Fields))
+		for k, v := range op.Fields {
+			patch[k] = string(v)
+		}
+		return ignoreMissing(coll.UpdateOne(op.Key, patch))
+	case workload.OpInsert:
+		return coll.ReplaceOne(recordToDoc(op.Key, op.Fields))
+	case workload.OpScan:
+		_, err := coll.Scan(op.Key, op.ScanLength)
+		return err
+	case workload.OpReadModifyWrite:
+		if _, err := coll.FindOne(op.Key); err != nil {
+			return ignoreMissing(err)
+		}
+		patch := make(mongosim.Document, len(op.Fields))
+		for k, v := range op.Fields {
+			patch[k] = string(v)
+		}
+		return ignoreMissing(coll.UpdateOne(op.Key, patch))
+	default:
+		return fmt.Errorf("mongoagent: unknown op %q", op.Type)
+	}
+}
+
+// ignoreMissing drops not-found errors: under the latest distribution a
+// chooser can race an insert, which YCSB counts as a success-with-miss.
+func ignoreMissing(err error) error {
+	if err == mongosim.ErrNoDocument {
+		return nil
+	}
+	return err
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,248 @@
+package mongoagent
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+	"time"
+
+	"chronos/internal/agent"
+	"chronos/internal/core"
+	"chronos/internal/metrics"
+	"chronos/internal/mongosim"
+	"chronos/internal/params"
+	"chronos/internal/relstore"
+	"chronos/internal/workload"
+)
+
+// fastOpts disables the simulated I/O wait so unit tests stay quick.
+func fastOpts() mongosim.Options {
+	return mongosim.Options{WriteLatency: mongosim.NoIO, Seed: 1}
+}
+
+func TestSystemDefinitionIsValid(t *testing.T) {
+	defs, diagrams := SystemDefinition()
+	for i := range defs {
+		if err := defs[i].Check(); err != nil {
+			t.Fatalf("definition %s: %v", defs[i].Name, err)
+		}
+	}
+	if len(diagrams) != 3 {
+		t.Fatalf("diagrams = %d", len(diagrams))
+	}
+	// The definitions must register cleanly in a real service.
+	svc, err := core.NewService(relstore.OpenMemory(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.RegisterSystem(SystemName, "demo", defs, diagrams); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConfigFromParams(t *testing.T) {
+	a := params.Assignment{
+		"engine":       params.String_("mmapv1"),
+		"threads":      params.Int(4),
+		"records":      params.Int(500),
+		"operations":   params.Int(1000),
+		"mix":          params.Ratio(95, 5),
+		"distribution": params.String_("uniform"),
+	}
+	cfg, threads, engine, err := configFromParams(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if engine != "mmapv1" || threads != 4 || cfg.RecordCount != 500 {
+		t.Fatalf("cfg = %+v threads=%d engine=%s", cfg, threads, engine)
+	}
+	if cfg.Mix[workload.OpRead] != 95 || cfg.Mix[workload.OpUpdate] != 5 {
+		t.Fatalf("mix = %v", cfg.Mix)
+	}
+	// Defaults.
+	cfg, threads, engine, err = configFromParams(params.Assignment{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if engine != mongosim.EngineWiredTiger || threads != 1 || cfg.RecordCount != 10000 {
+		t.Fatalf("defaults: %+v %d %s", cfg, threads, engine)
+	}
+	// Invalid thread count.
+	if _, _, _, err := configFromParams(params.Assignment{"threads": params.Int(0)}); err == nil {
+		t.Fatal("0 threads accepted")
+	}
+}
+
+func TestRunWorkloadMeasures(t *testing.T) {
+	srv, err := mongosim.NewServer(mongosim.EngineWiredTiger, fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	coll := srv.Database("db").Collection("usertable")
+	cfg := workload.Config{
+		RecordCount: 1000, OperationCount: 4000,
+		Mix:          workload.MixFromRatio(50, 50),
+		Distribution: "zipfian", Seed: 3,
+	}.WithDefaults()
+	if err := LoadCollection(coll, cfg, 4); err != nil {
+		t.Fatal(err)
+	}
+	if coll.Count() != 1000 {
+		t.Fatalf("loaded %d", coll.Count())
+	}
+	var lastDone int64
+	meas, err := RunWorkload(coll, cfg, 4, func(done, total int64) {
+		if done < lastDone {
+			t.Errorf("progress went backwards: %d -> %d", lastDone, done)
+		}
+		lastDone = done
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meas.Operations < 3900 || meas.Operations > 4000 {
+		t.Fatalf("operations = %d", meas.Operations)
+	}
+	if meas.Errors != 0 {
+		t.Fatalf("errors = %d", meas.Errors)
+	}
+	if meas.Throughput <= 0 {
+		t.Fatalf("throughput = %v", meas.Throughput)
+	}
+	if meas.Latency.Count == 0 || meas.Latency.P95 < meas.Latency.P50 {
+		t.Fatalf("latency = %+v", meas.Latency)
+	}
+	if len(meas.PerOperation) != 2 {
+		t.Fatalf("per-op = %v", meas.PerOperation)
+	}
+}
+
+func TestRunWorkloadAborts(t *testing.T) {
+	srv, _ := mongosim.NewServer(mongosim.EngineWiredTiger, fastOpts())
+	defer srv.Close()
+	coll := srv.Database("db").Collection("usertable")
+	cfg := workload.Config{
+		RecordCount: 100, OperationCount: 1_000_000, // would take a while
+		Mix:          workload.MixFromRatio(100, 0),
+		Distribution: "uniform", Seed: 3,
+	}.WithDefaults()
+	LoadCollection(coll, cfg, 2)
+	calls := 0
+	abort := func() error {
+		calls++
+		if calls > 3 {
+			return agent.ErrAborted
+		}
+		return nil
+	}
+	meas, err := RunWorkload(coll, cfg, 2, nil, abort)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meas.Operations >= cfg.OperationCount {
+		t.Fatal("abort did not stop the run")
+	}
+}
+
+func TestAllOpTypesApply(t *testing.T) {
+	for _, engine := range mongosim.EngineNames() {
+		srv, _ := mongosim.NewServer(engine, fastOpts())
+		coll := srv.Database("db").Collection("usertable")
+		cfg := workload.Config{
+			RecordCount: 200, OperationCount: 2000,
+			Mix: workload.Mix{
+				workload.OpRead: 1, workload.OpUpdate: 1, workload.OpInsert: 1,
+				workload.OpScan: 1, workload.OpReadModifyWrite: 1,
+			},
+			Distribution: "zipfian", Seed: 5,
+		}.WithDefaults()
+		if err := LoadCollection(coll, cfg, 2); err != nil {
+			t.Fatal(err)
+		}
+		meas, err := RunWorkload(coll, cfg, 2, nil, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", engine, err)
+		}
+		if meas.Errors != 0 {
+			t.Fatalf("%s: %d errors", engine, meas.Errors)
+		}
+		if len(meas.PerOperation) != 5 {
+			t.Fatalf("%s: per-op = %v", engine, meas.PerOperation)
+		}
+		srv.Close()
+	}
+}
+
+// TestEndToEndThroughChronos runs the complete paper demo in miniature:
+// register the system, define the engine x threads experiment, run the
+// evaluation through a real agent, and check the results look sane.
+func TestEndToEndThroughChronos(t *testing.T) {
+	clock := metrics.NewManualClock(time.Unix(1e9, 0))
+	svc, err := core.NewService(relstore.OpenMemory(), clock.Now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, _ := svc.CreateUser("demo", core.RoleAdmin)
+	p, _ := svc.CreateProject("mongodb-demo", "", u.ID, nil)
+	defs, diagrams := SystemDefinition()
+	sys, err := svc.RegisterSystem(SystemName, "", defs, diagrams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dep, _ := svc.CreateDeployment(sys.ID, "sim-local", "inprocess", "1")
+	exp, err := svc.CreateExperiment(p.ID, sys.ID, "engines", "", map[string][]params.Value{
+		"engine":     {params.String_("wiredtiger"), params.String_("mmapv1")},
+		"threads":    {params.Int(1), params.Int(2)},
+		"records":    {params.Int(300)},
+		"operations": {params.Int(600)},
+	}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, jobs, err := svc.CreateEvaluation(exp.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 4 {
+		t.Fatalf("jobs = %d", len(jobs))
+	}
+
+	a := &agent.Agent{
+		Control:        &agent.LocalControl{Svc: svc},
+		DeploymentID:   dep.ID,
+		Factory:        NewFactory(fastOpts()),
+		ReportInterval: 10 * time.Millisecond,
+	}
+	n, err := a.Drain(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 4 {
+		t.Fatalf("drained %d", n)
+	}
+	st, _ := svc.EvaluationStatusOf(ev.ID)
+	if !st.Done() || st.Finished != 4 {
+		t.Fatalf("status = %+v", st)
+	}
+	for _, j := range jobs {
+		res, err := svc.GetJobResult(j.ID)
+		if err != nil {
+			t.Fatalf("job %s: %v", j.ID, err)
+		}
+		var doc map[string]any
+		if err := json.Unmarshal(res.JSON, &doc); err != nil {
+			t.Fatal(err)
+		}
+		if doc["throughput"].(float64) <= 0 {
+			t.Fatalf("job %s throughput = %v", j.ID, doc["throughput"])
+		}
+		wantEngine := j.Params.String("engine", "")
+		if doc["engine"] != wantEngine {
+			t.Fatalf("job %s engine = %v, want %s", j.ID, doc["engine"], wantEngine)
+		}
+		if len(res.Archive) == 0 {
+			t.Fatalf("job %s missing archive", j.ID)
+		}
+	}
+}

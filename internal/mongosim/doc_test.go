@@ -1,0 +1,207 @@
+package mongosim
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	doc := Document{
+		"_id":    "user000000000001",
+		"name":   "ada",
+		"age":    int64(36),
+		"score":  3.25,
+		"active": true,
+		"blob":   []byte{0, 1, 2, 255},
+		"nested": Document{"city": "basel", "zip": int64(4051)},
+		"tags":   []any{"a", int64(1), true},
+	}
+	enc, err := Encode(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, doc) {
+		t.Fatalf("round-trip mismatch:\n got %#v\nwant %#v", got, doc)
+	}
+}
+
+func TestEncodeDeterministic(t *testing.T) {
+	doc := Document{"b": int64(2), "a": int64(1), "c": "x"}
+	e1, _ := Encode(doc)
+	e2, _ := Encode(doc)
+	if !bytes.Equal(e1, e2) {
+		t.Fatal("encoding is not deterministic")
+	}
+}
+
+func TestEncodeUnsupportedType(t *testing.T) {
+	if _, err := Encode(Document{"ch": make(chan int)}); err == nil {
+		t.Fatal("expected error for unsupported type")
+	}
+	if _, err := Encode(Document{"arr": []any{make(chan int)}}); err == nil {
+		t.Fatal("expected error for unsupported array element")
+	}
+}
+
+func TestEncodeIntNormalisesToInt64(t *testing.T) {
+	enc, err := Encode(Document{"n": 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got["n"] != int64(42) {
+		t.Fatalf("int should decode as int64, got %T", got["n"])
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	cases := [][]byte{
+		nil,                                     // empty
+		{0x01},                                  // one field announced, nothing follows
+		{0x01, 0x01, 'a'},                       // field name but no value
+		{0x01, 0x01, 'a', 99},                   // unknown tag
+		{0x01, 0x01, 'a', tagString, 0x05, 'x'}, // truncated string
+		{0x01, 0x01, 'a', tagFloat, 1, 2, 3},    // truncated float
+		{0x01, 0x01, 'a', tagBool},              // truncated bool
+		{0x01, 0x01, 'a', tagBytes, 0x09, 1, 2}, // truncated bytes
+	}
+	for i, data := range cases {
+		if _, err := Decode(data); err == nil {
+			t.Errorf("case %d: expected decode error", i)
+		}
+	}
+	// Trailing garbage after a valid document.
+	enc, _ := Encode(Document{"a": int64(1)})
+	if _, err := Decode(append(enc, 0xFF)); err == nil {
+		t.Error("trailing bytes accepted")
+	}
+}
+
+func TestDocumentCloneIsDeep(t *testing.T) {
+	doc := Document{
+		"nested": Document{"k": int64(1)},
+		"blob":   []byte{1, 2},
+		"arr":    []any{int64(5)},
+	}
+	cp := doc.Clone()
+	cp["nested"].(Document)["k"] = int64(9)
+	cp["blob"].([]byte)[0] = 9
+	cp["arr"].([]any)[0] = int64(9)
+	if doc["nested"].(Document)["k"] != int64(1) {
+		t.Fatal("nested doc shared")
+	}
+	if doc["blob"].([]byte)[0] != 1 {
+		t.Fatal("blob shared")
+	}
+	if doc["arr"].([]any)[0] != int64(5) {
+		t.Fatal("array shared")
+	}
+}
+
+func TestDocumentMerge(t *testing.T) {
+	base := Document{"_id": "x", "a": int64(1), "b": "keep"}
+	merged := base.Merge(Document{"a": int64(2), "c": true})
+	if merged["a"] != int64(2) || merged["b"] != "keep" || merged["c"] != true {
+		t.Fatalf("merge = %#v", merged)
+	}
+	if base["a"] != int64(1) {
+		t.Fatal("merge mutated receiver")
+	}
+}
+
+func TestDocumentID(t *testing.T) {
+	if (Document{"_id": "u1"}).ID() != "u1" {
+		t.Fatal("ID lookup failed")
+	}
+	if (Document{}).ID() != "" {
+		t.Fatal("missing ID should be empty")
+	}
+	if (Document{"_id": int64(5)}).ID() != "" {
+		t.Fatal("non-string ID should be empty")
+	}
+}
+
+// randomDoc builds an arbitrary valid document for property tests.
+func randomDoc(r *rand.Rand, depth int) Document {
+	n := r.Intn(6)
+	d := make(Document, n+1)
+	d["_id"] = randKey(r)
+	for i := 0; i < n; i++ {
+		k := randKey(r)
+		d[k] = randomDocValue(r, depth)
+	}
+	return d
+}
+
+func randKey(r *rand.Rand) string {
+	const chars = "abcdefghij_"
+	n := 1 + r.Intn(8)
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = chars[r.Intn(len(chars))]
+	}
+	return string(b)
+}
+
+func randomDocValue(r *rand.Rand, depth int) any {
+	max := 5
+	if depth <= 0 {
+		max = 4 // no nested docs once deep
+	}
+	switch r.Intn(max + 1) {
+	case 0:
+		return randKey(r)
+	case 1:
+		return r.Int63() - r.Int63()
+	case 2:
+		return r.NormFloat64()
+	case 3:
+		return r.Intn(2) == 0
+	case 4:
+		b := make([]byte, r.Intn(20))
+		r.Read(b)
+		return b
+	default:
+		if r.Intn(2) == 0 {
+			return randomDoc(r, depth-1)
+		}
+		n := r.Intn(4)
+		arr := make([]any, n)
+		for i := range arr {
+			arr[i] = randomDocValue(r, depth-1)
+		}
+		return arr
+	}
+}
+
+// TestCodecRoundTripProperty: arbitrary documents survive encode/decode.
+func TestCodecRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		doc := randomDoc(r, 2)
+		enc, err := Encode(doc)
+		if err != nil {
+			t.Logf("encode: %v", err)
+			return false
+		}
+		got, err := Decode(enc)
+		if err != nil {
+			t.Logf("decode: %v", err)
+			return false
+		}
+		return reflect.DeepEqual(got, doc)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}

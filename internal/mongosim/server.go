@@ -1,0 +1,220 @@
+package mongosim
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Server is one deployment of the document store: a set of named
+// databases sharing a storage engine choice, like a mongod instance
+// started with --storageEngine.
+type Server struct {
+	engineName string
+	opts       Options
+
+	mu  sync.Mutex
+	dbs map[string]*Database
+}
+
+// NewServer creates a deployment using the named storage engine.
+func NewServer(engineName string, opts Options) (*Server, error) {
+	// Validate the engine name eagerly so deployment configuration errors
+	// surface at registration time, not first use.
+	if _, err := New(engineName, opts); err != nil {
+		return nil, err
+	}
+	return &Server{engineName: engineName, opts: opts, dbs: make(map[string]*Database)}, nil
+}
+
+// EngineName returns the storage engine this deployment runs.
+func (s *Server) EngineName() string { return s.engineName }
+
+// Database returns (creating on first use) the named database.
+func (s *Server) Database(name string) *Database {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	db, ok := s.dbs[name]
+	if !ok {
+		db = &Database{server: s, name: name, colls: make(map[string]*Collection)}
+		s.dbs[name] = db
+	}
+	return db
+}
+
+// DatabaseNames lists existing databases, sorted.
+func (s *Server) DatabaseNames() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	names := make([]string, 0, len(s.dbs))
+	for n := range s.dbs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Close shuts down all collections.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, db := range s.dbs {
+		for _, c := range db.colls {
+			if err := c.engine.Close(); err != nil {
+				return err
+			}
+		}
+	}
+	s.dbs = make(map[string]*Database)
+	return nil
+}
+
+// Database groups collections.
+type Database struct {
+	server *Server
+	name   string
+
+	mu    sync.Mutex
+	colls map[string]*Collection
+}
+
+// Name returns the database name.
+func (d *Database) Name() string { return d.name }
+
+// Collection returns (creating on first use) the named collection.
+func (d *Database) Collection(name string) *Collection {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	c, ok := d.colls[name]
+	if !ok {
+		eng, err := New(d.server.engineName, d.server.opts)
+		if err != nil {
+			// NewServer validated the engine name; reaching here means a
+			// programming error, not a user error.
+			panic(err)
+		}
+		c = &Collection{name: name, engine: eng}
+		d.colls[name] = c
+	}
+	return c
+}
+
+// CollectionNames lists existing collections, sorted.
+func (d *Database) CollectionNames() []string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	names := make([]string, 0, len(d.colls))
+	for n := range d.colls {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Drop removes the named collection.
+func (d *Database) Drop(name string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if c, ok := d.colls[name]; ok {
+		c.engine.Close()
+		delete(d.colls, name)
+	}
+}
+
+// Collection is a keyed set of documents backed by a storage engine. All
+// methods are safe for concurrent use.
+type Collection struct {
+	name   string
+	engine Engine
+}
+
+// Name returns the collection name.
+func (c *Collection) Name() string { return c.name }
+
+// ErrNoDocument is returned when a looked-up document does not exist.
+var ErrNoDocument = fmt.Errorf("mongosim: no such document")
+
+// ErrDuplicateKey is returned when inserting an existing _id.
+var ErrDuplicateKey = fmt.Errorf("mongosim: duplicate key")
+
+// InsertOne stores a new document; it must carry a string _id.
+func (c *Collection) InsertOne(doc Document) error {
+	id := doc.ID()
+	if id == "" {
+		return fmt.Errorf("mongosim: document without %s", IDField)
+	}
+	enc, err := Encode(doc)
+	if err != nil {
+		return err
+	}
+	if err := c.engine.Insert(id, enc); err != nil {
+		return ErrDuplicateKey
+	}
+	return nil
+}
+
+// ReplaceOne stores the document under its _id, inserting or replacing.
+func (c *Collection) ReplaceOne(doc Document) error {
+	id := doc.ID()
+	if id == "" {
+		return fmt.Errorf("mongosim: document without %s", IDField)
+	}
+	enc, err := Encode(doc)
+	if err != nil {
+		return err
+	}
+	c.engine.Put(id, enc)
+	return nil
+}
+
+// FindOne returns the document with the given _id.
+func (c *Collection) FindOne(id string) (Document, error) {
+	raw, ok := c.engine.Get(id)
+	if !ok {
+		return nil, ErrNoDocument
+	}
+	return Decode(raw)
+}
+
+// UpdateOne merges the patch fields into the document with the given _id,
+// atomically with respect to other writers of the same document.
+func (c *Collection) UpdateOne(id string, patch Document) error {
+	return c.engine.Apply(id, func(old []byte, exists bool) ([]byte, error) {
+		if !exists {
+			return nil, ErrNoDocument
+		}
+		doc, err := Decode(old)
+		if err != nil {
+			return nil, err
+		}
+		return Encode(doc.Merge(patch))
+	})
+}
+
+// DeleteOne removes the document with the given _id.
+func (c *Collection) DeleteOne(id string) error {
+	if !c.engine.Delete(id) {
+		return ErrNoDocument
+	}
+	return nil
+}
+
+// Scan returns up to limit documents with _id >= start in key order.
+func (c *Collection) Scan(start string, limit int) ([]Document, error) {
+	kvs := c.engine.Scan(start, limit)
+	out := make([]Document, 0, len(kvs))
+	for _, kv := range kvs {
+		doc, err := Decode(kv.Value)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, doc)
+	}
+	return out, nil
+}
+
+// Count returns the number of documents.
+func (c *Collection) Count() int { return c.engine.Len() }
+
+// Stats returns the underlying engine statistics.
+func (c *Collection) Stats() Stats { return c.engine.Stats() }

@@ -1,0 +1,198 @@
+package mongosim
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestServerDatabasesAndCollections(t *testing.T) {
+	s, err := NewServer(EngineWiredTiger, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if s.EngineName() != EngineWiredTiger {
+		t.Fatalf("engine = %s", s.EngineName())
+	}
+	db := s.Database("bench")
+	if db.Name() != "bench" {
+		t.Fatalf("db name = %s", db.Name())
+	}
+	if s.Database("bench") != db {
+		t.Fatal("Database not idempotent")
+	}
+	c := db.Collection("usertable")
+	if db.Collection("usertable") != c {
+		t.Fatal("Collection not idempotent")
+	}
+	s.Database("alpha")
+	names := s.DatabaseNames()
+	if len(names) != 2 || names[0] != "alpha" || names[1] != "bench" {
+		t.Fatalf("DatabaseNames = %v", names)
+	}
+	db.Collection("other")
+	cn := db.CollectionNames()
+	if len(cn) != 2 || cn[0] != "other" || cn[1] != "usertable" {
+		t.Fatalf("CollectionNames = %v", cn)
+	}
+	db.Drop("other")
+	if len(db.CollectionNames()) != 1 {
+		t.Fatal("Drop did not remove collection")
+	}
+}
+
+func TestNewServerRejectsUnknownEngine(t *testing.T) {
+	if _, err := NewServer("leveldb", Options{}); err == nil {
+		t.Fatal("unknown engine accepted")
+	}
+}
+
+func collectionForTest(t *testing.T, engine string) *Collection {
+	t.Helper()
+	s, err := NewServer(engine, Options{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s.Database("db").Collection("coll")
+}
+
+func TestCollectionCRUDBothEngines(t *testing.T) {
+	for _, engine := range EngineNames() {
+		t.Run(engine, func(t *testing.T) {
+			c := collectionForTest(t, engine)
+			doc := Document{"_id": "u1", "name": "ada", "age": int64(36)}
+			if err := c.InsertOne(doc); err != nil {
+				t.Fatal(err)
+			}
+			if err := c.InsertOne(doc); !errors.Is(err, ErrDuplicateKey) {
+				t.Fatalf("duplicate insert: %v", err)
+			}
+			got, err := c.FindOne("u1")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got["name"] != "ada" {
+				t.Fatalf("FindOne = %v", got)
+			}
+			if err := c.UpdateOne("u1", Document{"age": int64(37)}); err != nil {
+				t.Fatal(err)
+			}
+			got, _ = c.FindOne("u1")
+			if got["age"] != int64(37) || got["name"] != "ada" {
+				t.Fatalf("after update: %v", got)
+			}
+			if err := c.UpdateOne("ghost", Document{"x": int64(1)}); !errors.Is(err, ErrNoDocument) {
+				t.Fatalf("update missing: %v", err)
+			}
+			if err := c.ReplaceOne(Document{"_id": "u1", "fresh": true}); err != nil {
+				t.Fatal(err)
+			}
+			got, _ = c.FindOne("u1")
+			if _, hasName := got["name"]; hasName {
+				t.Fatal("replace kept old fields")
+			}
+			if err := c.DeleteOne("u1"); err != nil {
+				t.Fatal(err)
+			}
+			if err := c.DeleteOne("u1"); !errors.Is(err, ErrNoDocument) {
+				t.Fatalf("double delete: %v", err)
+			}
+			if _, err := c.FindOne("u1"); !errors.Is(err, ErrNoDocument) {
+				t.Fatalf("find deleted: %v", err)
+			}
+		})
+	}
+}
+
+func TestCollectionRequiresID(t *testing.T) {
+	c := collectionForTest(t, EngineWiredTiger)
+	if err := c.InsertOne(Document{"x": int64(1)}); err == nil {
+		t.Fatal("insert without _id accepted")
+	}
+	if err := c.ReplaceOne(Document{"x": int64(1)}); err == nil {
+		t.Fatal("replace without _id accepted")
+	}
+}
+
+func TestCollectionScan(t *testing.T) {
+	for _, engine := range EngineNames() {
+		t.Run(engine, func(t *testing.T) {
+			c := collectionForTest(t, engine)
+			for i := 0; i < 20; i++ {
+				err := c.InsertOne(Document{"_id": fmt.Sprintf("user%04d", i), "n": int64(i)})
+				if err != nil {
+					t.Fatal(err)
+				}
+			}
+			docs, err := c.Scan("user0005", 5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(docs) != 5 {
+				t.Fatalf("scan len = %d", len(docs))
+			}
+			for i, d := range docs {
+				if d["n"] != int64(5+i) {
+					t.Fatalf("scan[%d] = %v", i, d)
+				}
+			}
+			if c.Count() != 20 {
+				t.Fatalf("Count = %d", c.Count())
+			}
+		})
+	}
+}
+
+func TestCollectionConcurrentUpdatesNotLost(t *testing.T) {
+	for _, engine := range EngineNames() {
+		t.Run(engine, func(t *testing.T) {
+			c := collectionForTest(t, engine)
+			if err := c.InsertOne(Document{"_id": "acc", "balance": int64(0)}); err != nil {
+				t.Fatal(err)
+			}
+			const workers = 8
+			const perWorker = 200
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for i := 0; i < perWorker; i++ {
+						err := c.engine.Apply("acc", func(old []byte, exists bool) ([]byte, error) {
+							doc, err := Decode(old)
+							if err != nil {
+								return nil, err
+							}
+							doc["balance"] = doc["balance"].(int64) + 1
+							return Encode(doc)
+						})
+						if err != nil {
+							t.Error(err)
+							return
+						}
+					}
+				}()
+			}
+			wg.Wait()
+			got, _ := c.FindOne("acc")
+			if got["balance"] != int64(workers*perWorker) {
+				t.Fatalf("balance = %v, want %d", got["balance"], workers*perWorker)
+			}
+		})
+	}
+}
+
+func TestCollectionStats(t *testing.T) {
+	c := collectionForTest(t, EngineMMAPv1)
+	c.InsertOne(Document{"_id": "a", "v": int64(1)})
+	st := c.Stats()
+	if st.Engine != EngineMMAPv1 || st.Documents != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if c.Name() != "coll" {
+		t.Fatalf("name = %s", c.Name())
+	}
+}

@@ -1,0 +1,127 @@
+package mongosim
+
+import "math/rand"
+
+// skiplist is an ordered set of string keys used as the key index of both
+// storage engines. It is deliberately minimal: insert, delete, and an
+// in-order iterator starting at a key. Synchronisation is the caller's
+// job (the engines wrap it in their own locks), matching how a storage
+// engine guards its internal B-tree.
+type skiplist struct {
+	head   *skipnode
+	level  int
+	length int
+	rng    *rand.Rand
+}
+
+const skipMaxLevel = 24
+
+type skipnode struct {
+	key  string
+	next [skipMaxLevel]*skipnode
+}
+
+// newSkiplist returns an empty index. The seed fixes tower heights so
+// tests are reproducible.
+func newSkiplist(seed int64) *skiplist {
+	return &skiplist{
+		head:  &skipnode{},
+		level: 1,
+		rng:   rand.New(rand.NewSource(seed)),
+	}
+}
+
+// randomLevel draws a tower height with P(level > k) = 2^-k.
+func (s *skiplist) randomLevel() int {
+	lvl := 1
+	for lvl < skipMaxLevel && s.rng.Intn(2) == 0 {
+		lvl++
+	}
+	return lvl
+}
+
+// insert adds key to the set; inserting an existing key is a no-op.
+// Reports whether the key was newly added.
+func (s *skiplist) insert(key string) bool {
+	var update [skipMaxLevel]*skipnode
+	x := s.head
+	for i := s.level - 1; i >= 0; i-- {
+		for x.next[i] != nil && x.next[i].key < key {
+			x = x.next[i]
+		}
+		update[i] = x
+	}
+	if n := x.next[0]; n != nil && n.key == key {
+		return false
+	}
+	lvl := s.randomLevel()
+	if lvl > s.level {
+		for i := s.level; i < lvl; i++ {
+			update[i] = s.head
+		}
+		s.level = lvl
+	}
+	n := &skipnode{key: key}
+	for i := 0; i < lvl; i++ {
+		n.next[i] = update[i].next[i]
+		update[i].next[i] = n
+	}
+	s.length++
+	return true
+}
+
+// remove deletes key from the set; reports whether it was present.
+func (s *skiplist) remove(key string) bool {
+	var update [skipMaxLevel]*skipnode
+	x := s.head
+	for i := s.level - 1; i >= 0; i-- {
+		for x.next[i] != nil && x.next[i].key < key {
+			x = x.next[i]
+		}
+		update[i] = x
+	}
+	n := x.next[0]
+	if n == nil || n.key != key {
+		return false
+	}
+	for i := 0; i < s.level; i++ {
+		if update[i].next[i] == n {
+			update[i].next[i] = n.next[i]
+		}
+	}
+	for s.level > 1 && s.head.next[s.level-1] == nil {
+		s.level--
+	}
+	s.length--
+	return true
+}
+
+// contains reports whether key is in the set.
+func (s *skiplist) contains(key string) bool {
+	x := s.head
+	for i := s.level - 1; i >= 0; i-- {
+		for x.next[i] != nil && x.next[i].key < key {
+			x = x.next[i]
+		}
+	}
+	n := x.next[0]
+	return n != nil && n.key == key
+}
+
+// from returns up to limit keys >= start in ascending order.
+func (s *skiplist) from(start string, limit int) []string {
+	x := s.head
+	for i := s.level - 1; i >= 0; i-- {
+		for x.next[i] != nil && x.next[i].key < start {
+			x = x.next[i]
+		}
+	}
+	out := make([]string, 0, limit)
+	for n := x.next[0]; n != nil && len(out) < limit; n = n.next[0] {
+		out = append(out, n.key)
+	}
+	return out
+}
+
+// len returns the number of keys.
+func (s *skiplist) len() int { return s.length }

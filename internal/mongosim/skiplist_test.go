@@ -1,0 +1,119 @@
+package mongosim
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestSkiplistBasics(t *testing.T) {
+	s := newSkiplist(1)
+	if s.len() != 0 {
+		t.Fatal("new skiplist not empty")
+	}
+	if !s.insert("b") || !s.insert("a") || !s.insert("c") {
+		t.Fatal("fresh inserts reported existing")
+	}
+	if s.insert("a") {
+		t.Fatal("duplicate insert reported new")
+	}
+	if s.len() != 3 {
+		t.Fatalf("len = %d", s.len())
+	}
+	if !s.contains("a") || s.contains("zz") {
+		t.Fatal("contains wrong")
+	}
+	got := s.from("", 10)
+	want := []string{"a", "b", "c"}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("from = %v", got)
+	}
+	if got := s.from("b", 10); fmt.Sprint(got) != fmt.Sprint([]string{"b", "c"}) {
+		t.Fatalf("from(b) = %v", got)
+	}
+	if got := s.from("a", 2); len(got) != 2 {
+		t.Fatalf("limit ignored: %v", got)
+	}
+	if !s.remove("b") || s.remove("b") {
+		t.Fatal("remove semantics wrong")
+	}
+	if s.len() != 2 || s.contains("b") {
+		t.Fatal("remove did not take effect")
+	}
+}
+
+// TestSkiplistAgainstSortedSet: random insert/remove sequences agree with
+// a map+sort model, including iteration order (property).
+func TestSkiplistAgainstSortedSet(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		s := newSkiplist(seed)
+		model := map[string]bool{}
+		for i := 0; i < 300; i++ {
+			key := fmt.Sprintf("k%03d", r.Intn(80))
+			if r.Intn(3) == 0 {
+				gotRemoved := s.remove(key)
+				if gotRemoved != model[key] {
+					t.Logf("remove(%s) = %v, model %v", key, gotRemoved, model[key])
+					return false
+				}
+				delete(model, key)
+			} else {
+				gotNew := s.insert(key)
+				if gotNew != !model[key] {
+					t.Logf("insert(%s) = %v, model %v", key, gotNew, model[key])
+					return false
+				}
+				model[key] = true
+			}
+		}
+		if s.len() != len(model) {
+			t.Logf("len %d != model %d", s.len(), len(model))
+			return false
+		}
+		want := make([]string, 0, len(model))
+		for k := range model {
+			want = append(want, k)
+		}
+		sort.Strings(want)
+		got := s.from("", len(model)+10)
+		if fmt.Sprint(got) != fmt.Sprint(want) {
+			t.Logf("order: got %v want %v", got, want)
+			return false
+		}
+		// Range-from mid-key agrees with the model's tail.
+		if len(want) > 0 {
+			mid := want[len(want)/2]
+			gotTail := s.from(mid, len(want))
+			wantTail := want[len(want)/2:]
+			if fmt.Sprint(gotTail) != fmt.Sprint(wantTail) {
+				t.Logf("tail: got %v want %v", gotTail, wantTail)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSkiplistLargeOrdered(t *testing.T) {
+	s := newSkiplist(7)
+	const n = 10000
+	perm := rand.New(rand.NewSource(3)).Perm(n)
+	for _, i := range perm {
+		s.insert(fmt.Sprintf("key%06d", i))
+	}
+	if s.len() != n {
+		t.Fatalf("len = %d", s.len())
+	}
+	keys := s.from("", n)
+	for i := 1; i < len(keys); i++ {
+		if keys[i-1] >= keys[i] {
+			t.Fatalf("out of order at %d: %s >= %s", i, keys[i-1], keys[i])
+		}
+	}
+}

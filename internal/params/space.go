@@ -1,0 +1,146 @@
+package params
+
+import (
+	"fmt"
+	"sort"
+)
+
+// MaxJobs caps the number of jobs a single experiment may expand to. The
+// cap guards against accidentally exploding cartesian products (e.g. three
+// intervals with a tiny step); Chronos Control rejects such experiments at
+// definition time rather than flooding the scheduler.
+const MaxJobs = 100000
+
+// Axis is one dimension of an evaluation's parameter space: a parameter
+// name together with the candidate values the experiment sweeps over. An
+// axis with a single variant pins the parameter to a fixed value.
+type Axis struct {
+	Name     string  `json:"name"`
+	Variants []Value `json:"variants"`
+}
+
+// Space is an ordered list of axes. Order determines job enumeration
+// order: the last axis varies fastest, like an odometer.
+type Space struct {
+	Axes []Axis `json:"axes"`
+}
+
+// NewSpace builds a Space from experiment parameter settings, validating
+// every variant against the corresponding definition and filling defaults
+// for unassigned optional parameters.
+//
+// settings maps a parameter name to its swept variants; a nil or empty
+// slice means "use the default". Axes are ordered by the definition order
+// so that expansion is deterministic regardless of map iteration.
+func NewSpace(defs []Definition, settings map[string][]Value) (*Space, error) {
+	seen := make(map[string]bool, len(defs))
+	sp := &Space{}
+	for i := range defs {
+		d := &defs[i]
+		if err := d.Check(); err != nil {
+			return nil, err
+		}
+		if seen[d.Name] {
+			return nil, fmt.Errorf("params: duplicate definition %q", d.Name)
+		}
+		seen[d.Name] = true
+
+		variants := settings[d.Name]
+		if len(variants) == 0 {
+			if d.Required {
+				return nil, fmt.Errorf("params: required parameter %q not assigned", d.Name)
+			}
+			variants = []Value{d.Default}
+		}
+		for _, v := range variants {
+			if err := d.Validate(v); err != nil {
+				return nil, err
+			}
+		}
+		sp.Axes = append(sp.Axes, Axis{Name: d.Name, Variants: variants})
+	}
+	// Reject settings that reference unknown parameters: silently dropping
+	// them would run a different evaluation than the author intended.
+	var unknown []string
+	for name := range settings {
+		if !seen[name] {
+			unknown = append(unknown, name)
+		}
+	}
+	if len(unknown) > 0 {
+		sort.Strings(unknown)
+		return nil, fmt.Errorf("params: settings reference unknown parameters %v", unknown)
+	}
+	if n := sp.Count(); n > MaxJobs {
+		return nil, fmt.Errorf("params: parameter space expands to %d jobs, limit is %d", n, MaxJobs)
+	}
+	return sp, nil
+}
+
+// Count returns the number of assignments the space expands to, i.e. the
+// product of the axis sizes. An empty space counts as one (a single job
+// with no parameters).
+func (s *Space) Count() int {
+	n := 1
+	for _, ax := range s.Axes {
+		if len(ax.Variants) == 0 {
+			return 0
+		}
+		n *= len(ax.Variants)
+		if n > MaxJobs {
+			// Saturate early: the caller only needs to know the cap burst.
+			return n
+		}
+	}
+	return n
+}
+
+// Expand enumerates every assignment in the space in deterministic
+// odometer order (last axis fastest).
+func (s *Space) Expand() []Assignment {
+	count := s.Count()
+	if count == 0 {
+		return nil
+	}
+	out := make([]Assignment, 0, count)
+	idx := make([]int, len(s.Axes))
+	for {
+		a := make(Assignment, len(s.Axes))
+		for i, ax := range s.Axes {
+			a[ax.Name] = ax.Variants[idx[i]]
+		}
+		out = append(out, a)
+		// Advance odometer.
+		pos := len(idx) - 1
+		for pos >= 0 {
+			idx[pos]++
+			if idx[pos] < len(s.Axes[pos].Variants) {
+				break
+			}
+			idx[pos] = 0
+			pos--
+		}
+		if pos < 0 {
+			break
+		}
+	}
+	return out
+}
+
+// At returns assignment number i in expansion order without materialising
+// the whole expansion; i must be in [0, Count()).
+func (s *Space) At(i int) (Assignment, error) {
+	count := s.Count()
+	if i < 0 || i >= count {
+		return nil, fmt.Errorf("params: assignment index %d out of range [0,%d)", i, count)
+	}
+	a := make(Assignment, len(s.Axes))
+	// Mixed-radix decomposition, last axis fastest.
+	rem := i
+	for pos := len(s.Axes) - 1; pos >= 0; pos-- {
+		ax := s.Axes[pos]
+		a[ax.Name] = ax.Variants[rem%len(ax.Variants)]
+		rem /= len(ax.Variants)
+	}
+	return a, nil
+}

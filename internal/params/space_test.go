@@ -1,0 +1,305 @@
+package params
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// demoDefs mirrors the MongoDB storage-engine demo from the paper: an
+// engine choice, a thread sweep, an operation-count value and a read/update
+// ratio.
+func demoDefs() []Definition {
+	return []Definition{
+		{
+			Name: "engine", Type: TypeValue, ValueKind: KindString,
+			Options: []string{"wiredtiger", "mmapv1"},
+			Default: String_("wiredtiger"),
+		},
+		{
+			Name: "threads", Type: TypeInterval, Min: 1, Max: 32, Step: 0,
+			Default: Int(1),
+		},
+		{
+			Name: "operations", Type: TypeValue, ValueKind: KindInt,
+			Min: 1, Max: 1e9, Default: Int(10000),
+		},
+		{
+			Name: "mix", Type: TypeRatio, RatioParts: []string{"read", "update"},
+			Default: Ratio(50, 50),
+		},
+	}
+}
+
+func TestNewSpaceExpandDemo(t *testing.T) {
+	settings := map[string][]Value{
+		"engine":  {String_("wiredtiger"), String_("mmapv1")},
+		"threads": {Int(1), Int(2), Int(4), Int(8)},
+	}
+	sp, err := NewSpace(demoDefs(), settings)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := sp.Count(), 2*4; got != want {
+		t.Fatalf("Count = %d, want %d", got, want)
+	}
+	jobs := sp.Expand()
+	if len(jobs) != 8 {
+		t.Fatalf("Expand len = %d, want 8", len(jobs))
+	}
+	// Defaults must be filled in.
+	for _, j := range jobs {
+		if j.Int("operations", -1) != 10000 {
+			t.Fatalf("default operations missing in %v", j.Encode())
+		}
+		if _, ok := j["mix"].AsRatio(); !ok {
+			t.Fatalf("default mix missing in %v", j.Encode())
+		}
+	}
+	// Deterministic odometer order: first axis (engine) varies slowest.
+	if jobs[0].String("engine", "") != "wiredtiger" || jobs[4].String("engine", "") != "mmapv1" {
+		t.Fatalf("unexpected enumeration order: %v / %v", jobs[0].Encode(), jobs[4].Encode())
+	}
+	if jobs[0].Int("threads", 0) != 1 || jobs[1].Int("threads", 0) != 2 {
+		t.Fatalf("threads should vary fastest: %v / %v", jobs[0].Encode(), jobs[1].Encode())
+	}
+}
+
+func TestNewSpaceRejectsUnknownParameter(t *testing.T) {
+	_, err := NewSpace(demoDefs(), map[string][]Value{"bogus": {Int(1)}})
+	if err == nil || !strings.Contains(err.Error(), "unknown parameters") {
+		t.Fatalf("expected unknown-parameter error, got %v", err)
+	}
+}
+
+func TestNewSpaceRejectsInvalidVariant(t *testing.T) {
+	_, err := NewSpace(demoDefs(), map[string][]Value{"engine": {String_("rocksdb")}})
+	if err == nil {
+		t.Fatal("expected option validation error")
+	}
+	_, err = NewSpace(demoDefs(), map[string][]Value{"threads": {Int(64)}})
+	if err == nil {
+		t.Fatal("expected interval bound error")
+	}
+}
+
+func TestNewSpaceRequiresRequired(t *testing.T) {
+	defs := []Definition{{Name: "must", Type: TypeValue, ValueKind: KindInt, Required: true}}
+	if _, err := NewSpace(defs, nil); err == nil {
+		t.Fatal("expected required-parameter error")
+	}
+	sp, err := NewSpace(defs, map[string][]Value{"must": {Int(5)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.Count() != 1 {
+		t.Fatalf("Count = %d, want 1", sp.Count())
+	}
+}
+
+func TestNewSpaceRejectsDuplicateDefinitions(t *testing.T) {
+	defs := []Definition{
+		{Name: "x", Type: TypeBoolean, Default: Bool(false)},
+		{Name: "x", Type: TypeBoolean, Default: Bool(true)},
+	}
+	if _, err := NewSpace(defs, nil); err == nil {
+		t.Fatal("expected duplicate-definition error")
+	}
+}
+
+func TestNewSpaceJobCap(t *testing.T) {
+	defs := []Definition{
+		{Name: "a", Type: TypeInterval, Min: 1, Max: 1000, Step: 1, Default: Int(1)},
+		{Name: "b", Type: TypeInterval, Min: 1, Max: 1000, Step: 1, Default: Int(1)},
+	}
+	settings := map[string][]Value{}
+	for _, d := range defs {
+		settings[d.Name] = d.IntervalValues()
+	}
+	if _, err := NewSpace(defs, settings); err == nil {
+		t.Fatal("expected cap error for 10^6 jobs")
+	}
+}
+
+func TestIntervalValues(t *testing.T) {
+	d := Definition{Name: "t", Type: TypeInterval, Min: 1, Max: 9, Step: 2, Default: Int(1)}
+	vals := d.IntervalValues()
+	want := []int64{1, 3, 5, 7, 9}
+	if len(vals) != len(want) {
+		t.Fatalf("IntervalValues = %v, want %v entries", vals, len(want))
+	}
+	for i, v := range vals {
+		if n, _ := v.AsInt(); n != want[i] {
+			t.Fatalf("IntervalValues[%d] = %v, want %d", i, v, want[i])
+		}
+	}
+	// Step that overshoots the max must clamp to max.
+	d = Definition{Name: "t", Type: TypeInterval, Min: 1, Max: 8, Step: 3, Default: Int(1)}
+	vals = d.IntervalValues()
+	last, _ := vals[len(vals)-1].AsInt()
+	if last != 8 {
+		t.Fatalf("last interval value = %d, want clamped 8", last)
+	}
+	// Zero step: endpoints only.
+	d = Definition{Name: "t", Type: TypeInterval, Min: 2, Max: 5, Default: Int(2)}
+	if n := len(d.IntervalValues()); n != 2 {
+		t.Fatalf("zero-step interval should give endpoints, got %d values", n)
+	}
+	// Degenerate single-point interval.
+	d = Definition{Name: "t", Type: TypeInterval, Min: 3, Max: 3, Default: Int(3)}
+	if n := len(d.IntervalValues()); n != 1 {
+		t.Fatalf("degenerate interval should give one value, got %d", n)
+	}
+	// Fractional steps stay floats.
+	d = Definition{Name: "t", Type: TypeInterval, Min: 0, Max: 1, Step: 0.25, Default: Float(0)}
+	vals = d.IntervalValues()
+	if len(vals) != 5 {
+		t.Fatalf("fractional interval = %v, want 5 values", vals)
+	}
+	if vals[1].Kind() != KindFloat {
+		t.Fatalf("fractional value kind = %v, want float", vals[1].Kind())
+	}
+}
+
+func TestDefinitionCheckErrors(t *testing.T) {
+	cases := []Definition{
+		{Type: TypeBoolean, Default: Bool(true)},                                          // no name
+		{Name: "c", Type: TypeCheckbox, Default: StringList()},                            // no options
+		{Name: "v", Type: TypeValue, Default: Int(1)},                                     // no valueKind
+		{Name: "v", Type: TypeValue, ValueKind: KindRatio, Default: Ratio(1, 1)},          // bad kind
+		{Name: "i", Type: TypeInterval, Min: 5, Max: 1, Default: Int(5)},                  // max < min
+		{Name: "i", Type: TypeInterval, Min: 1, Max: 5, Step: -1, Default: Int(1)},        // neg step
+		{Name: "r", Type: TypeRatio, RatioParts: []string{"only"}, Default: Ratio(1)},     // 1 part
+		{Name: "x", Type: Type("mystery"), Default: Int(1)},                               // unknown type
+		{Name: "o", Type: TypeBoolean},                                                    // optional without default
+		{Name: "d", Type: TypeValue, ValueKind: KindInt, Min: 1, Max: 5, Default: Int(9)}, // default out of bounds
+	}
+	for i, d := range cases {
+		if err := d.Check(); err == nil {
+			t.Errorf("case %d (%q): expected Check error", i, d.Name)
+		}
+	}
+}
+
+func TestDefinitionValidateBounds(t *testing.T) {
+	d := Definition{Name: "ops", Type: TypeValue, ValueKind: KindInt, Min: 10, Max: 100, Default: Int(10)}
+	if err := d.Validate(Int(50)); err != nil {
+		t.Fatalf("in-bounds int rejected: %v", err)
+	}
+	if err := d.Validate(Int(5)); err == nil {
+		t.Fatal("below-min int accepted")
+	}
+	if err := d.Validate(Float(50)); err == nil {
+		t.Fatal("float accepted for int value")
+	}
+	r := Definition{Name: "mix", Type: TypeRatio, RatioParts: []string{"r", "w"}, Default: Ratio(1, 1)}
+	if err := r.Validate(Ratio(95, 5)); err != nil {
+		t.Fatalf("valid ratio rejected: %v", err)
+	}
+	if err := r.Validate(Ratio(95)); err == nil {
+		t.Fatal("wrong-arity ratio accepted")
+	}
+	if err := r.Validate(Ratio(-1, 2)); err == nil {
+		t.Fatal("negative ratio accepted")
+	}
+	if err := r.Validate(Ratio(0, 0)); err == nil {
+		t.Fatal("zero-sum ratio accepted")
+	}
+	cb := Definition{Name: "features", Type: TypeCheckbox, Options: []string{"a", "b"}, Default: StringList()}
+	if err := cb.Validate(StringList("a")); err != nil {
+		t.Fatalf("valid checkbox rejected: %v", err)
+	}
+	if err := cb.Validate(StringList("z")); err == nil {
+		t.Fatal("non-option checkbox accepted")
+	}
+}
+
+// TestSpaceCountMatchesExpand is a property test: Count always equals
+// len(Expand) and equals the product of axis sizes.
+func TestSpaceCountMatchesExpand(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		nAxes := 1 + r.Intn(4)
+		sp := &Space{}
+		want := 1
+		for i := 0; i < nAxes; i++ {
+			nVar := 1 + r.Intn(5)
+			ax := Axis{Name: string(rune('a' + i))}
+			for j := 0; j < nVar; j++ {
+				ax.Variants = append(ax.Variants, Int(int64(j)))
+			}
+			want *= nVar
+			sp.Axes = append(sp.Axes, ax)
+		}
+		got := sp.Expand()
+		return sp.Count() == want && len(got) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSpaceExpandAllDistinct: all expanded assignments are pairwise
+// distinct (property).
+func TestSpaceExpandAllDistinct(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		sp := &Space{}
+		for i := 0; i < 1+r.Intn(3); i++ {
+			ax := Axis{Name: string(rune('a' + i))}
+			for j := 0; j < 1+r.Intn(4); j++ {
+				ax.Variants = append(ax.Variants, Int(int64(j)))
+			}
+			sp.Axes = append(sp.Axes, ax)
+		}
+		seen := make(map[string]bool)
+		for _, a := range sp.Expand() {
+			enc := a.Encode()
+			if seen[enc] {
+				return false
+			}
+			seen[enc] = true
+		}
+		return len(seen) == sp.Count()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSpaceAtAgreesWithExpand: random-access At(i) returns the same
+// assignment as Expand()[i] (property).
+func TestSpaceAtAgreesWithExpand(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		sp := &Space{}
+		for i := 0; i < 1+r.Intn(3); i++ {
+			ax := Axis{Name: string(rune('a' + i))}
+			for j := 0; j < 1+r.Intn(4); j++ {
+				ax.Variants = append(ax.Variants, Int(int64(j*10)))
+			}
+			sp.Axes = append(sp.Axes, ax)
+		}
+		all := sp.Expand()
+		i := r.Intn(len(all))
+		got, err := sp.At(i)
+		if err != nil {
+			return false
+		}
+		return got.Encode() == all[i].Encode()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpaceAtOutOfRange(t *testing.T) {
+	sp := &Space{Axes: []Axis{{Name: "a", Variants: []Value{Int(1)}}}}
+	if _, err := sp.At(-1); err == nil {
+		t.Fatal("negative index accepted")
+	}
+	if _, err := sp.At(1); err == nil {
+		t.Fatal("past-end index accepted")
+	}
+}

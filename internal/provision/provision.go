@@ -1,0 +1,158 @@
+// Package provision implements the paper's announced future-work feature
+// (§5: "Future releases of Chronos will be extended with the
+// functionality for setting up the infrastructure of an SuE
+// automatically, for example, in an on-premise cluster or in the
+// Cloud."): a provisioner that scales the deployments of a system to a
+// desired count and runs one managed agent per deployment.
+//
+// The cloud/cluster backends are abstracted behind the Launcher
+// interface; the built-in LocalLauncher starts in-process agents (the
+// offline stand-in for VMs or containers). A custom Launcher could shell
+// out to a real orchestrator.
+package provision
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"chronos/internal/agent"
+	"chronos/internal/core"
+)
+
+// Launcher starts and stops the agent serving one deployment. Launch
+// must not block; the returned stop function tears the instance down.
+type Launcher interface {
+	Launch(ctx context.Context, deployment *core.Deployment) (stop func(), err error)
+}
+
+// LocalLauncher runs agents in process — the "on-premise" backend of
+// this reproduction.
+type LocalLauncher struct {
+	// Svc is the control the agents report to.
+	Svc *core.Service
+	// Factory builds the evaluation client for each agent.
+	Factory func() agent.Runner
+}
+
+// Launch implements Launcher.
+func (l *LocalLauncher) Launch(ctx context.Context, dep *core.Deployment) (func(), error) {
+	if l.Svc == nil || l.Factory == nil {
+		return nil, fmt.Errorf("provision: LocalLauncher needs Svc and Factory")
+	}
+	agentCtx, cancel := context.WithCancel(ctx)
+	a := &agent.Agent{
+		Control:      &agent.LocalControl{Svc: l.Svc},
+		DeploymentID: dep.ID,
+		Factory:      l.Factory,
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		a.Run(agentCtx) // returns on cancel
+	}()
+	return func() {
+		cancel()
+		<-done
+	}, nil
+}
+
+// Provisioner scales a system's deployments and their agents.
+type Provisioner struct {
+	Svc      *core.Service
+	Launcher Launcher
+	// Environment and VersionTag label auto-created deployments.
+	Environment string
+	VersionTag  string
+
+	mu      sync.Mutex
+	stops   map[string]func() // deployment id -> stop
+	counter int
+}
+
+// New creates a Provisioner.
+func New(svc *core.Service, launcher Launcher) *Provisioner {
+	return &Provisioner{
+		Svc:         svc,
+		Launcher:    launcher,
+		Environment: "auto",
+		VersionTag:  "provisioned",
+		stops:       make(map[string]func()),
+	}
+}
+
+// Scale ensures exactly n active managed deployments exist for the
+// system, creating (and launching agents for) missing ones and
+// deactivating (and stopping) surplus ones. It returns the active
+// managed deployments.
+func (p *Provisioner) Scale(ctx context.Context, systemID string, n int) ([]*core.Deployment, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("provision: negative deployment count %d", n)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+
+	deps, err := p.Svc.ListDeployments(systemID)
+	if err != nil {
+		return nil, err
+	}
+	// Managed deployments are the ones this provisioner launched.
+	var managed []*core.Deployment
+	for _, d := range deps {
+		if _, ok := p.stops[d.ID]; ok && d.Active {
+			managed = append(managed, d)
+		}
+	}
+
+	// Scale down: deactivate + stop the newest surplus instances.
+	for len(managed) > n {
+		d := managed[len(managed)-1]
+		managed = managed[:len(managed)-1]
+		if err := p.Svc.SetDeploymentActive(d.ID, false); err != nil {
+			return nil, err
+		}
+		if stop := p.stops[d.ID]; stop != nil {
+			stop()
+		}
+		delete(p.stops, d.ID)
+	}
+
+	// Scale up: create deployment + launch agent.
+	for len(managed) < n {
+		p.counter++
+		d, err := p.Svc.CreateDeployment(systemID,
+			fmt.Sprintf("auto-%d", p.counter), p.Environment, p.VersionTag)
+		if err != nil {
+			return nil, err
+		}
+		stop, err := p.Launcher.Launch(ctx, d)
+		if err != nil {
+			return nil, err
+		}
+		p.stops[d.ID] = stop
+		managed = append(managed, d)
+	}
+	return managed, nil
+}
+
+// Count reports the number of managed running instances.
+func (p *Provisioner) Count() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.stops)
+}
+
+// Shutdown stops every managed agent and deactivates its deployment.
+func (p *Provisioner) Shutdown() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var firstErr error
+	for id, stop := range p.stops {
+		stop()
+		if err := p.Svc.SetDeploymentActive(id, false); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		delete(p.stops, id)
+	}
+	return firstErr
+}

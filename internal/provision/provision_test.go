@@ -1,0 +1,163 @@
+package provision
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"chronos/internal/agent"
+	"chronos/internal/core"
+	"chronos/internal/params"
+	"chronos/internal/relstore"
+)
+
+// sleepRunner is a trivial evaluation client for provisioning tests.
+type sleepRunner struct{}
+
+func (sleepRunner) Prepare(rc *agent.RunContext) error { return nil }
+func (sleepRunner) WarmUp(rc *agent.RunContext) error  { return nil }
+func (sleepRunner) Execute(rc *agent.RunContext) error {
+	time.Sleep(20 * time.Millisecond)
+	return nil
+}
+func (sleepRunner) Analyze(rc *agent.RunContext) (map[string]any, error) {
+	return map[string]any{"throughput": 1.0}, nil
+}
+func (sleepRunner) Clean(rc *agent.RunContext) error { return nil }
+
+func setup(t *testing.T) (*core.Service, string, *Provisioner) {
+	t.Helper()
+	svc, err := core.NewService(relstore.OpenMemory(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, _ := svc.CreateUser("ops", core.RoleAdmin)
+	p, _ := svc.CreateProject("auto", "", u.ID, nil)
+	defs := []params.Definition{
+		{Name: "idx", Type: params.TypeInterval, Min: 1, Max: 64, Default: params.Int(1)},
+	}
+	sys, err := svc.RegisterSystem("sue", "", defs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prov := New(svc, &LocalLauncher{Svc: svc, Factory: func() agent.Runner { return sleepRunner{} }})
+	t.Cleanup(func() { prov.Shutdown() })
+	_ = p
+	return svc, sys.ID, prov
+}
+
+func TestScaleUpAndDown(t *testing.T) {
+	svc, sysID, prov := setup(t)
+	ctx := context.Background()
+
+	deps, err := prov.Scale(ctx, sysID, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(deps) != 3 || prov.Count() != 3 {
+		t.Fatalf("scale up: %d deps, %d managed", len(deps), prov.Count())
+	}
+	all, _ := svc.ListDeployments(sysID)
+	active := 0
+	for _, d := range all {
+		if d.Active {
+			active++
+		}
+	}
+	if active != 3 {
+		t.Fatalf("active deployments = %d", active)
+	}
+
+	// Scale down to 1: two deployments deactivate, agents stop.
+	deps, err = prov.Scale(ctx, sysID, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(deps) != 1 || prov.Count() != 1 {
+		t.Fatalf("scale down: %d deps, %d managed", len(deps), prov.Count())
+	}
+	all, _ = svc.ListDeployments(sysID)
+	active = 0
+	for _, d := range all {
+		if d.Active {
+			active++
+		}
+	}
+	if active != 1 {
+		t.Fatalf("active after scale down = %d", active)
+	}
+
+	// Idempotent: scaling to the current size changes nothing.
+	deps2, err := prov.Scale(ctx, sysID, 1)
+	if err != nil || len(deps2) != 1 || deps2[0].ID != deps[0].ID {
+		t.Fatalf("idempotent scale: %v %v", deps2, err)
+	}
+	// Negative counts are rejected.
+	if _, err := prov.Scale(ctx, sysID, -1); err == nil {
+		t.Fatal("negative scale accepted")
+	}
+}
+
+func TestProvisionedAgentsExecuteJobs(t *testing.T) {
+	svc, sysID, prov := setup(t)
+	ctx := context.Background()
+	if _, err := prov.Scale(ctx, sysID, 4); err != nil {
+		t.Fatal(err)
+	}
+
+	// Schedule an evaluation; the provisioned agents pick it up without
+	// any manual agent management.
+	projects, _ := svc.ListProjects()
+	variants := make([]params.Value, 8)
+	for i := range variants {
+		variants[i] = params.Int(int64(i + 1))
+	}
+	exp, err := svc.CreateExperiment(projects[0].ID, sysID, "auto-run", "",
+		map[string][]params.Value{"idx": variants}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, _, err := svc.CreateEvaluation(exp.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.After(15 * time.Second)
+	for {
+		st, err := svc.EvaluationStatusOf(ev.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Done() {
+			if st.Finished != 8 {
+				t.Fatalf("finished = %d", st.Finished)
+			}
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatalf("provisioned agents never finished the evaluation")
+		case <-time.After(20 * time.Millisecond):
+		}
+	}
+
+	// Shutdown stops agents and deactivates deployments.
+	if err := prov.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+	if prov.Count() != 0 {
+		t.Fatalf("managed after shutdown = %d", prov.Count())
+	}
+	all, _ := svc.ListDeployments(sysID)
+	for _, d := range all {
+		if d.Active {
+			t.Fatalf("deployment %s still active after shutdown", d.ID)
+		}
+	}
+}
+
+func TestLocalLauncherValidation(t *testing.T) {
+	l := &LocalLauncher{}
+	if _, err := l.Launch(context.Background(), &core.Deployment{ID: "x"}); err == nil {
+		t.Fatal("invalid launcher accepted")
+	}
+}

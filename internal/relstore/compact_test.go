@@ -1,0 +1,114 @@
+package relstore
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestCompactionEquivalence: compacting at any point leaves the store
+// observably identical, before and after a reopen (property).
+func TestCompactionEquivalence(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		dir := t.TempDir()
+		db, err := Open(dir, &Options{Sync: SyncBatched, CompactEvery: -1})
+		if err != nil {
+			return false
+		}
+		if err := db.CreateTable(usersSchema()); err != nil {
+			return false
+		}
+		model := map[string]int64{}
+		ops := 20 + r.Intn(60)
+		for i := 0; i < ops; i++ {
+			id := fmt.Sprintf("u%d", r.Intn(15))
+			if r.Intn(4) == 0 {
+				db.Update(func(tx *Tx) error { tx.Delete("users", id); return nil })
+				delete(model, id)
+			} else {
+				age := r.Int63n(100)
+				db.Update(func(tx *Tx) error { return tx.Put("users", userRow(id, "c", age)) })
+				model[id] = age
+			}
+			// Random manual compaction points.
+			if r.Intn(10) == 0 {
+				if err := db.Compact(); err != nil {
+					t.Logf("compact: %v", err)
+					return false
+				}
+			}
+		}
+		if err := db.Compact(); err != nil {
+			return false
+		}
+		check := func(db *DB) bool {
+			ok := true
+			db.View(func(tx *Tx) error {
+				n, _ := tx.Count("users", NewQuery())
+				if n != len(model) {
+					ok = false
+					return nil
+				}
+				for id, age := range model {
+					row, err := tx.Get("users", id)
+					if err != nil || row["age"].(int64) != age {
+						ok = false
+						return nil
+					}
+				}
+				return nil
+			})
+			return ok
+		}
+		if !check(db) {
+			db.Close()
+			return false
+		}
+		db.Close()
+		db2, err := Open(dir, nil)
+		if err != nil {
+			return false
+		}
+		defer db2.Close()
+		return check(db2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCompactShrinksWAL: after compaction the WAL is empty and the
+// snapshot carries the state.
+func TestCompactShrinksWAL(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir, &Options{CompactEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	db.CreateTable(usersSchema())
+	for i := 0; i < 100; i++ {
+		db.Update(func(tx *Tx) error {
+			return tx.Put("users", userRow(fmt.Sprintf("u%d", i), "x", int64(i)))
+		})
+	}
+	before := db.Stats()
+	if before.WALSizeB == 0 {
+		t.Fatal("WAL empty before compaction")
+	}
+	if err := db.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	after := db.Stats()
+	if after.WALSizeB != 0 {
+		t.Fatalf("WAL size after compact = %d", after.WALSizeB)
+	}
+	if after.Snapshots != 1 {
+		t.Fatal("snapshot missing after compact")
+	}
+	if after.Rows != 100 {
+		t.Fatalf("rows after compact = %d", after.Rows)
+	}
+}

@@ -1,0 +1,394 @@
+package relstore
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"sync"
+)
+
+// SyncMode controls when the WAL is flushed to stable storage.
+type SyncMode int
+
+const (
+	// SyncEveryCommit fsyncs the WAL after each commit — maximum
+	// durability, the default.
+	SyncEveryCommit SyncMode = iota
+	// SyncBatched lets the OS page cache absorb writes; a crash may lose
+	// the most recent commits but never corrupts the store. Used by the
+	// WAL ablation bench and acceptable for throwaway test stores.
+	SyncBatched
+)
+
+// Options tunes DB behaviour.
+type Options struct {
+	// Sync selects the WAL flush policy.
+	Sync SyncMode
+	// CompactEvery triggers automatic snapshot+truncate after this many
+	// committed transactions (0 = default 4096; negative = never).
+	CompactEvery int
+}
+
+// table is the in-memory state of one table.
+type table struct {
+	schema  Schema
+	rows    map[string]Row            // key -> row
+	indexes map[string]map[string]set // column -> value-string -> ids
+	seq     int64                     // auto-increment sequence
+}
+
+type set map[string]struct{}
+
+// DB is an embedded, durable, transactional table store. All methods are
+// safe for concurrent use: writes serialise behind a single writer lock,
+// reads proceed concurrently.
+type DB struct {
+	dir  string
+	opts Options
+
+	mu     sync.RWMutex // guards tables
+	tables map[string]*table
+
+	walMu       sync.Mutex // serialises WAL appends and compaction
+	wal         *walWriter
+	commitCount int
+	closed      bool
+}
+
+// Open loads (or creates) a store in dir. Pass opts as nil for defaults.
+func Open(dir string, opts *Options) (*DB, error) {
+	if opts == nil {
+		opts = &Options{}
+	}
+	if opts.CompactEvery == 0 {
+		opts.CompactEvery = 4096
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("relstore: create dir: %w", err)
+	}
+	db := &DB{
+		dir:    dir,
+		opts:   *opts,
+		tables: make(map[string]*table),
+	}
+	if err := db.loadSnapshot(); err != nil {
+		return nil, err
+	}
+	if err := db.replayWAL(); err != nil {
+		return nil, err
+	}
+	w, err := openWALWriter(db.walPath(), opts.Sync == SyncEveryCommit)
+	if err != nil {
+		return nil, err
+	}
+	db.wal = w
+	return db, nil
+}
+
+// OpenMemory returns an ephemeral store without any disk persistence,
+// convenient for tests and examples.
+func OpenMemory() *DB {
+	return &DB{
+		opts:   Options{CompactEvery: -1},
+		tables: make(map[string]*table),
+	}
+}
+
+func (db *DB) walPath() string      { return filepath.Join(db.dir, "store.wal") }
+func (db *DB) snapshotPath() string { return filepath.Join(db.dir, "store.snapshot") }
+
+// Close flushes and closes the WAL. The DB must not be used afterwards.
+func (db *DB) Close() error {
+	db.walMu.Lock()
+	defer db.walMu.Unlock()
+	if db.closed {
+		return nil
+	}
+	db.closed = true
+	if db.wal != nil {
+		return db.wal.Close()
+	}
+	return nil
+}
+
+// CreateTable registers a table. Creating an existing table with an equal
+// schema is a no-op; with a different schema it fails. Table creations are
+// durable via the WAL.
+func (db *DB) CreateTable(s Schema) error {
+	if err := s.Check(); err != nil {
+		return err
+	}
+	db.mu.Lock()
+	if existing, ok := db.tables[s.Name]; ok {
+		same := schemaEqual(existing.schema, s)
+		db.mu.Unlock()
+		if same {
+			return nil
+		}
+		return fmt.Errorf("relstore: table %q already exists with a different schema", s.Name)
+	}
+	db.tables[s.Name] = newTable(s)
+	db.mu.Unlock()
+
+	if err := db.appendWAL(walRecord{CreateTable: &s}); err != nil {
+		return err
+	}
+	return db.maybeCompact()
+}
+
+// Tables returns the names of all tables, sorted.
+func (db *DB) Tables() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	names := make([]string, 0, len(db.tables))
+	for n := range db.tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func newTable(s Schema) *table {
+	t := &table{
+		schema:  s,
+		rows:    make(map[string]Row),
+		indexes: make(map[string]map[string]set),
+	}
+	for _, c := range s.Columns {
+		if c.Indexed && c.Name != s.Key {
+			t.indexes[c.Name] = make(map[string]set)
+		}
+	}
+	return t
+}
+
+func schemaEqual(a, b Schema) bool {
+	if a.Name != b.Name || a.Key != b.Key || len(a.Columns) != len(b.Columns) {
+		return false
+	}
+	for i := range a.Columns {
+		if a.Columns[i] != b.Columns[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// indexKey renders an indexed column value as a map key.
+func indexKey(v any) string {
+	switch x := v.(type) {
+	case string:
+		return "s:" + x
+	case int64:
+		return "i:" + strconv.FormatInt(x, 10)
+	case float64:
+		return "f:" + strconv.FormatFloat(x, 'g', -1, 64)
+	case bool:
+		return "b:" + strconv.FormatBool(x)
+	default:
+		return fmt.Sprintf("x:%v", x)
+	}
+}
+
+// addToIndexes registers a row in the table's secondary indexes.
+func (t *table) addToIndexes(id string, r Row) {
+	for col, idx := range t.indexes {
+		v, ok := r[col]
+		if !ok {
+			continue
+		}
+		k := indexKey(v)
+		ids := idx[k]
+		if ids == nil {
+			ids = make(set)
+			idx[k] = ids
+		}
+		ids[id] = struct{}{}
+	}
+}
+
+// removeFromIndexes unregisters a row from the secondary indexes.
+func (t *table) removeFromIndexes(id string, r Row) {
+	for col, idx := range t.indexes {
+		v, ok := r[col]
+		if !ok {
+			continue
+		}
+		k := indexKey(v)
+		if ids := idx[k]; ids != nil {
+			delete(ids, id)
+			if len(ids) == 0 {
+				delete(idx, k)
+			}
+		}
+	}
+}
+
+// apply installs a committed operation into the in-memory state. The
+// caller holds the write lock.
+func (t *table) apply(op walOp) error {
+	switch op.Op {
+	case opPut:
+		row, err := t.schema.decodeRow(op.Row)
+		if err != nil {
+			return err
+		}
+		if old, ok := t.rows[op.ID]; ok {
+			t.removeFromIndexes(op.ID, old)
+		}
+		t.rows[op.ID] = row
+		t.addToIndexes(op.ID, row)
+	case opDelete:
+		if old, ok := t.rows[op.ID]; ok {
+			t.removeFromIndexes(op.ID, old)
+			delete(t.rows, op.ID)
+		}
+	case opSeq:
+		if op.Seq > t.seq {
+			t.seq = op.Seq
+		}
+	default:
+		return fmt.Errorf("relstore: unknown WAL op %q", op.Op)
+	}
+	return nil
+}
+
+// Update runs fn inside a read-write transaction. If fn returns an error
+// the transaction is rolled back (no state or WAL change); otherwise the
+// buffered writes are committed atomically.
+func (db *DB) Update(fn func(tx *Tx) error) error {
+	db.mu.Lock()
+	tx := &Tx{db: db, writable: true, pending: make(map[string]map[string]*pendingRow), seqs: make(map[string]int64)}
+	err := fn(tx)
+	if err == nil {
+		err = db.commitLocked(tx)
+	}
+	db.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	// Compaction happens outside the table lock: writeSnapshot re-acquires
+	// it read-only, which would deadlock if still held here.
+	return db.maybeCompact()
+}
+
+// View runs fn inside a read-only transaction.
+func (db *DB) View(fn func(tx *Tx) error) error {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	tx := &Tx{db: db}
+	return fn(tx)
+}
+
+// commitLocked writes the transaction to the WAL and applies it. Caller
+// holds the write lock.
+func (db *DB) commitLocked(tx *Tx) error {
+	rec := tx.toWALRecord()
+	if len(rec.Ops) == 0 {
+		return nil
+	}
+	if err := db.appendWAL(rec); err != nil {
+		return err
+	}
+	for _, op := range rec.Ops {
+		t := db.tables[op.Table]
+		if t == nil {
+			return fmt.Errorf("relstore: commit references unknown table %q", op.Table)
+		}
+		if err := t.apply(op); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// appendWAL writes one record. In a memory-only store it is a no-op.
+// Compaction is deferred to maybeCompact, which callers invoke after
+// releasing the table lock.
+func (db *DB) appendWAL(rec walRecord) error {
+	if db.wal == nil {
+		return nil
+	}
+	db.walMu.Lock()
+	defer db.walMu.Unlock()
+	if db.closed {
+		return fmt.Errorf("relstore: store is closed")
+	}
+	if err := db.wal.Append(rec); err != nil {
+		return err
+	}
+	db.commitCount++
+	return nil
+}
+
+// maybeCompact runs a snapshot+truncate cycle once enough commits have
+// accumulated. Must be called without holding db.mu.
+func (db *DB) maybeCompact() error {
+	if db.wal == nil || db.opts.CompactEvery <= 0 {
+		return nil
+	}
+	db.walMu.Lock()
+	defer db.walMu.Unlock()
+	if db.commitCount < db.opts.CompactEvery {
+		return nil
+	}
+	if err := db.compactLocked(); err != nil {
+		return err
+	}
+	db.commitCount = 0
+	return nil
+}
+
+// Compact writes a full snapshot and truncates the WAL. Safe to call at
+// any time; concurrent commits wait.
+func (db *DB) Compact() error {
+	if db.wal == nil {
+		return nil
+	}
+	db.walMu.Lock()
+	defer db.walMu.Unlock()
+	return db.compactLocked()
+}
+
+// compactLocked assumes walMu is held. It takes the table read lock to
+// produce a consistent snapshot. NB: callers on the Update path already
+// hold db.mu exclusively; the snapshot helper therefore receives the
+// tables directly instead of re-locking.
+func (db *DB) compactLocked() error {
+	if err := db.writeSnapshot(); err != nil {
+		return err
+	}
+	if err := db.wal.Reset(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Stats reports store-level counters, mainly for tests and the UI footer.
+type Stats struct {
+	Tables    int `json:"tables"`
+	Rows      int `json:"rows"`
+	WALSizeB  int `json:"walSizeBytes"`
+	Snapshots int `json:"snapshots"`
+}
+
+// Stats returns current store statistics.
+func (db *DB) Stats() Stats {
+	db.mu.RLock()
+	st := Stats{Tables: len(db.tables)}
+	for _, t := range db.tables {
+		st.Rows += len(t.rows)
+	}
+	db.mu.RUnlock()
+	if db.dir != "" {
+		if fi, err := os.Stat(db.walPath()); err == nil {
+			st.WALSizeB = int(fi.Size())
+		}
+		if _, err := os.Stat(db.snapshotPath()); err == nil {
+			st.Snapshots = 1
+		}
+	}
+	return st
+}

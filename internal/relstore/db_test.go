@@ -1,0 +1,569 @@
+package relstore
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// usersSchema is a small table used across the tests.
+func usersSchema() Schema {
+	return Schema{
+		Name: "users",
+		Key:  "id",
+		Columns: []Column{
+			{Name: "id", Type: TString},
+			{Name: "name", Type: TString, Indexed: true},
+			{Name: "age", Type: TInt},
+			{Name: "score", Type: TFloat, Nullable: true},
+			{Name: "admin", Type: TBool},
+			{Name: "avatar", Type: TBytes, Nullable: true},
+			{Name: "created", Type: TTime},
+		},
+	}
+}
+
+func userRow(id, name string, age int64) Row {
+	return Row{
+		"id":      id,
+		"name":    name,
+		"age":     age,
+		"admin":   false,
+		"created": time.Date(2020, 3, 30, 12, 0, 0, 0, time.UTC),
+	}
+}
+
+func TestSchemaCheck(t *testing.T) {
+	s := usersSchema()
+	if err := s.Check(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Schema{
+		{},                     // no name
+		{Name: "t"},            // no key
+		{Name: "t", Key: "id"}, // key column missing
+		{Name: "t", Key: "id", Columns: []Column{{Name: "id", Type: TInt}}},                               // key not string
+		{Name: "t", Key: "id", Columns: []Column{{Name: "id", Type: TString, Nullable: true}}},            // nullable key
+		{Name: "t", Key: "id", Columns: []Column{{Name: "id", Type: TString}, {Name: "id", Type: TInt}}},  // dup col
+		{Name: "t", Key: "id", Columns: []Column{{Name: "id", Type: TString}, {Name: "x", Type: "blob"}}}, // bad type
+		{Name: "t", Key: "id", Columns: []Column{{Name: "id", Type: TString}, {Name: "", Type: TString}}}, // unnamed
+	}
+	for i, s := range bad {
+		if err := s.Check(); err == nil {
+			t.Errorf("case %d: expected schema error", i)
+		}
+	}
+}
+
+func newTestDB(t *testing.T) *DB {
+	t.Helper()
+	db, err := Open(t.TempDir(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	if err := db.CreateTable(usersSchema()); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestCRUDRoundTrip(t *testing.T) {
+	db := newTestDB(t)
+	row := userRow("u1", "ada", 36)
+	row["score"] = 99.5
+	row["avatar"] = []byte{1, 2, 3}
+	if err := db.Update(func(tx *Tx) error { return tx.Insert("users", row) }); err != nil {
+		t.Fatal(err)
+	}
+	err := db.View(func(tx *Tx) error {
+		got, err := tx.Get("users", "u1")
+		if err != nil {
+			return err
+		}
+		if got["name"] != "ada" || got["age"] != int64(36) || got["score"] != 99.5 {
+			return fmt.Errorf("bad row: %v", got)
+		}
+		if b := got["avatar"].([]byte); len(b) != 3 || b[0] != 1 {
+			return fmt.Errorf("bad bytes: %v", b)
+		}
+		if ts := got["created"].(time.Time); !ts.Equal(time.Date(2020, 3, 30, 12, 0, 0, 0, time.UTC)) {
+			return fmt.Errorf("bad time: %v", ts)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Update via Put.
+	row2 := row.Clone()
+	row2["age"] = int64(37)
+	if err := db.Update(func(tx *Tx) error { return tx.Put("users", row2) }); err != nil {
+		t.Fatal(err)
+	}
+	// Delete.
+	if err := db.Update(func(tx *Tx) error { return tx.Delete("users", "u1") }); err != nil {
+		t.Fatal(err)
+	}
+	db.View(func(tx *Tx) error {
+		if _, err := tx.Get("users", "u1"); err != ErrNotFound {
+			t.Errorf("expected ErrNotFound, got %v", err)
+		}
+		return nil
+	})
+}
+
+func TestInsertDuplicateFails(t *testing.T) {
+	db := newTestDB(t)
+	if err := db.Update(func(tx *Tx) error { return tx.Insert("users", userRow("u1", "a", 1)) }); err != nil {
+		t.Fatal(err)
+	}
+	err := db.Update(func(tx *Tx) error { return tx.Insert("users", userRow("u1", "b", 2)) })
+	if err == nil || !strings.Contains(err.Error(), "already has row") {
+		t.Fatalf("expected duplicate error, got %v", err)
+	}
+}
+
+func TestRollbackOnError(t *testing.T) {
+	db := newTestDB(t)
+	boom := fmt.Errorf("boom")
+	err := db.Update(func(tx *Tx) error {
+		if err := tx.Insert("users", userRow("u9", "x", 1)); err != nil {
+			return err
+		}
+		return boom
+	})
+	if err != boom {
+		t.Fatalf("expected boom, got %v", err)
+	}
+	db.View(func(tx *Tx) error {
+		if ok, _ := tx.Exists("users", "u9"); ok {
+			t.Error("rolled-back insert is visible")
+		}
+		return nil
+	})
+}
+
+func TestReadYourWrites(t *testing.T) {
+	db := newTestDB(t)
+	err := db.Update(func(tx *Tx) error {
+		if err := tx.Insert("users", userRow("u1", "a", 1)); err != nil {
+			return err
+		}
+		got, err := tx.Get("users", "u1")
+		if err != nil {
+			return fmt.Errorf("read-your-writes Get: %w", err)
+		}
+		if got["name"] != "a" {
+			return fmt.Errorf("bad row: %v", got)
+		}
+		if err := tx.Delete("users", "u1"); err != nil {
+			return err
+		}
+		if _, err := tx.Get("users", "u1"); err != ErrNotFound {
+			return fmt.Errorf("tombstone not visible, got %v", err)
+		}
+		// Re-insert after delete within the same transaction.
+		return tx.Insert("users", userRow("u1", "b", 2))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.View(func(tx *Tx) error {
+		got, err := tx.Get("users", "u1")
+		if err != nil {
+			return err
+		}
+		if got["name"] != "b" {
+			t.Errorf("final row = %v", got)
+		}
+		return nil
+	})
+}
+
+func TestValidationErrors(t *testing.T) {
+	db := newTestDB(t)
+	cases := []Row{
+		{"name": "x", "age": int64(1), "admin": false, "created": time.Now()},                        // no key
+		{"id": "u", "name": "x", "age": 1, "admin": false, "created": time.Now()},                    // int not int64
+		{"id": "u", "name": "x", "age": int64(1), "admin": false},                                    // missing created
+		{"id": "u", "name": "x", "age": int64(1), "admin": false, "created": time.Now(), "ghost": 1}, // unknown col
+	}
+	for i, row := range cases {
+		err := db.Update(func(tx *Tx) error { return tx.Put("users", row) })
+		if err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+}
+
+func TestSelectWithIndexAndPredicates(t *testing.T) {
+	db := newTestDB(t)
+	err := db.Update(func(tx *Tx) error {
+		for i := 0; i < 10; i++ {
+			name := "even"
+			if i%2 == 1 {
+				name = "odd"
+			}
+			if err := tx.Insert("users", userRow(fmt.Sprintf("u%02d", i), name, int64(i))); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.View(func(tx *Tx) error {
+		rows, err := tx.Select("users", NewQuery().Eq("name", "even"))
+		if err != nil {
+			return err
+		}
+		if len(rows) != 5 {
+			t.Fatalf("indexed Eq returned %d rows", len(rows))
+		}
+		// Sorted by id.
+		if rows[0]["id"] != "u00" || rows[4]["id"] != "u08" {
+			t.Fatalf("rows not sorted: %v %v", rows[0]["id"], rows[4]["id"])
+		}
+		rows, err = tx.Select("users", NewQuery().
+			Eq("name", "odd").
+			Where(func(r Row) bool { return r["age"].(int64) >= 5 }).
+			Limit(2))
+		if err != nil {
+			return err
+		}
+		if len(rows) != 2 {
+			t.Fatalf("filtered select returned %d rows", len(rows))
+		}
+		n, err := tx.Count("users", NewQuery())
+		if err != nil {
+			return err
+		}
+		if n != 10 {
+			t.Fatalf("Count = %d", n)
+		}
+		return nil
+	})
+}
+
+func TestSelectSeesPendingWrites(t *testing.T) {
+	db := newTestDB(t)
+	db.Update(func(tx *Tx) error { return tx.Insert("users", userRow("u1", "old", 1)) })
+	err := db.Update(func(tx *Tx) error {
+		// Update u1's indexed column, insert a new matching row and check
+		// the index-assisted path sees both states correctly.
+		row := userRow("u1", "new", 1)
+		if err := tx.Put("users", row); err != nil {
+			return err
+		}
+		if err := tx.Insert("users", userRow("u2", "new", 2)); err != nil {
+			return err
+		}
+		rows, err := tx.Select("users", NewQuery().Eq("name", "new"))
+		if err != nil {
+			return err
+		}
+		if len(rows) != 2 {
+			return fmt.Errorf("pending-aware select returned %d rows", len(rows))
+		}
+		rows, err = tx.Select("users", NewQuery().Eq("name", "old"))
+		if err != nil {
+			return err
+		}
+		if len(rows) != 0 {
+			return fmt.Errorf("stale index row still visible: %v", rows)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNextIDSequence(t *testing.T) {
+	db := newTestDB(t)
+	var first, second string
+	db.Update(func(tx *Tx) error {
+		first, _ = tx.NextID("users", "user")
+		second, _ = tx.NextID("users", "user")
+		return nil
+	})
+	if first != "user-1" || second != "user-2" {
+		t.Fatalf("ids = %q, %q", first, second)
+	}
+	// Sequence must survive reopen (below) and not regress on rollback.
+	db.Update(func(tx *Tx) error {
+		tx.NextID("users", "user")
+		return fmt.Errorf("rollback")
+	})
+	var third string
+	db.Update(func(tx *Tx) error {
+		third, _ = tx.NextID("users", "user")
+		return nil
+	})
+	if third != "user-3" {
+		t.Fatalf("third id = %q, want user-3", third)
+	}
+}
+
+func TestDurabilityAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CreateTable(usersSchema()); err != nil {
+		t.Fatal(err)
+	}
+	db.Update(func(tx *Tx) error { return tx.Insert("users", userRow("u1", "ada", 36)) })
+	var id string
+	db.Update(func(tx *Tx) error { id, _ = tx.NextID("users", "u"); return nil })
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	db2, err := Open(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	db2.View(func(tx *Tx) error {
+		row, err := tx.Get("users", "u1")
+		if err != nil {
+			return err
+		}
+		if row["name"] != "ada" {
+			t.Errorf("reopened row = %v", row)
+		}
+		return nil
+	})
+	var id2 string
+	db2.Update(func(tx *Tx) error { id2, _ = tx.NextID("users", "u"); return nil })
+	if id != "u-1" || id2 != "u-2" {
+		t.Fatalf("sequence not durable: %q then %q", id, id2)
+	}
+}
+
+func TestDurabilityAcrossCompaction(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir, &Options{CompactEvery: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CreateTable(usersSchema()); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		id := fmt.Sprintf("u%02d", i)
+		if err := db.Update(func(tx *Tx) error { return tx.Insert("users", userRow(id, "n", int64(i))) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Compaction must have produced a snapshot and kept the WAL short.
+	if st := db.Stats(); st.Snapshots != 1 {
+		t.Fatalf("expected snapshot after compaction, stats=%+v", st)
+	}
+	db.Close()
+
+	db2, err := Open(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	db2.View(func(tx *Tx) error {
+		n, _ := tx.Count("users", NewQuery())
+		if n != 20 {
+			t.Errorf("after compaction+reopen: %d rows, want 20", n)
+		}
+		return nil
+	})
+}
+
+func TestTornWALTailIsDiscarded(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.CreateTable(usersSchema())
+	db.Update(func(tx *Tx) error { return tx.Insert("users", userRow("u1", "a", 1)) })
+	db.Update(func(tx *Tx) error { return tx.Insert("users", userRow("u2", "b", 2)) })
+	db.Close()
+
+	// Simulate a crash mid-append: chop bytes off the last record.
+	walPath := filepath.Join(dir, "store.wal")
+	data, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(walPath, data[:len(data)-7], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	db2, err := Open(dir, nil)
+	if err != nil {
+		t.Fatalf("open after torn tail: %v", err)
+	}
+	defer db2.Close()
+	db2.View(func(tx *Tx) error {
+		if ok, _ := tx.Exists("users", "u1"); !ok {
+			t.Error("u1 lost")
+		}
+		if ok, _ := tx.Exists("users", "u2"); ok {
+			t.Error("torn u2 should be discarded")
+		}
+		return nil
+	})
+	// The store must accept new writes after recovery.
+	if err := db2.Update(func(tx *Tx) error { return tx.Insert("users", userRow("u3", "c", 3)) }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCorruptWALChecksumDiscardsTail(t *testing.T) {
+	dir := t.TempDir()
+	db, _ := Open(dir, nil)
+	db.CreateTable(usersSchema())
+	db.Update(func(tx *Tx) error { return tx.Insert("users", userRow("u1", "a", 1)) })
+	db.Close()
+
+	walPath := filepath.Join(dir, "store.wal")
+	data, _ := os.ReadFile(walPath)
+	data[len(data)-1] ^= 0xFF // flip a payload byte of the last record
+	os.WriteFile(walPath, data, 0o644)
+
+	db2, err := Open(dir, nil)
+	if err != nil {
+		t.Fatalf("open after corruption: %v", err)
+	}
+	defer db2.Close()
+	db2.View(func(tx *Tx) error {
+		if ok, _ := tx.Exists("users", "u1"); ok {
+			t.Error("corrupt record should be discarded")
+		}
+		return nil
+	})
+}
+
+func TestCreateTableIdempotentAndConflict(t *testing.T) {
+	db := newTestDB(t)
+	if err := db.CreateTable(usersSchema()); err != nil {
+		t.Fatalf("idempotent create failed: %v", err)
+	}
+	other := usersSchema()
+	other.Columns = other.Columns[:3]
+	if err := db.CreateTable(other); err == nil {
+		t.Fatal("conflicting schema accepted")
+	}
+}
+
+func TestUnknownTableErrors(t *testing.T) {
+	db := newTestDB(t)
+	err := db.View(func(tx *Tx) error {
+		_, err := tx.Get("ghosts", "x")
+		return err
+	})
+	if err == nil || !strings.Contains(err.Error(), "unknown table") {
+		t.Fatalf("expected unknown table error, got %v", err)
+	}
+}
+
+func TestReadOnlyTxRejectsWrites(t *testing.T) {
+	db := newTestDB(t)
+	db.View(func(tx *Tx) error {
+		if err := tx.Put("users", userRow("u", "x", 1)); err == nil {
+			t.Error("Put allowed in View")
+		}
+		if err := tx.Insert("users", userRow("u", "x", 1)); err == nil {
+			t.Error("Insert allowed in View")
+		}
+		if err := tx.Delete("users", "u"); err == nil || err == ErrNotFound {
+			t.Error("Delete allowed in View")
+		}
+		if _, err := tx.NextID("users", "u"); err == nil {
+			t.Error("NextID allowed in View")
+		}
+		return nil
+	})
+}
+
+func TestConcurrentReadersAndWriters(t *testing.T) {
+	db := newTestDB(t)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				id := fmt.Sprintf("w%d-%d", w, i)
+				err := db.Update(func(tx *Tx) error {
+					return tx.Insert("users", userRow(id, "conc", int64(i)))
+				})
+				if err != nil {
+					t.Errorf("writer %d: %v", w, err)
+					return
+				}
+			}
+		}(w)
+	}
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				db.View(func(tx *Tx) error {
+					_, err := tx.Count("users", NewQuery().Eq("name", "conc"))
+					return err
+				})
+			}
+		}()
+	}
+	wg.Wait()
+	db.View(func(tx *Tx) error {
+		n, _ := tx.Count("users", NewQuery())
+		if n != 200 {
+			t.Errorf("final count = %d, want 200", n)
+		}
+		return nil
+	})
+}
+
+func TestOpenMemory(t *testing.T) {
+	db := OpenMemory()
+	defer db.Close()
+	if err := db.CreateTable(usersSchema()); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Update(func(tx *Tx) error { return tx.Insert("users", userRow("u1", "m", 1)) }); err != nil {
+		t.Fatal(err)
+	}
+	st := db.Stats()
+	if st.Tables != 1 || st.Rows != 1 || st.WALSizeB != 0 {
+		t.Fatalf("memory stats = %+v", st)
+	}
+	if err := db.Compact(); err != nil {
+		t.Fatalf("memory compact should be a no-op: %v", err)
+	}
+}
+
+func TestTablesSorted(t *testing.T) {
+	db := OpenMemory()
+	for _, n := range []string{"zeta", "alpha", "mid"} {
+		s := Schema{Name: n, Key: "id", Columns: []Column{{Name: "id", Type: TString}}}
+		if err := db.CreateTable(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := db.Tables()
+	want := []string{"alpha", "mid", "zeta"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Tables() = %v", got)
+		}
+	}
+}

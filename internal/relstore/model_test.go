@@ -1,0 +1,188 @@
+package relstore
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// TestStoreAgreesWithMapModel is the central property test: a random
+// sequence of Put/Delete operations applied both to the store and to a
+// plain map must end in identical states — including after a close and
+// reopen, which additionally exercises the WAL replay path.
+func TestStoreAgreesWithMapModel(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		dir := t.TempDir()
+		db, err := Open(dir, &Options{Sync: SyncBatched, CompactEvery: 7})
+		if err != nil {
+			t.Logf("open: %v", err)
+			return false
+		}
+		if err := db.CreateTable(usersSchema()); err != nil {
+			t.Logf("create: %v", err)
+			return false
+		}
+		model := map[string]int64{} // id -> age
+
+		nOps := 30 + r.Intn(120)
+		for i := 0; i < nOps; i++ {
+			id := fmt.Sprintf("u%d", r.Intn(20))
+			switch r.Intn(3) {
+			case 0, 1: // put
+				age := r.Int63n(100)
+				row := userRow(id, "model", age)
+				if err := db.Update(func(tx *Tx) error { return tx.Put("users", row) }); err != nil {
+					t.Logf("put: %v", err)
+					return false
+				}
+				model[id] = age
+			case 2: // delete
+				err := db.Update(func(tx *Tx) error { return tx.Delete("users", id) })
+				_, existed := model[id]
+				if existed && err != nil {
+					t.Logf("delete existing: %v", err)
+					return false
+				}
+				if !existed && err != ErrNotFound {
+					t.Logf("delete missing: got %v", err)
+					return false
+				}
+				delete(model, id)
+			}
+		}
+
+		check := func(db *DB, label string) bool {
+			ok := true
+			db.View(func(tx *Tx) error {
+				n, _ := tx.Count("users", NewQuery())
+				if n != len(model) {
+					t.Logf("%s: count %d != model %d", label, n, len(model))
+					ok = false
+					return nil
+				}
+				for id, age := range model {
+					row, err := tx.Get("users", id)
+					if err != nil {
+						t.Logf("%s: get %s: %v", label, id, err)
+						ok = false
+						return nil
+					}
+					if row["age"].(int64) != age {
+						t.Logf("%s: %s age %v != %d", label, id, row["age"], age)
+						ok = false
+						return nil
+					}
+				}
+				// Index consistency: every row with name=model must be found
+				// via the index-assisted path.
+				rows, _ := tx.Select("users", NewQuery().Eq("name", "model"))
+				if len(rows) != len(model) {
+					t.Logf("%s: index path found %d, want %d", label, len(rows), len(model))
+					ok = false
+				}
+				return nil
+			})
+			return ok
+		}
+
+		if !check(db, "before reopen") {
+			db.Close()
+			return false
+		}
+		if err := db.Close(); err != nil {
+			t.Logf("close: %v", err)
+			return false
+		}
+		db2, err := Open(dir, nil)
+		if err != nil {
+			t.Logf("reopen: %v", err)
+			return false
+		}
+		defer db2.Close()
+		return check(db2, "after reopen")
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWALRoundTripProperty: any batch of rows written in one transaction
+// survives a reopen byte-for-byte (types preserved).
+func TestWALRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		dir := t.TempDir()
+		db, err := Open(dir, &Options{Sync: SyncBatched})
+		if err != nil {
+			return false
+		}
+		if err := db.CreateTable(usersSchema()); err != nil {
+			return false
+		}
+		want := make(map[string]Row)
+		err = db.Update(func(tx *Tx) error {
+			for i := 0; i < 1+r.Intn(10); i++ {
+				id := fmt.Sprintf("u%d", i)
+				row := Row{
+					"id":      id,
+					"name":    fmt.Sprintf("n%d", r.Intn(5)),
+					"age":     r.Int63n(1000),
+					"score":   float64(r.Intn(100)) / 3.0,
+					"admin":   r.Intn(2) == 0,
+					"avatar":  []byte{byte(r.Intn(256)), byte(r.Intn(256))},
+					"created": time.Unix(r.Int63n(1e9), r.Int63n(1e9)).UTC(),
+				}
+				want[id] = row
+				if err := tx.Put("users", row); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Logf("update: %v", err)
+			return false
+		}
+		db.Close()
+		db2, err := Open(dir, nil)
+		if err != nil {
+			return false
+		}
+		defer db2.Close()
+		ok := true
+		db2.View(func(tx *Tx) error {
+			for id, w := range want {
+				got, err := tx.Get("users", id)
+				if err != nil {
+					ok = false
+					return nil
+				}
+				if got["name"] != w["name"] || got["age"] != w["age"] ||
+					got["score"] != w["score"] || got["admin"] != w["admin"] {
+					t.Logf("scalar mismatch: %v vs %v", got, w)
+					ok = false
+					return nil
+				}
+				gb, wb := got["avatar"].([]byte), w["avatar"].([]byte)
+				if len(gb) != len(wb) || gb[0] != wb[0] {
+					t.Logf("bytes mismatch")
+					ok = false
+					return nil
+				}
+				if !got["created"].(time.Time).Equal(w["created"].(time.Time)) {
+					t.Logf("time mismatch: %v vs %v", got["created"], w["created"])
+					ok = false
+					return nil
+				}
+			}
+			return nil
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,254 @@
+// Package relstore implements the embedded relational table store backing
+// Chronos Control.
+//
+// The original Chronos stores its data model (projects, experiments,
+// evaluations, jobs, systems, deployments, users) in MySQL/MariaDB. This
+// reproduction is offline and stdlib-only, so relstore provides the same
+// contract as the thin data layer Chronos needs: durable, transactional
+// CRUD over typed tables with secondary indexes and predicate scans.
+//
+// Durability follows the classic write-ahead log design: every committed
+// transaction is appended to a WAL (length- and CRC-framed JSON records)
+// before it is applied to the in-memory tables; a snapshot plus WAL replay
+// restores the state on open, tolerating a torn final record from a crash.
+package relstore
+
+import (
+	"encoding/base64"
+	"fmt"
+	"math"
+	"time"
+)
+
+// ColType enumerates the column types supported by the store.
+type ColType string
+
+const (
+	// TInt is a 64-bit signed integer column.
+	TInt ColType = "int"
+	// TFloat is a 64-bit float column.
+	TFloat ColType = "float"
+	// TString is a UTF-8 string column.
+	TString ColType = "string"
+	// TBool is a boolean column.
+	TBool ColType = "bool"
+	// TBytes is an arbitrary byte-string column (base64 in the WAL).
+	TBytes ColType = "bytes"
+	// TTime is a timestamp column with nanosecond precision.
+	TTime ColType = "time"
+)
+
+// Column declares one column of a table.
+type Column struct {
+	Name string  `json:"name"`
+	Type ColType `json:"type"`
+	// Indexed creates a secondary equality index over the column.
+	Indexed bool `json:"indexed,omitempty"`
+	// Nullable permits the column to be absent from a row.
+	Nullable bool `json:"nullable,omitempty"`
+}
+
+// Schema declares a table: its name, primary key and columns. The primary
+// key is always a string column named by Key and is implicitly indexed.
+type Schema struct {
+	Name    string   `json:"name"`
+	Key     string   `json:"key"`
+	Columns []Column `json:"columns"`
+}
+
+// Check validates the schema definition.
+func (s *Schema) Check() error {
+	if s.Name == "" {
+		return fmt.Errorf("relstore: schema without table name")
+	}
+	if s.Key == "" {
+		return fmt.Errorf("relstore: table %q without key column", s.Name)
+	}
+	seen := map[string]bool{}
+	keyFound := false
+	for _, c := range s.Columns {
+		if c.Name == "" {
+			return fmt.Errorf("relstore: table %q has unnamed column", s.Name)
+		}
+		if seen[c.Name] {
+			return fmt.Errorf("relstore: table %q has duplicate column %q", s.Name, c.Name)
+		}
+		seen[c.Name] = true
+		switch c.Type {
+		case TInt, TFloat, TString, TBool, TBytes, TTime:
+		default:
+			return fmt.Errorf("relstore: table %q column %q has unknown type %q", s.Name, c.Name, c.Type)
+		}
+		if c.Name == s.Key {
+			keyFound = true
+			if c.Type != TString {
+				return fmt.Errorf("relstore: table %q key column must be string", s.Name)
+			}
+			if c.Nullable {
+				return fmt.Errorf("relstore: table %q key column cannot be nullable", s.Name)
+			}
+		}
+	}
+	if !keyFound {
+		return fmt.Errorf("relstore: table %q key column %q not declared", s.Name, s.Key)
+	}
+	return nil
+}
+
+// column returns the declaration of the named column.
+func (s *Schema) column(name string) (Column, bool) {
+	for _, c := range s.Columns {
+		if c.Name == name {
+			return c, true
+		}
+	}
+	return Column{}, false
+}
+
+// Row is a single record: column name to value. Value types are exactly
+// int64, float64, string, bool, []byte or time.Time, matching the column
+// declaration.
+type Row map[string]any
+
+// Clone returns a deep copy of the row ([]byte payloads are copied).
+func (r Row) Clone() Row {
+	cp := make(Row, len(r))
+	for k, v := range r {
+		if b, ok := v.([]byte); ok {
+			nb := make([]byte, len(b))
+			copy(nb, b)
+			cp[k] = nb
+			continue
+		}
+		cp[k] = v
+	}
+	return cp
+}
+
+// validate checks the row against the schema: key present, all columns
+// declared, types correct, non-nullable columns present.
+func (s *Schema) validate(r Row) error {
+	id, ok := r[s.Key].(string)
+	if !ok || id == "" {
+		return fmt.Errorf("relstore: table %q row without string key %q", s.Name, s.Key)
+	}
+	for name, v := range r {
+		col, ok := s.column(name)
+		if !ok {
+			return fmt.Errorf("relstore: table %q has no column %q", s.Name, name)
+		}
+		if !typeMatches(col.Type, v) {
+			return fmt.Errorf("relstore: table %q column %q: value %T does not match %s", s.Name, name, v, col.Type)
+		}
+	}
+	for _, c := range s.Columns {
+		if c.Nullable || c.Name == s.Key {
+			continue
+		}
+		if _, ok := r[c.Name]; !ok {
+			return fmt.Errorf("relstore: table %q row %q missing column %q", s.Name, id, c.Name)
+		}
+	}
+	return nil
+}
+
+func typeMatches(t ColType, v any) bool {
+	switch t {
+	case TInt:
+		_, ok := v.(int64)
+		return ok
+	case TFloat:
+		_, ok := v.(float64)
+		return ok
+	case TString:
+		_, ok := v.(string)
+		return ok
+	case TBool:
+		_, ok := v.(bool)
+		return ok
+	case TBytes:
+		_, ok := v.([]byte)
+		return ok
+	case TTime:
+		_, ok := v.(time.Time)
+		return ok
+	}
+	return false
+}
+
+// encodeValue converts a typed value into its JSON-safe WAL form.
+func encodeValue(t ColType, v any) any {
+	switch t {
+	case TBytes:
+		return base64.StdEncoding.EncodeToString(v.([]byte))
+	case TTime:
+		return v.(time.Time).UTC().Format(time.RFC3339Nano)
+	default:
+		return v
+	}
+}
+
+// decodeValue converts a JSON-decoded WAL value back into its typed form
+// using the schema. JSON numbers arrive as float64.
+func decodeValue(t ColType, v any) (any, error) {
+	switch t {
+	case TInt:
+		switch n := v.(type) {
+		case float64:
+			if n != math.Trunc(n) {
+				return nil, fmt.Errorf("relstore: non-integral value %v for int column", n)
+			}
+			return int64(n), nil
+		case int64:
+			return n, nil
+		}
+	case TFloat:
+		if f, ok := v.(float64); ok {
+			return f, nil
+		}
+	case TString:
+		if s, ok := v.(string); ok {
+			return s, nil
+		}
+	case TBool:
+		if b, ok := v.(bool); ok {
+			return b, nil
+		}
+	case TBytes:
+		if s, ok := v.(string); ok {
+			return base64.StdEncoding.DecodeString(s)
+		}
+	case TTime:
+		if s, ok := v.(string); ok {
+			return time.Parse(time.RFC3339Nano, s)
+		}
+	}
+	return nil, fmt.Errorf("relstore: cannot decode %T as %s", v, t)
+}
+
+// encodeRow converts a validated row to its WAL representation.
+func (s *Schema) encodeRow(r Row) map[string]any {
+	out := make(map[string]any, len(r))
+	for name, v := range r {
+		col, _ := s.column(name)
+		out[name] = encodeValue(col.Type, v)
+	}
+	return out
+}
+
+// decodeRow converts a WAL representation back into a typed row.
+func (s *Schema) decodeRow(enc map[string]any) (Row, error) {
+	out := make(Row, len(enc))
+	for name, v := range enc {
+		col, ok := s.column(name)
+		if !ok {
+			return nil, fmt.Errorf("relstore: table %q has no column %q", s.Name, name)
+		}
+		dv, err := decodeValue(col.Type, v)
+		if err != nil {
+			return nil, fmt.Errorf("relstore: table %q column %q: %w", s.Name, name, err)
+		}
+		out[name] = dv
+	}
+	return out, nil
+}

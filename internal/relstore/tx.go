@@ -1,0 +1,377 @@
+package relstore
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+)
+
+// ErrNotFound is returned by Get when no row has the requested key.
+var ErrNotFound = fmt.Errorf("relstore: row not found")
+
+// pendingRow buffers one uncommitted write. A nil row marks a delete.
+type pendingRow struct {
+	row Row // nil = tombstone
+}
+
+// Tx is a transaction handle passed to DB.Update and DB.View callbacks.
+// Read operations observe the committed state plus the transaction's own
+// buffered writes (read-your-writes). Tx must not escape the callback.
+type Tx struct {
+	db       *DB
+	writable bool
+	// pending maps table -> id -> buffered write, in insertion order via
+	// pendingOrder for deterministic WAL layout.
+	pending      map[string]map[string]*pendingRow
+	pendingOrder []pendingKey
+	// seqs buffers sequence advances.
+	seqs map[string]int64
+}
+
+type pendingKey struct {
+	table, id string
+}
+
+func (tx *Tx) table(name string) (*table, error) {
+	t := tx.db.tables[name]
+	if t == nil {
+		return nil, fmt.Errorf("relstore: unknown table %q", name)
+	}
+	return t, nil
+}
+
+// Get returns a copy of the row with the given key, or ErrNotFound.
+func (tx *Tx) Get(tableName, id string) (Row, error) {
+	t, err := tx.table(tableName)
+	if err != nil {
+		return nil, err
+	}
+	if tx.pending != nil {
+		if p, ok := tx.pending[tableName][id]; ok {
+			if p.row == nil {
+				return nil, ErrNotFound
+			}
+			return p.row.Clone(), nil
+		}
+	}
+	row, ok := t.rows[id]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	return row.Clone(), nil
+}
+
+// Exists reports whether a row with the given key exists.
+func (tx *Tx) Exists(tableName, id string) (bool, error) {
+	_, err := tx.Get(tableName, id)
+	if err == ErrNotFound {
+		return false, nil
+	}
+	if err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// Put inserts or replaces a row (upsert). The row must carry the key
+// column and validate against the schema.
+func (tx *Tx) Put(tableName string, row Row) error {
+	if !tx.writable {
+		return fmt.Errorf("relstore: Put in read-only transaction")
+	}
+	t, err := tx.table(tableName)
+	if err != nil {
+		return err
+	}
+	if err := t.schema.validate(row); err != nil {
+		return err
+	}
+	id := row[t.schema.Key].(string)
+	tx.buffer(tableName, id, &pendingRow{row: row.Clone()})
+	return nil
+}
+
+// Insert adds a new row, failing if the key already exists.
+func (tx *Tx) Insert(tableName string, row Row) error {
+	if !tx.writable {
+		return fmt.Errorf("relstore: Insert in read-only transaction")
+	}
+	t, err := tx.table(tableName)
+	if err != nil {
+		return err
+	}
+	if err := t.schema.validate(row); err != nil {
+		return err
+	}
+	id := row[t.schema.Key].(string)
+	exists, err := tx.Exists(tableName, id)
+	if err != nil {
+		return err
+	}
+	if exists {
+		return fmt.Errorf("relstore: table %q already has row %q", tableName, id)
+	}
+	tx.buffer(tableName, id, &pendingRow{row: row.Clone()})
+	return nil
+}
+
+// Delete removes the row with the given key. Deleting a missing row
+// returns ErrNotFound.
+func (tx *Tx) Delete(tableName, id string) error {
+	if !tx.writable {
+		return fmt.Errorf("relstore: Delete in read-only transaction")
+	}
+	exists, err := tx.Exists(tableName, id)
+	if err != nil {
+		return err
+	}
+	if !exists {
+		return ErrNotFound
+	}
+	tx.buffer(tableName, id, &pendingRow{row: nil})
+	return nil
+}
+
+// buffer records a pending write, replacing any earlier write to the same
+// row within this transaction.
+func (tx *Tx) buffer(table, id string, p *pendingRow) {
+	m := tx.pending[table]
+	if m == nil {
+		m = make(map[string]*pendingRow)
+		tx.pending[table] = m
+	}
+	if _, seen := m[id]; !seen {
+		tx.pendingOrder = append(tx.pendingOrder, pendingKey{table, id})
+	}
+	m[id] = p
+}
+
+// NextID reserves the next value of the table's auto-increment sequence
+// and returns it formatted with the given prefix, e.g. NextID("jobs",
+// "job") -> "job-17". The advance commits atomically with the rest of the
+// transaction.
+func (tx *Tx) NextID(tableName, prefix string) (string, error) {
+	n, err := tx.NextSeq(tableName)
+	if err != nil {
+		return "", err
+	}
+	return prefix + "-" + strconv.FormatInt(n, 10), nil
+}
+
+// NextSeq reserves and returns the next value of the table's
+// auto-increment sequence. The advance commits atomically with the rest
+// of the transaction.
+func (tx *Tx) NextSeq(tableName string) (int64, error) {
+	if !tx.writable {
+		return 0, fmt.Errorf("relstore: NextSeq in read-only transaction")
+	}
+	t, err := tx.table(tableName)
+	if err != nil {
+		return 0, err
+	}
+	cur, ok := tx.seqs[tableName]
+	if !ok {
+		cur = t.seq
+	}
+	cur++
+	tx.seqs[tableName] = cur
+	return cur, nil
+}
+
+// Predicate filters rows in Select.
+type Predicate func(Row) bool
+
+// Eq matches rows whose column equals v. When the column is indexed the
+// scan is index-assisted.
+type eqPredicate struct {
+	col string
+	val any
+}
+
+// Query describes a Select: optional equality fast-path plus arbitrary
+// predicate filters.
+type Query struct {
+	eq      []eqPredicate
+	filters []Predicate
+	limit   int
+}
+
+// NewQuery returns an empty query matching all rows.
+func NewQuery() *Query { return &Query{} }
+
+// Eq adds an equality condition; indexed columns use the secondary index.
+func (q *Query) Eq(col string, val any) *Query {
+	q.eq = append(q.eq, eqPredicate{col, val})
+	return q
+}
+
+// Where adds an arbitrary predicate.
+func (q *Query) Where(p Predicate) *Query {
+	q.filters = append(q.filters, p)
+	return q
+}
+
+// Limit caps the number of returned rows (0 = unlimited).
+func (q *Query) Limit(n int) *Query {
+	q.limit = n
+	return q
+}
+
+// Select returns copies of all rows matching the query, ordered by key
+// for determinism.
+func (tx *Tx) Select(tableName string, q *Query) ([]Row, error) {
+	t, err := tx.table(tableName)
+	if err != nil {
+		return nil, err
+	}
+	if q == nil {
+		q = NewQuery()
+	}
+
+	// Candidate id set: intersect indexed equality conditions if possible,
+	// else full scan.
+	candidates := tx.candidateIDs(t, q)
+
+	matched := make([]Row, 0, 16)
+	ids := make([]string, 0, len(candidates))
+	for _, id := range candidates {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		row := tx.effectiveRow(t, tableName, id)
+		if row == nil {
+			continue
+		}
+		if !matchesQuery(row, q) {
+			continue
+		}
+		matched = append(matched, row.Clone())
+		if q.limit > 0 && len(matched) >= q.limit {
+			break
+		}
+	}
+	return matched, nil
+}
+
+// Count returns the number of rows matching the query.
+func (tx *Tx) Count(tableName string, q *Query) (int, error) {
+	rows, err := tx.Select(tableName, q)
+	if err != nil {
+		return 0, err
+	}
+	return len(rows), nil
+}
+
+// candidateIDs picks the cheapest starting set of row ids for a query.
+func (tx *Tx) candidateIDs(t *table, q *Query) []string {
+	// Try an indexed equality condition first.
+	for _, eq := range q.eq {
+		idx, ok := t.indexes[eq.col]
+		if !ok {
+			continue
+		}
+		ids := make([]string, 0)
+		for id := range idx[indexKey(eq.val)] {
+			ids = append(ids, id)
+		}
+		// Pending rows may add matches the committed index doesn't know.
+		for _, pk := range tx.pendingOrder {
+			if pk.table != t.schema.Name {
+				continue
+			}
+			ids = append(ids, pk.id)
+		}
+		return dedupe(ids)
+	}
+	// Full scan: committed rows plus pending inserts.
+	ids := make([]string, 0, len(t.rows))
+	for id := range t.rows {
+		ids = append(ids, id)
+	}
+	for _, pk := range tx.pendingOrder {
+		if pk.table == t.schema.Name {
+			ids = append(ids, pk.id)
+		}
+	}
+	return dedupe(ids)
+}
+
+func dedupe(ids []string) []string {
+	seen := make(map[string]struct{}, len(ids))
+	out := ids[:0]
+	for _, id := range ids {
+		if _, ok := seen[id]; ok {
+			continue
+		}
+		seen[id] = struct{}{}
+		out = append(out, id)
+	}
+	return out
+}
+
+// effectiveRow resolves a row id through the transaction's write buffer.
+func (tx *Tx) effectiveRow(t *table, tableName, id string) Row {
+	if tx.pending != nil {
+		if p, ok := tx.pending[tableName][id]; ok {
+			return p.row // may be nil (tombstone)
+		}
+	}
+	return t.rows[id]
+}
+
+func matchesQuery(row Row, q *Query) bool {
+	for _, eq := range q.eq {
+		v, ok := row[eq.col]
+		if !ok || !valueEqual(v, eq.val) {
+			return false
+		}
+	}
+	for _, f := range q.filters {
+		if !f(row) {
+			return false
+		}
+	}
+	return true
+}
+
+// valueEqual compares two column values of the supported types.
+func valueEqual(a, b any) bool {
+	if ab, ok := a.([]byte); ok {
+		bb, ok2 := b.([]byte)
+		if !ok2 || len(ab) != len(bb) {
+			return false
+		}
+		for i := range ab {
+			if ab[i] != bb[i] {
+				return false
+			}
+		}
+		return true
+	}
+	return a == b
+}
+
+// toWALRecord converts buffered writes into a WAL record in buffer order.
+func (tx *Tx) toWALRecord() walRecord {
+	var rec walRecord
+	for _, pk := range tx.pendingOrder {
+		p := tx.pending[pk.table][pk.id]
+		t := tx.db.tables[pk.table]
+		if p.row == nil {
+			rec.Ops = append(rec.Ops, walOp{Op: opDelete, Table: pk.table, ID: pk.id})
+		} else {
+			rec.Ops = append(rec.Ops, walOp{Op: opPut, Table: pk.table, ID: pk.id, Row: t.schema.encodeRow(p.row)})
+		}
+	}
+	// Deterministic sequence ordering.
+	tables := make([]string, 0, len(tx.seqs))
+	for tbl := range tx.seqs {
+		tables = append(tables, tbl)
+	}
+	sort.Strings(tables)
+	for _, tbl := range tables {
+		rec.Ops = append(rec.Ops, walOp{Op: opSeq, Table: tbl, Seq: tx.seqs[tbl]})
+	}
+	return rec
+}

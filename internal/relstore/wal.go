@@ -1,0 +1,271 @@
+package relstore
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+)
+
+// walOp codes.
+const (
+	opPut    = "put"
+	opDelete = "del"
+	opSeq    = "seq"
+)
+
+// walOp is one mutation within a committed transaction.
+type walOp struct {
+	Op    string         `json:"op"`
+	Table string         `json:"table"`
+	ID    string         `json:"id,omitempty"`
+	Row   map[string]any `json:"row,omitempty"`
+	Seq   int64          `json:"seq,omitempty"`
+}
+
+// walRecord is one framed WAL entry: either a table creation or a batch
+// of operations from a single transaction.
+type walRecord struct {
+	CreateTable *Schema `json:"createTable,omitempty"`
+	Ops         []walOp `json:"ops,omitempty"`
+}
+
+// walWriter appends framed records to the log file. Frame layout:
+//
+//	uint32 little-endian payload length
+//	uint32 little-endian CRC-32 (IEEE) of the payload
+//	payload (JSON)
+//
+// A torn final frame (short write during a crash) is detected by length
+// or checksum mismatch on replay and discarded.
+type walWriter struct {
+	f    *os.File
+	buf  *bufio.Writer
+	sync bool
+}
+
+func openWALWriter(path string, syncEveryCommit bool) (*walWriter, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("relstore: open wal: %w", err)
+	}
+	return &walWriter{f: f, buf: bufio.NewWriterSize(f, 64<<10), sync: syncEveryCommit}, nil
+}
+
+// Append frames and writes one record, flushing (and optionally syncing)
+// before returning so the commit is durable on success.
+func (w *walWriter) Append(rec walRecord) error {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("relstore: marshal wal record: %w", err)
+	}
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload))
+	if _, err := w.buf.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := w.buf.Write(payload); err != nil {
+		return err
+	}
+	if err := w.buf.Flush(); err != nil {
+		return err
+	}
+	if w.sync {
+		if err := w.f.Sync(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Reset truncates the log after a snapshot has been persisted.
+func (w *walWriter) Reset() error {
+	if err := w.buf.Flush(); err != nil {
+		return err
+	}
+	if err := w.f.Truncate(0); err != nil {
+		return err
+	}
+	if _, err := w.f.Seek(0, io.SeekStart); err != nil {
+		return err
+	}
+	w.buf.Reset(w.f)
+	return w.f.Sync()
+}
+
+// Close flushes and closes the file.
+func (w *walWriter) Close() error {
+	if err := w.buf.Flush(); err != nil {
+		return err
+	}
+	if err := w.f.Sync(); err != nil {
+		return err
+	}
+	return w.f.Close()
+}
+
+// errTornRecord marks a truncated or corrupt trailing record.
+var errTornRecord = errors.New("relstore: torn wal record")
+
+// readWAL parses all complete records from r, stopping silently at a torn
+// tail (the expected artefact of a crash mid-append).
+func readWAL(r io.Reader) ([]walRecord, error) {
+	br := bufio.NewReaderSize(r, 64<<10)
+	var out []walRecord
+	for {
+		rec, err := readOneRecord(br)
+		if err == io.EOF {
+			return out, nil
+		}
+		if errors.Is(err, errTornRecord) {
+			// A torn tail means the final commit never acknowledged; all
+			// preceding records are intact.
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, rec)
+	}
+}
+
+func readOneRecord(br *bufio.Reader) (walRecord, error) {
+	var hdr [8]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		if err == io.EOF {
+			return walRecord{}, io.EOF
+		}
+		return walRecord{}, errTornRecord
+	}
+	length := binary.LittleEndian.Uint32(hdr[0:4])
+	sum := binary.LittleEndian.Uint32(hdr[4:8])
+	if length > 1<<30 {
+		return walRecord{}, errTornRecord
+	}
+	payload := make([]byte, length)
+	if _, err := io.ReadFull(br, payload); err != nil {
+		return walRecord{}, errTornRecord
+	}
+	if crc32.ChecksumIEEE(payload) != sum {
+		return walRecord{}, errTornRecord
+	}
+	var rec walRecord
+	if err := json.Unmarshal(payload, &rec); err != nil {
+		return walRecord{}, fmt.Errorf("relstore: decode wal record: %w", err)
+	}
+	return rec, nil
+}
+
+// replayWAL applies all intact WAL records to the in-memory state.
+func (db *DB) replayWAL() error {
+	if db.dir == "" {
+		return nil
+	}
+	f, err := os.Open(db.walPath())
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return err
+	}
+	defer f.Close()
+	recs, err := readWAL(f)
+	if err != nil {
+		return err
+	}
+	for _, rec := range recs {
+		if rec.CreateTable != nil {
+			if _, ok := db.tables[rec.CreateTable.Name]; !ok {
+				db.tables[rec.CreateTable.Name] = newTable(*rec.CreateTable)
+			}
+			continue
+		}
+		for _, op := range rec.Ops {
+			t := db.tables[op.Table]
+			if t == nil {
+				return fmt.Errorf("relstore: wal references unknown table %q", op.Table)
+			}
+			if err := t.apply(op); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// snapshotFile is the JSON layout of a full store snapshot.
+type snapshotFile struct {
+	Version int             `json:"version"`
+	Tables  []snapshotTable `json:"tables"`
+}
+
+type snapshotTable struct {
+	Schema Schema                    `json:"schema"`
+	Seq    int64                     `json:"seq"`
+	Rows   map[string]map[string]any `json:"rows"`
+}
+
+// writeSnapshot persists the full state atomically (write temp + rename).
+// It takes the table read lock itself; callers must not hold db.mu.
+func (db *DB) writeSnapshot() error {
+	if db.dir == "" {
+		return nil
+	}
+	db.mu.RLock()
+	snap := snapshotFile{Version: 1}
+	for _, t := range db.tables {
+		st := snapshotTable{Schema: t.schema, Seq: t.seq, Rows: make(map[string]map[string]any, len(t.rows))}
+		for id, row := range t.rows {
+			st.Rows[id] = t.schema.encodeRow(row)
+		}
+		snap.Tables = append(snap.Tables, st)
+	}
+	db.mu.RUnlock()
+
+	data, err := json.Marshal(&snap)
+	if err != nil {
+		return fmt.Errorf("relstore: marshal snapshot: %w", err)
+	}
+	tmp := db.snapshotPath() + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, db.snapshotPath())
+}
+
+// loadSnapshot restores the snapshot file if present.
+func (db *DB) loadSnapshot() error {
+	if db.dir == "" {
+		return nil
+	}
+	data, err := os.ReadFile(db.snapshotPath())
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return err
+	}
+	var snap snapshotFile
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return fmt.Errorf("relstore: decode snapshot: %w", err)
+	}
+	for _, st := range snap.Tables {
+		t := newTable(st.Schema)
+		t.seq = st.Seq
+		for id, enc := range st.Rows {
+			row, err := st.Schema.decodeRow(enc)
+			if err != nil {
+				return err
+			}
+			t.rows[id] = row
+			t.addToIndexes(id, row)
+		}
+		db.tables[st.Schema.Name] = t
+	}
+	return nil
+}

@@ -1,0 +1,468 @@
+package rest
+
+import (
+	"net/http"
+
+	"chronos/internal/api"
+	"chronos/internal/core"
+	"chronos/internal/httputil"
+)
+
+// Wire types live in internal/api so the Go client SDK shares them; the
+// aliases below keep the handlers readable.
+type (
+	CreateUserRequest        = api.CreateUserRequest
+	CreateProjectRequest     = api.CreateProjectRequest
+	AddMemberRequest         = api.AddMemberRequest
+	RegisterSystemRequest    = api.RegisterSystemRequest
+	CreateDeploymentRequest  = api.CreateDeploymentRequest
+	SetActiveRequest         = api.SetActiveRequest
+	CreateExperimentRequest  = api.CreateExperimentRequest
+	CreateEvaluationRequest  = api.CreateEvaluationRequest
+	CreateEvaluationResponse = api.CreateEvaluationResponse
+	ClaimRequest             = api.ClaimRequest
+	ClaimResponse            = api.ClaimResponse
+	ProgressRequest          = api.ProgressRequest
+	StatusResponse           = api.StatusResponse
+	LogRequest               = api.LogRequest
+	CompleteRequest          = api.CompleteRequest
+	FailRequest              = api.FailRequest
+	BatchUpdateRequest       = api.BatchUpdateRequest
+)
+
+// --- users ---
+
+func (s *Server) handleCreateUser(w http.ResponseWriter, r *http.Request) {
+	var req CreateUserRequest
+	if err := httputil.DecodeJSON(r, &req); err != nil {
+		httputil.WriteError(w, http.StatusBadRequest, err)
+		return
+	}
+	u, err := s.svc.CreateUser(req.Name, req.Role)
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	httputil.WriteJSON(w, http.StatusCreated, u)
+}
+
+func (s *Server) handleListUsers(w http.ResponseWriter, r *http.Request) {
+	us, err := s.svc.ListUsers()
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	httputil.WriteJSON(w, http.StatusOK, us)
+}
+
+func (s *Server) handleGetUser(w http.ResponseWriter, r *http.Request) {
+	u, err := s.svc.GetUser(r.PathValue("id"))
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	httputil.WriteJSON(w, http.StatusOK, u)
+}
+
+// --- projects ---
+
+func (s *Server) handleCreateProject(w http.ResponseWriter, r *http.Request) {
+	var req CreateProjectRequest
+	if err := httputil.DecodeJSON(r, &req); err != nil {
+		httputil.WriteError(w, http.StatusBadRequest, err)
+		return
+	}
+	p, err := s.svc.CreateProject(req.Name, req.Description, req.OwnerID, req.MemberIDs)
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	httputil.WriteJSON(w, http.StatusCreated, p)
+}
+
+func (s *Server) handleListProjects(w http.ResponseWriter, r *http.Request) {
+	ps, err := s.svc.ListProjects()
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	httputil.WriteJSON(w, http.StatusOK, ps)
+}
+
+func (s *Server) handleGetProject(w http.ResponseWriter, r *http.Request) {
+	p, err := s.svc.GetProject(r.PathValue("id"))
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	httputil.WriteJSON(w, http.StatusOK, p)
+}
+
+func (s *Server) handleArchiveProject(w http.ResponseWriter, r *http.Request) {
+	if err := s.svc.ArchiveProject(r.PathValue("id")); err != nil {
+		fail(w, err)
+		return
+	}
+	httputil.WriteJSON(w, http.StatusOK, "archived")
+}
+
+func (s *Server) handleExportProject(w http.ResponseWriter, r *http.Request) {
+	data, err := s.svc.ExportProject(r.PathValue("id"))
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/zip")
+	w.Header().Set("Content-Disposition", "attachment; filename=project-export.zip")
+	w.WriteHeader(http.StatusOK)
+	w.Write(data)
+}
+
+func (s *Server) handleAddProjectMember(w http.ResponseWriter, r *http.Request) {
+	var req AddMemberRequest
+	if err := httputil.DecodeJSON(r, &req); err != nil {
+		httputil.WriteError(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := s.svc.AddProjectMember(r.PathValue("id"), req.UserID); err != nil {
+		fail(w, err)
+		return
+	}
+	httputil.WriteJSON(w, http.StatusOK, "added")
+}
+
+// --- systems ---
+
+func (s *Server) handleRegisterSystem(w http.ResponseWriter, r *http.Request) {
+	var req RegisterSystemRequest
+	if err := httputil.DecodeJSON(r, &req); err != nil {
+		httputil.WriteError(w, http.StatusBadRequest, err)
+		return
+	}
+	sys, err := s.svc.RegisterSystem(req.Name, req.Description, req.Parameters, req.Diagrams)
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	httputil.WriteJSON(w, http.StatusCreated, sys)
+}
+
+func (s *Server) handleListSystems(w http.ResponseWriter, r *http.Request) {
+	out, err := s.svc.ListSystems()
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	httputil.WriteJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleGetSystem(w http.ResponseWriter, r *http.Request) {
+	sys, err := s.svc.GetSystem(r.PathValue("id"))
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	httputil.WriteJSON(w, http.StatusOK, sys)
+}
+
+// --- deployments ---
+
+func (s *Server) handleCreateDeployment(w http.ResponseWriter, r *http.Request) {
+	var req CreateDeploymentRequest
+	if err := httputil.DecodeJSON(r, &req); err != nil {
+		httputil.WriteError(w, http.StatusBadRequest, err)
+		return
+	}
+	d, err := s.svc.CreateDeployment(req.SystemID, req.Name, req.Environment, req.Version)
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	httputil.WriteJSON(w, http.StatusCreated, d)
+}
+
+func (s *Server) handleListDeployments(w http.ResponseWriter, r *http.Request) {
+	out, err := s.svc.ListDeployments(r.URL.Query().Get("system"))
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	httputil.WriteJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleSetDeploymentActive(w http.ResponseWriter, r *http.Request) {
+	var req SetActiveRequest
+	if err := httputil.DecodeJSON(r, &req); err != nil {
+		httputil.WriteError(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := s.svc.SetDeploymentActive(r.PathValue("id"), req.Active); err != nil {
+		fail(w, err)
+		return
+	}
+	httputil.WriteJSON(w, http.StatusOK, "updated")
+}
+
+// --- experiments ---
+
+func (s *Server) handleCreateExperiment(w http.ResponseWriter, r *http.Request) {
+	var req CreateExperimentRequest
+	if err := httputil.DecodeJSON(r, &req); err != nil {
+		httputil.WriteError(w, http.StatusBadRequest, err)
+		return
+	}
+	e, err := s.svc.CreateExperiment(req.ProjectID, req.SystemID, req.Name, req.Description, req.Settings, req.MaxAttempts)
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	httputil.WriteJSON(w, http.StatusCreated, e)
+}
+
+func (s *Server) handleListExperiments(w http.ResponseWriter, r *http.Request) {
+	out, err := s.svc.ListExperiments(r.URL.Query().Get("project"))
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	httputil.WriteJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleGetExperiment(w http.ResponseWriter, r *http.Request) {
+	e, err := s.svc.GetExperiment(r.PathValue("id"))
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	httputil.WriteJSON(w, http.StatusOK, e)
+}
+
+func (s *Server) handleArchiveExperiment(w http.ResponseWriter, r *http.Request) {
+	if err := s.svc.ArchiveExperiment(r.PathValue("id")); err != nil {
+		fail(w, err)
+		return
+	}
+	httputil.WriteJSON(w, http.StatusOK, "archived")
+}
+
+// --- evaluations ---
+
+func (s *Server) handleCreateEvaluation(w http.ResponseWriter, r *http.Request) {
+	var req CreateEvaluationRequest
+	if err := httputil.DecodeJSON(r, &req); err != nil {
+		httputil.WriteError(w, http.StatusBadRequest, err)
+		return
+	}
+	ev, jobs, err := s.svc.CreateEvaluation(req.ExperimentID)
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	httputil.WriteJSON(w, http.StatusCreated, CreateEvaluationResponse{Evaluation: ev, Jobs: jobs})
+}
+
+func (s *Server) handleListEvaluations(w http.ResponseWriter, r *http.Request) {
+	out, err := s.svc.ListEvaluations(r.URL.Query().Get("experiment"))
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	httputil.WriteJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleGetEvaluation(w http.ResponseWriter, r *http.Request) {
+	ev, err := s.svc.GetEvaluation(r.PathValue("id"))
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	httputil.WriteJSON(w, http.StatusOK, ev)
+}
+
+func (s *Server) handleEvaluationStatus(w http.ResponseWriter, r *http.Request) {
+	st, err := s.svc.EvaluationStatusOf(r.PathValue("id"))
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	httputil.WriteJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleEvaluationJobs(w http.ResponseWriter, r *http.Request) {
+	jobs, err := s.svc.ListJobs(r.PathValue("id"))
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	httputil.WriteJSON(w, http.StatusOK, jobs)
+}
+
+// --- job management ---
+
+func (s *Server) handleGetJob(w http.ResponseWriter, r *http.Request) {
+	j, err := s.svc.GetJob(r.PathValue("id"))
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	httputil.WriteJSON(w, http.StatusOK, j)
+}
+
+func (s *Server) handleAbortJob(w http.ResponseWriter, r *http.Request) {
+	if err := s.svc.AbortJob(r.PathValue("id")); err != nil {
+		fail(w, err)
+		return
+	}
+	httputil.WriteJSON(w, http.StatusOK, "aborted")
+}
+
+func (s *Server) handleRescheduleJob(w http.ResponseWriter, r *http.Request) {
+	if err := s.svc.RescheduleJob(r.PathValue("id")); err != nil {
+		fail(w, err)
+		return
+	}
+	httputil.WriteJSON(w, http.StatusOK, "rescheduled")
+}
+
+func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) {
+	res, err := s.svc.GetJobResult(r.PathValue("id"))
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	httputil.WriteJSON(w, http.StatusOK, res)
+}
+
+func (s *Server) handleJobLogs(w http.ResponseWriter, r *http.Request) {
+	logs, err := s.svc.JobLogs(r.PathValue("id"))
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	httputil.WriteJSON(w, http.StatusOK, logs)
+}
+
+func (s *Server) handleJobTimeline(w http.ResponseWriter, r *http.Request) {
+	events, err := s.svc.JobTimeline(r.PathValue("id"))
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	httputil.WriteJSON(w, http.StatusOK, events)
+}
+
+// --- job execution (agent side) ---
+
+func (s *Server) handleClaim(version string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		var req ClaimRequest
+		if err := httputil.DecodeJSON(r, &req); err != nil {
+			httputil.WriteError(w, http.StatusBadRequest, err)
+			return
+		}
+		job, ok, err := s.svc.ClaimJob(req.DeploymentID)
+		if err != nil {
+			fail(w, err)
+			return
+		}
+		resp := ClaimResponse{}
+		if ok {
+			resp.Job = job
+			if version == "v2" {
+				if sys, err := s.svc.GetSystem(job.SystemID); err == nil {
+					resp.Parameters = sys.Parameters
+				}
+			}
+		}
+		httputil.WriteJSON(w, http.StatusOK, resp)
+	}
+}
+
+func (s *Server) handleProgress(w http.ResponseWriter, r *http.Request) {
+	var req ProgressRequest
+	if err := httputil.DecodeJSON(r, &req); err != nil {
+		httputil.WriteError(w, http.StatusBadRequest, err)
+		return
+	}
+	st, err := s.svc.Progress(r.PathValue("id"), req.Percent)
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	httputil.WriteJSON(w, http.StatusOK, StatusResponse{Status: st})
+}
+
+func (s *Server) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	st, err := s.svc.Heartbeat(r.PathValue("id"))
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	httputil.WriteJSON(w, http.StatusOK, StatusResponse{Status: st})
+}
+
+func (s *Server) handleAppendLog(w http.ResponseWriter, r *http.Request) {
+	var req LogRequest
+	if err := httputil.DecodeJSON(r, &req); err != nil {
+		httputil.WriteError(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := s.svc.AppendJobLog(r.PathValue("id"), req.Text); err != nil {
+		fail(w, err)
+		return
+	}
+	httputil.WriteJSON(w, http.StatusOK, "logged")
+}
+
+func (s *Server) handleComplete(w http.ResponseWriter, r *http.Request) {
+	var req CompleteRequest
+	if err := httputil.DecodeJSON(r, &req); err != nil {
+		httputil.WriteError(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := s.svc.CompleteJob(r.PathValue("id"), req.ResultJSON, req.Archive); err != nil {
+		fail(w, err)
+		return
+	}
+	httputil.WriteJSON(w, http.StatusOK, "completed")
+}
+
+func (s *Server) handleFail(w http.ResponseWriter, r *http.Request) {
+	var req FailRequest
+	if err := httputil.DecodeJSON(r, &req); err != nil {
+		httputil.WriteError(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := s.svc.FailJob(r.PathValue("id"), req.Reason); err != nil {
+		fail(w, err)
+		return
+	}
+	httputil.WriteJSON(w, http.StatusOK, "failed")
+}
+
+func (s *Server) handleBatchUpdate(w http.ResponseWriter, r *http.Request) {
+	var req BatchUpdateRequest
+	if err := httputil.DecodeJSON(r, &req); err != nil {
+		httputil.WriteError(w, http.StatusBadRequest, err)
+		return
+	}
+	id := r.PathValue("id")
+	if req.Log != "" {
+		if err := s.svc.AppendJobLog(id, req.Log); err != nil {
+			fail(w, err)
+			return
+		}
+	}
+	var st core.JobStatus
+	var err error
+	if req.Percent != nil {
+		st, err = s.svc.Progress(id, *req.Percent)
+	} else {
+		st, err = s.svc.Heartbeat(id)
+	}
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	httputil.WriteJSON(w, http.StatusOK, StatusResponse{Status: st})
+}

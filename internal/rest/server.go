@@ -1,0 +1,236 @@
+// Package rest implements Chronos Control's versioned RESTful web
+// service (paper §2.2): the interface through which agents fetch job
+// descriptions and upload results, and through which external tooling
+// (build bots, CLIs) schedules and inspects evaluations.
+//
+// Two API versions are served simultaneously, /api/v1 and /api/v2,
+// demonstrating the paper's smooth-evolution requirement: "new clients
+// [can] simultaneously use the newly developed features while other
+// clients still use older versions of the REST API". v2 extends v1's
+// claim response with the system's parameter definitions (saving agents a
+// round-trip) and adds a batched status update endpoint.
+package rest
+
+import (
+	"errors"
+	"log"
+	"net/http"
+	"strings"
+
+	"chronos/internal/api"
+	"chronos/internal/auth"
+	"chronos/internal/core"
+	"chronos/internal/httputil"
+)
+
+// APIVersions lists the versions this server speaks, newest last.
+var APIVersions = []string{"v1", "v2"}
+
+// Server exposes a core.Service over HTTP.
+type Server struct {
+	svc *core.Service
+	// Auth enables session auth for management endpoints when non-nil.
+	Auth *auth.Authenticator
+	// AgentToken, when non-empty, is required from agents in the
+	// X-Chronos-Agent-Token header on job execution endpoints.
+	AgentToken string
+	// Logger receives the access log; nil uses the default logger.
+	Logger *log.Logger
+
+	mux *http.ServeMux
+}
+
+// NewServer builds the HTTP handler around the service.
+func NewServer(svc *core.Service) *Server {
+	s := &Server{svc: svc, mux: http.NewServeMux()}
+	s.routes()
+	return s
+}
+
+// Handler returns the root handler including middleware.
+func (s *Server) Handler() http.Handler {
+	return httputil.LogRequests(s.Logger, s.mux)
+}
+
+// routes wires both API versions onto the mux.
+func (s *Server) routes() {
+	for _, v := range APIVersions {
+		p := "/api/" + v
+		s.mux.HandleFunc("GET "+p+"/ping", s.handlePing(v))
+
+		// Session management.
+		s.mux.HandleFunc("POST "+p+"/login", s.handleLogin)
+		s.mux.HandleFunc("POST "+p+"/logout", s.handleLogout)
+
+		// Users (admin).
+		s.mux.HandleFunc("POST "+p+"/users", s.admin(s.handleCreateUser))
+		s.mux.HandleFunc("GET "+p+"/users", s.viewer(s.handleListUsers))
+		s.mux.HandleFunc("GET "+p+"/users/{id}", s.viewer(s.handleGetUser))
+
+		// Projects.
+		s.mux.HandleFunc("POST "+p+"/projects", s.member(s.handleCreateProject))
+		s.mux.HandleFunc("GET "+p+"/projects", s.viewer(s.handleListProjects))
+		s.mux.HandleFunc("GET "+p+"/projects/{id}", s.viewer(s.handleGetProject))
+		s.mux.HandleFunc("POST "+p+"/projects/{id}/archive", s.member(s.handleArchiveProject))
+		s.mux.HandleFunc("GET "+p+"/projects/{id}/export", s.viewer(s.handleExportProject))
+		s.mux.HandleFunc("POST "+p+"/projects/{id}/members", s.member(s.handleAddProjectMember))
+
+		// Systems.
+		s.mux.HandleFunc("POST "+p+"/systems", s.member(s.handleRegisterSystem))
+		s.mux.HandleFunc("GET "+p+"/systems", s.viewer(s.handleListSystems))
+		s.mux.HandleFunc("GET "+p+"/systems/{id}", s.viewer(s.handleGetSystem))
+
+		// Deployments.
+		s.mux.HandleFunc("POST "+p+"/deployments", s.member(s.handleCreateDeployment))
+		s.mux.HandleFunc("GET "+p+"/deployments", s.viewer(s.handleListDeployments))
+		s.mux.HandleFunc("POST "+p+"/deployments/{id}/active", s.member(s.handleSetDeploymentActive))
+
+		// Experiments.
+		s.mux.HandleFunc("POST "+p+"/experiments", s.member(s.handleCreateExperiment))
+		s.mux.HandleFunc("GET "+p+"/experiments", s.viewer(s.handleListExperiments))
+		s.mux.HandleFunc("GET "+p+"/experiments/{id}", s.viewer(s.handleGetExperiment))
+		s.mux.HandleFunc("POST "+p+"/experiments/{id}/archive", s.member(s.handleArchiveExperiment))
+
+		// Evaluations. POST is also the build-bot scheduling hook.
+		s.mux.HandleFunc("POST "+p+"/evaluations", s.member(s.handleCreateEvaluation))
+		s.mux.HandleFunc("GET "+p+"/evaluations", s.viewer(s.handleListEvaluations))
+		s.mux.HandleFunc("GET "+p+"/evaluations/{id}", s.viewer(s.handleGetEvaluation))
+		s.mux.HandleFunc("GET "+p+"/evaluations/{id}/status", s.viewer(s.handleEvaluationStatus))
+		s.mux.HandleFunc("GET "+p+"/evaluations/{id}/jobs", s.viewer(s.handleEvaluationJobs))
+
+		// Job management (UI side).
+		s.mux.HandleFunc("GET "+p+"/jobs/{id}", s.viewer(s.handleGetJob))
+		s.mux.HandleFunc("POST "+p+"/jobs/{id}/abort", s.member(s.handleAbortJob))
+		s.mux.HandleFunc("POST "+p+"/jobs/{id}/reschedule", s.member(s.handleRescheduleJob))
+		s.mux.HandleFunc("GET "+p+"/jobs/{id}/result", s.viewer(s.handleJobResult))
+		s.mux.HandleFunc("GET "+p+"/jobs/{id}/logs", s.viewer(s.handleJobLogs))
+		s.mux.HandleFunc("GET "+p+"/jobs/{id}/timeline", s.viewer(s.handleJobTimeline))
+
+		// Job execution (agent side).
+		s.mux.HandleFunc("POST "+p+"/jobs/claim", s.agent(s.handleClaim(v)))
+		s.mux.HandleFunc("POST "+p+"/jobs/{id}/progress", s.agent(s.handleProgress))
+		s.mux.HandleFunc("POST "+p+"/jobs/{id}/heartbeat", s.agent(s.handleHeartbeat))
+		s.mux.HandleFunc("POST "+p+"/jobs/{id}/log", s.agent(s.handleAppendLog))
+		s.mux.HandleFunc("POST "+p+"/jobs/{id}/complete", s.agent(s.handleComplete))
+		s.mux.HandleFunc("POST "+p+"/jobs/{id}/fail", s.agent(s.handleFail))
+	}
+	// v2-only: batched agent update.
+	s.mux.HandleFunc("POST /api/v2/jobs/{id}/update", s.agent(s.handleBatchUpdate))
+}
+
+// --- middleware ---
+
+// session resolves the request's session when auth is enabled.
+func (s *Server) session(r *http.Request) (*auth.Session, error) {
+	if s.Auth == nil {
+		return nil, nil // auth disabled: treated as admin below
+	}
+	h := r.Header.Get("Authorization")
+	const prefix = "Bearer "
+	if !strings.HasPrefix(h, prefix) {
+		return nil, auth.ErrNoSession
+	}
+	return s.Auth.Validate(strings.TrimPrefix(h, prefix))
+}
+
+// require wraps a handler with a role requirement.
+func (s *Server) require(role core.Role, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if s.Auth != nil {
+			sess, err := s.session(r)
+			if err != nil {
+				httputil.WriteError(w, http.StatusUnauthorized, err)
+				return
+			}
+			if err := auth.Authorize(sess, role); err != nil {
+				httputil.WriteError(w, http.StatusForbidden, err)
+				return
+			}
+		}
+		h(w, r)
+	}
+}
+
+func (s *Server) admin(h http.HandlerFunc) http.HandlerFunc  { return s.require(core.RoleAdmin, h) }
+func (s *Server) member(h http.HandlerFunc) http.HandlerFunc { return s.require(core.RoleMember, h) }
+func (s *Server) viewer(h http.HandlerFunc) http.HandlerFunc { return s.require(core.RoleViewer, h) }
+
+// agent guards the job execution endpoints with the shared agent token.
+func (s *Server) agent(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if s.AgentToken != "" && r.Header.Get("X-Chronos-Agent-Token") != s.AgentToken {
+			httputil.WriteError(w, http.StatusUnauthorized, errors.New("rest: invalid agent token"))
+			return
+		}
+		h(w, r)
+	}
+}
+
+// fail maps service errors onto HTTP status codes.
+func fail(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, core.ErrNotFound):
+		httputil.WriteError(w, http.StatusNotFound, err)
+	case errors.Is(err, core.ErrInvalidTransition), errors.Is(err, core.ErrArchived),
+		errors.Is(err, core.ErrInactiveDeployment):
+		httputil.WriteError(w, http.StatusConflict, err)
+	default:
+		httputil.WriteError(w, http.StatusBadRequest, err)
+	}
+}
+
+// --- basic handlers ---
+
+// PingResponse is re-exported for handler readability.
+type PingResponse = api.PingResponse
+
+func (s *Server) handlePing(version string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		httputil.WriteJSON(w, http.StatusOK, PingResponse{
+			Service: "chronos-control", Version: version, Versions: APIVersions,
+		})
+	}
+}
+
+// LoginRequest and LoginResponse are re-exported wire types.
+type (
+	LoginRequest  = api.LoginRequest
+	LoginResponse = api.LoginResponse
+)
+
+func (s *Server) handleLogin(w http.ResponseWriter, r *http.Request) {
+	if s.Auth == nil {
+		httputil.WriteError(w, http.StatusNotImplemented, errors.New("rest: auth disabled"))
+		return
+	}
+	var req LoginRequest
+	if err := httputil.DecodeJSON(r, &req); err != nil {
+		httputil.WriteError(w, http.StatusBadRequest, err)
+		return
+	}
+	sess, err := s.Auth.Login(req.User, req.Password)
+	if err != nil {
+		httputil.WriteError(w, http.StatusUnauthorized, err)
+		return
+	}
+	httputil.WriteJSON(w, http.StatusOK, LoginResponse{Token: sess.Token, UserID: sess.UserID, Role: sess.Role})
+}
+
+func (s *Server) handleLogout(w http.ResponseWriter, r *http.Request) {
+	if s.Auth == nil {
+		httputil.WriteJSON(w, http.StatusOK, "ok")
+		return
+	}
+	h := r.Header.Get("Authorization")
+	if strings.HasPrefix(h, "Bearer ") {
+		s.Auth.Logout(strings.TrimPrefix(h, "Bearer "))
+	}
+	httputil.WriteJSON(w, http.StatusOK, "ok")
+}
+
+// ListenAndServe runs the server on addr until the process exits; used by
+// cmd/chronos-control.
+func (s *Server) ListenAndServe(addr string) error {
+	srv := &http.Server{Addr: addr, Handler: s.Handler()}
+	return srv.ListenAndServe()
+}

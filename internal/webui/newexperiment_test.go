@@ -1,0 +1,122 @@
+package webui
+
+import (
+	"net/url"
+	"strings"
+	"testing"
+
+	"chronos/internal/params"
+)
+
+func TestParseVariants(t *testing.T) {
+	intervalDef := params.Definition{Name: "threads", Type: params.TypeInterval,
+		Min: 1, Max: 8, Step: 1, Default: params.Int(1)}
+	cases := []struct {
+		def   params.Definition
+		input string
+		want  []string // String() encodings
+	}{
+		{params.Definition{Name: "b", Type: params.TypeBoolean}, "true,false", []string{"true", "false"}},
+		{params.Definition{Name: "e", Type: params.TypeValue, ValueKind: params.KindString}, "wiredtiger, mmapv1", []string{"wiredtiger", "mmapv1"}},
+		{params.Definition{Name: "n", Type: params.TypeValue, ValueKind: params.KindInt}, "1,2,4", []string{"1", "2", "4"}},
+		{params.Definition{Name: "f", Type: params.TypeValue, ValueKind: params.KindFloat}, "1.5,2", []string{"1.5", "2"}},
+		{intervalDef, "1, 4,8", []string{"1", "4", "8"}},
+		{intervalDef, "*", []string{"1", "2", "3", "4", "5", "6", "7", "8"}},
+		{params.Definition{Name: "m", Type: params.TypeRatio, RatioParts: []string{"r", "w"}}, "95:5, 50:50", []string{"95:5", "50:50"}},
+		{params.Definition{Name: "c", Type: params.TypeCheckbox, Options: []string{"a", "b", "c"}}, "a|b, c", []string{"a,b", "c"}},
+	}
+	for _, c := range cases {
+		got, err := parseVariants(c.def, c.input)
+		if err != nil {
+			t.Fatalf("%s %q: %v", c.def.Name, c.input, err)
+		}
+		if len(got) != len(c.want) {
+			t.Fatalf("%s %q: got %v, want %v", c.def.Name, c.input, got, c.want)
+		}
+		for i := range got {
+			if got[i].String() != c.want[i] {
+				t.Fatalf("%s %q: variant %d = %q, want %q", c.def.Name, c.input, i, got[i].String(), c.want[i])
+			}
+		}
+	}
+	// Empty input means "use default".
+	if got, err := parseVariants(intervalDef, "  "); err != nil || got != nil {
+		t.Fatalf("empty input: %v, %v", got, err)
+	}
+	// Parse errors.
+	bad := []struct {
+		def   params.Definition
+		input string
+	}{
+		{params.Definition{Name: "b", Type: params.TypeBoolean}, "maybe"},
+		{params.Definition{Name: "n", Type: params.TypeValue, ValueKind: params.KindInt}, "one"},
+		{params.Definition{Name: "m", Type: params.TypeRatio, RatioParts: []string{"r", "w"}}, "95:x"},
+		{intervalDef, "fast"},
+	}
+	for _, c := range bad {
+		if _, err := parseVariants(c.def, c.input); err == nil {
+			t.Fatalf("%s %q: expected parse error", c.def.Name, c.input)
+		}
+	}
+}
+
+func TestNewExperimentFormFlow(t *testing.T) {
+	f := newFixture(t)
+	// Without a system: chooser page.
+	body := f.get(t, "/projects/"+f.projectID+"/experiments/new", 200)
+	if !strings.Contains(body, "Choose the System") {
+		t.Fatalf("chooser missing:\n%s", body)
+	}
+	// With a system: a form listing every parameter.
+	body = f.get(t, "/projects/"+f.projectID+"/experiments/new?system="+f.systemID, 200)
+	for _, want := range []string{"param_engine", "param_threads", "param_mix", "Create Experiment"} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("form missing %q", want)
+		}
+	}
+	// Submitting the form creates the experiment with parsed settings.
+	form := url.Values{
+		"system":        {f.systemID},
+		"name":          {"form-made"},
+		"description":   {"via UI"},
+		"param_engine":  {"wiredtiger,mmapv1"},
+		"param_threads": {"1,2"},
+		"param_mix":     {"95:5"},
+		"maxAttempts":   {"2"},
+	}
+	resp, err := f.ts.Client().PostForm(f.ts.URL+"/projects/"+f.projectID+"/experiments", form)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	exps, _ := f.svc.ListExperiments(f.projectID)
+	var found bool
+	for _, e := range exps {
+		if e.Name != "form-made" {
+			continue
+		}
+		found = true
+		if len(e.Settings["engine"]) != 2 || len(e.Settings["threads"]) != 2 || len(e.Settings["mix"]) != 1 {
+			t.Fatalf("settings = %+v", e.Settings)
+		}
+		if e.MaxAttempts != 2 {
+			t.Fatalf("maxAttempts = %d", e.MaxAttempts)
+		}
+		// The created experiment expands to 2x2 jobs.
+		_, jobs, err := f.svc.CreateEvaluation(e.ID)
+		if err != nil || len(jobs) != 4 {
+			t.Fatalf("evaluation of form experiment: %d jobs, %v", len(jobs), err)
+		}
+	}
+	if !found {
+		t.Fatal("form experiment not created")
+	}
+	// Invalid variants produce a 400, not a broken experiment.
+	form.Set("param_threads", "lots")
+	form.Set("name", "broken")
+	resp, _ = f.ts.Client().PostForm(f.ts.URL+"/projects/"+f.projectID+"/experiments", form)
+	resp.Body.Close()
+	if resp.StatusCode != 400 {
+		t.Fatalf("invalid form -> %d", resp.StatusCode)
+	}
+}

@@ -1,0 +1,298 @@
+package webui
+
+// pageTemplates holds the full template set of the web UI. The layout
+// mirrors the paper's screenshots: a navigation bar, overview tables, and
+// detail pages for systems (Fig. 2), experiments (Fig. 3a), evaluations
+// (Fig. 3b), jobs (Fig. 3c) and results (Fig. 3d).
+const pageTemplates = `
+{{define "layout_top"}}
+<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>{{.Title}} — Chronos</title>
+<style>
+body { font-family: system-ui, sans-serif; margin: 0; background: #f4f6f8; color: #222; }
+nav { background: #1b5e20; color: white; padding: 10px 24px; }
+nav a { color: #c8e6c9; margin-right: 18px; text-decoration: none; font-weight: 600; }
+nav a:hover { color: white; }
+main { max-width: 1100px; margin: 24px auto; padding: 0 16px; }
+h1 { font-size: 22px; } h2 { font-size: 17px; margin-top: 28px; }
+table { border-collapse: collapse; width: 100%; background: white; box-shadow: 0 1px 2px rgba(0,0,0,.08); }
+th, td { text-align: left; padding: 8px 12px; border-bottom: 1px solid #e0e0e0; font-size: 14px; }
+th { background: #eceff1; }
+.status { padding: 2px 8px; border-radius: 10px; font-size: 12px; font-weight: 600; }
+.status-scheduled { background: #e3f2fd; color: #1565c0; }
+.status-running { background: #fff8e1; color: #ef6c00; }
+.status-finished { background: #e8f5e9; color: #2e7d32; }
+.status-failed { background: #ffebee; color: #c62828; }
+.status-aborted { background: #eceff1; color: #546e7a; }
+.progress { background: #e0e0e0; border-radius: 4px; height: 14px; width: 160px; display: inline-block; }
+.progress > div { background: #43a047; height: 14px; border-radius: 4px; }
+.card { background: white; padding: 16px 20px; margin: 12px 0; box-shadow: 0 1px 2px rgba(0,0,0,.08); }
+pre.log { background: #263238; color: #eceff1; padding: 12px; overflow-x: auto; font-size: 12px; }
+form.inline { display: inline; }
+button { background: #1b5e20; color: white; border: 0; padding: 6px 14px; border-radius: 4px; cursor: pointer; }
+button.danger { background: #c62828; }
+.muted { color: #777; font-size: 13px; }
+</style>
+</head>
+<body>
+<nav>
+<a href="/">Chronos</a>
+<a href="/projects">Projects</a>
+<a href="/systems">Systems</a>
+<a href="/deployments">Deployments</a>
+</nav>
+<main>
+{{end}}
+
+{{define "layout_bottom"}}
+</main>
+</body>
+</html>
+{{end}}
+
+{{define "status_badge"}}<span class="status status-{{.}}">{{.}}</span>{{end}}
+
+{{define "dashboard"}}
+{{template "layout_top" .}}
+<h1>Evaluations-as-a-Service</h1>
+<div class="card">
+<p>{{.Data.Projects}} projects · {{.Data.Systems}} systems · {{.Data.Deployments}} deployments</p>
+<p class="muted">Chronos automates the entire evaluation workflow: define experiments,
+schedule evaluations, monitor jobs, analyze results.</p>
+</div>
+{{template "layout_bottom" .}}
+{{end}}
+
+{{define "projects"}}
+{{template "layout_top" .}}
+<h1>Projects</h1>
+<table>
+<tr><th>ID</th><th>Name</th><th>Description</th><th>Archived</th></tr>
+{{range .Data}}
+<tr><td><a href="/projects/{{.ID}}">{{.ID}}</a></td><td>{{.Name}}</td>
+<td>{{.Description}}</td><td>{{if .Archived}}yes{{end}}</td></tr>
+{{end}}
+</table>
+{{template "layout_bottom" .}}
+{{end}}
+
+{{define "project"}}
+{{template "layout_top" .}}
+<h1>Project {{.Data.Project.Name}}</h1>
+<p class="muted">{{.Data.Project.Description}} {{if .Data.Project.Archived}}(archived){{end}}</p>
+<h2>Experiments</h2>
+<p><a href="/projects/{{.Data.Project.ID}}/experiments/new">+ New Experiment</a></p>
+<table>
+<tr><th>ID</th><th>Name</th><th>System</th><th>Archived</th></tr>
+{{range .Data.Experiments}}
+<tr><td><a href="/experiments/{{.ID}}">{{.ID}}</a></td><td>{{.Name}}</td>
+<td><a href="/systems/{{.SystemID}}">{{.SystemID}}</a></td><td>{{if .Archived}}yes{{end}}</td></tr>
+{{end}}
+</table>
+{{template "layout_bottom" .}}
+{{end}}
+
+{{define "systems"}}
+{{template "layout_top" .}}
+<h1>Systems under Evaluation</h1>
+<table>
+<tr><th>ID</th><th>Name</th><th>Description</th><th>Source</th></tr>
+{{range .Data}}
+<tr><td><a href="/systems/{{.ID}}">{{.ID}}</a></td><td>{{.Name}}</td>
+<td>{{.Description}}</td><td>{{.Source}}</td></tr>
+{{end}}
+</table>
+{{template "layout_bottom" .}}
+{{end}}
+
+{{define "system"}}
+{{template "layout_top" .}}
+<h1>System {{.Data.System.Name}}</h1>
+<p class="muted">{{.Data.System.Description}}</p>
+<h2>Parameters</h2>
+<table>
+<tr><th>Name</th><th>Label</th><th>Type</th><th>Default</th><th>Constraints</th></tr>
+{{range .Data.System.Parameters}}
+<tr><td>{{.Name}}</td><td>{{.Label}}</td><td>{{.Type}}</td><td>{{.Default}}</td>
+<td class="muted">{{if .Options}}options: {{.Options}}{{end}}
+{{if or .Min .Max}} range [{{.Min}}, {{.Max}}]{{end}}
+{{if .RatioParts}} parts: {{.RatioParts}}{{end}}</td></tr>
+{{end}}
+</table>
+<h2>Result Diagrams</h2>
+<table>
+<tr><th>Type</th><th>Title</th><th>Metric</th><th>X</th><th>Series</th></tr>
+{{range .Data.System.Diagrams}}
+<tr><td>{{.Type}}</td><td>{{.Title}}</td><td>{{.Metric}}</td><td>{{.XParam}}</td><td>{{.SeriesParam}}</td></tr>
+{{end}}
+</table>
+<h2>Deployments</h2>
+<table>
+<tr><th>ID</th><th>Name</th><th>Environment</th><th>Version</th><th>Active</th></tr>
+{{range .Data.Deployments}}
+<tr><td>{{.ID}}</td><td>{{.Name}}</td><td>{{.Environment}}</td><td>{{.Version}}</td>
+<td>{{if .Active}}yes{{else}}no{{end}}</td></tr>
+{{end}}
+</table>
+{{template "layout_bottom" .}}
+{{end}}
+
+{{define "deployments"}}
+{{template "layout_top" .}}
+<h1>Deployments</h1>
+<table>
+<tr><th>ID</th><th>System</th><th>Name</th><th>Environment</th><th>Version</th><th>Active</th></tr>
+{{range .Data}}
+<tr><td>{{.ID}}</td><td><a href="/systems/{{.SystemID}}">{{.SystemID}}</a></td>
+<td>{{.Name}}</td><td>{{.Environment}}</td><td>{{.Version}}</td>
+<td>{{if .Active}}yes{{else}}no{{end}}</td></tr>
+{{end}}
+</table>
+{{template "layout_bottom" .}}
+{{end}}
+
+{{define "experiment_new"}}
+{{template "layout_top" .}}
+<h1>New Experiment — {{.Data.Project.Name}}</h1>
+{{if not .Data.System}}
+<div class="card">
+<p>Choose the System under Evaluation:</p>
+<ul>
+{{range .Data.Systems}}
+<li><a href="?system={{.ID}}">{{.Name}} ({{.ID}})</a></li>
+{{end}}
+</ul>
+</div>
+{{else}}
+<form class="card" method="post" action="/projects/{{.Data.Project.ID}}/experiments">
+<input type="hidden" name="system" value="{{.Data.System.ID}}">
+<p><label>Name <input name="name" required></label></p>
+<p><label>Description <input name="description" size="50"></label></p>
+<table>
+<tr><th>Parameter</th><th>Variants to sweep</th><th>Syntax</th><th>Default</th></tr>
+{{range .Data.System.Fields}}
+<tr>
+<td>{{.Label}} <span class="muted">({{.Type}})</span></td>
+<td><input name="param_{{.Name}}" size="30" placeholder="default"></td>
+<td class="muted">{{.Hint}}</td>
+<td class="muted">{{.Default}}</td>
+</tr>
+{{end}}
+</table>
+<p><label>Max attempts <input name="maxAttempts" size="4" placeholder="3"></label></p>
+<button type="submit">Create Experiment</button>
+</form>
+{{end}}
+{{template "layout_bottom" .}}
+{{end}}
+
+{{define "experiment"}}
+{{template "layout_top" .}}
+<h1>Experiment {{.Data.Experiment.Name}}</h1>
+<p class="muted">{{.Data.Experiment.Description}}
+{{if .Data.Experiment.Archived}}(archived){{end}}</p>
+<div class="card">
+<h2>Parameter Settings</h2>
+<table>
+<tr><th>Parameter</th><th>Variants</th></tr>
+{{range $name, $values := .Data.Experiment.Settings}}
+<tr><td>{{$name}}</td><td>{{range $values}}{{.}} {{end}}</td></tr>
+{{end}}
+</table>
+</div>
+<form method="post" action="/experiments/{{.Data.Experiment.ID}}/run">
+<button type="submit">Create Evaluation</button>
+</form>
+<h2>Evaluations</h2>
+<table>
+<tr><th>ID</th><th>#</th><th>Created</th></tr>
+{{range .Data.Evaluations}}
+<tr><td><a href="/evaluations/{{.ID}}">{{.ID}}</a></td><td>{{.Number}}</td><td>{{.Created}}</td></tr>
+{{end}}
+</table>
+{{template "layout_bottom" .}}
+{{end}}
+
+{{define "evaluation"}}
+{{template "layout_top" .}}
+<h1>Evaluation {{.Data.Evaluation.ID}}</h1>
+<div class="card">
+<p>
+{{.Data.Status.Finished}}/{{.Data.Status.Total}} finished ·
+{{.Data.Status.Running}} running · {{.Data.Status.Scheduled}} scheduled ·
+{{.Data.Status.Failed}} failed · {{.Data.Status.Aborted}} aborted
+</p>
+<div class="progress"><div style="width: {{printf "%.0f" .Data.Status.Progress}}%"></div></div>
+<a href="/evaluations/{{.Data.Evaluation.ID}}/results">Results & Diagrams</a>
+</div>
+<h2>Jobs</h2>
+<table>
+<tr><th>ID</th><th>Parameters</th><th>Status</th><th>Progress</th><th>Deployment</th><th>Attempts</th></tr>
+{{range .Data.Jobs}}
+<tr>
+<td><a href="/jobs/{{.ID}}">{{.ID}}</a></td>
+<td class="muted">{{.Label}}</td>
+<td>{{template "status_badge" .Status}}</td>
+<td><div class="progress"><div style="width: {{.Progress}}%"></div></div> {{.Progress}}%</td>
+<td>{{.DeploymentID}}</td>
+<td>{{.Attempts}}</td>
+</tr>
+{{end}}
+</table>
+{{template "layout_bottom" .}}
+{{end}}
+
+{{define "job"}}
+{{template "layout_top" .}}
+<h1>Job {{.Data.Job.ID}}</h1>
+<div class="card">
+<p>Status: {{template "status_badge" .Data.Job.Status}}
+ · Progress: {{.Data.Job.Progress}}% · Attempts: {{.Data.Job.Attempts}}</p>
+<p class="muted">Parameters: {{.Data.Job.Label}}</p>
+{{if .Data.Job.Error}}<p class="status-failed">Error: {{.Data.Job.Error}}</p>{{end}}
+{{if .Data.CanAbort}}
+<form class="inline" method="post" action="/jobs/{{.Data.Job.ID}}/abort">
+<button class="danger" type="submit">Abort</button></form>
+{{end}}
+{{if .Data.CanReschedule}}
+<form class="inline" method="post" action="/jobs/{{.Data.Job.ID}}/reschedule">
+<button type="submit">Re-schedule</button></form>
+{{end}}
+</div>
+<h2>Timeline</h2>
+<table>
+<tr><th>Time</th><th>Event</th><th>Message</th></tr>
+{{range .Data.Timeline}}
+<tr><td class="muted">{{.Time}}</td><td>{{.Kind}}</td><td>{{.Message}}</td></tr>
+{{end}}
+</table>
+<h2>Log Output</h2>
+<pre class="log">{{.Data.Log}}</pre>
+{{template "layout_bottom" .}}
+{{end}}
+
+{{define "results"}}
+{{template "layout_top" .}}
+<h1>Results — Evaluation {{.Data.Evaluation.ID}}</h1>
+{{if not .Data.HasResults}}
+<div class="card"><p>No finished jobs yet.</p></div>
+{{end}}
+{{range .Data.Diagrams}}
+<div class="card">
+{{.SVG}}
+</div>
+{{end}}
+<h2>Raw Metrics</h2>
+<table>
+<tr><th>Job</th><th>Parameters</th>{{range .Data.MetricNames}}<th>{{.}}</th>{{end}}</tr>
+{{range .Data.Rows}}
+<tr><td>{{.JobID}}</td><td class="muted">{{.Label}}</td>
+{{range .Cells}}<td>{{.}}</td>{{end}}</tr>
+{{end}}
+</table>
+{{template "layout_bottom" .}}
+{{end}}
+`

@@ -1,0 +1,89 @@
+package webui
+
+import (
+	"strings"
+	"testing"
+
+	"chronos/internal/core"
+)
+
+func TestNotFoundPages(t *testing.T) {
+	f := newFixture(t)
+	for _, path := range []string{
+		"/projects/project-000000404",
+		"/systems/system-000000404",
+		"/experiments/experiment-000000404",
+		"/evaluations/evaluation-000000404",
+		"/evaluations/evaluation-000000404/results",
+		"/jobs/job-000000404",
+	} {
+		f.get(t, path, 404)
+	}
+}
+
+func TestRescheduleFromUI(t *testing.T) {
+	f := newFixture(t)
+	// Fail a fresh job through the service, then re-schedule via the UI.
+	_, jobs, err := f.svc.CreateEvaluation(f.experimentID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, ok, err := f.svc.ClaimJob(f.deploymentID)
+	if err != nil || !ok {
+		t.Fatal(err)
+	}
+	// Exhaust the attempt budget so the failure sticks.
+	for {
+		if err := f.svc.FailJob(j.ID, "ui-test failure"); err != nil {
+			t.Fatal(err)
+		}
+		got, _ := f.svc.GetJob(j.ID)
+		if got.Status == core.StatusFailed {
+			break
+		}
+		if j, ok, err = f.svc.ClaimJob(f.deploymentID); err != nil || !ok {
+			t.Fatal(err)
+		}
+	}
+	// The failed job's page offers Re-schedule and shows the error.
+	body := f.get(t, "/jobs/"+j.ID, 200)
+	if !strings.Contains(body, "Re-schedule") || !strings.Contains(body, "ui-test failure") {
+		t.Fatalf("failed job page:\n%s", body)
+	}
+	resp, err := f.ts.Client().Post(f.ts.URL+"/jobs/"+j.ID+"/reschedule", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	got, _ := f.svc.GetJob(j.ID)
+	if got.Status != core.StatusScheduled {
+		t.Fatalf("after UI reschedule: %s", got.Status)
+	}
+	_ = jobs
+}
+
+func TestResultsPageWithoutFinishedJobs(t *testing.T) {
+	f := newFixture(t)
+	ev, _, err := f.svc.CreateEvaluation(f.experimentID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := f.get(t, "/evaluations/"+ev.ID+"/results", 200)
+	if !strings.Contains(body, "No finished jobs yet") {
+		t.Fatalf("empty results page:\n%s", body)
+	}
+}
+
+func TestDeploymentsPage(t *testing.T) {
+	f := newFixture(t)
+	body := f.get(t, "/deployments", 200)
+	if !strings.Contains(body, "sim-1") || !strings.Contains(body, f.systemID) {
+		t.Fatalf("deployments page:\n%s", body)
+	}
+}
+
+func TestTrimFloat(t *testing.T) {
+	if trimFloat(5) != "5" || trimFloat(5.25) != "5.25" || trimFloat(5.256) != "5.26" {
+		t.Fatalf("trimFloat: %s %s %s", trimFloat(5), trimFloat(5.25), trimFloat(5.256))
+	}
+}

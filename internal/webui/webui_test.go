@@ -1,0 +1,232 @@
+package webui
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"chronos/internal/agent"
+	"chronos/internal/core"
+	"chronos/internal/metrics"
+	"chronos/internal/mongoagent"
+	"chronos/internal/mongosim"
+	"chronos/internal/params"
+	"chronos/internal/relstore"
+)
+
+// fixture builds a service with the full demo state: finished evaluation
+// with results, a failed-able job etc., and serves the UI.
+type fixture struct {
+	svc *core.Service
+	ts  *httptest.Server
+
+	projectID, systemID, deploymentID, experimentID, evaluationID string
+	jobIDs                                                        []string
+}
+
+func newFixture(t *testing.T) *fixture {
+	t.Helper()
+	clock := metrics.NewManualClock(time.Date(2020, 3, 30, 9, 0, 0, 0, time.UTC))
+	svc, err := core.NewService(relstore.OpenMemory(), clock.Now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := &fixture{svc: svc}
+	u, _ := svc.CreateUser("demo", core.RoleAdmin)
+	p, _ := svc.CreateProject("mongodb-demo", "engine comparison", u.ID, nil)
+	f.projectID = p.ID
+	defs, diagrams := mongoagent.SystemDefinition()
+	sys, err := svc.RegisterSystem(mongoagent.SystemName, "simulated mongodb", defs, diagrams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.systemID = sys.ID
+	dep, _ := svc.CreateDeployment(sys.ID, "sim-1", "local", "1")
+	f.deploymentID = dep.ID
+	exp, err := svc.CreateExperiment(p.ID, sys.ID, "engines", "", map[string][]params.Value{
+		"engine":     {params.String_("wiredtiger"), params.String_("mmapv1")},
+		"threads":    {params.Int(1), params.Int(2)},
+		"records":    {params.Int(200)},
+		"operations": {params.Int(400)},
+	}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.experimentID = exp.ID
+	ev, jobs, err := svc.CreateEvaluation(exp.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.evaluationID = ev.ID
+	for _, j := range jobs {
+		f.jobIDs = append(f.jobIDs, j.ID)
+	}
+	// Execute the evaluation so the results page has data.
+	a := &agent.Agent{
+		Control:      &agent.LocalControl{Svc: svc},
+		DeploymentID: dep.ID,
+		Factory: mongoagent.NewFactory(mongosim.Options{
+			WriteLatency: mongosim.NoIO, Seed: 1,
+		}),
+		ReportInterval: 5 * time.Millisecond,
+	}
+	if _, err := a.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	ui, err := New(svc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.ts = httptest.NewServer(ui.Handler())
+	t.Cleanup(f.ts.Close)
+	return f
+}
+
+// get fetches a page and returns its body.
+func (f *fixture) get(t *testing.T, path string, wantStatus int) string {
+	t.Helper()
+	resp, err := f.ts.Client().Get(f.ts.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != wantStatus {
+		t.Fatalf("GET %s -> %d (want %d): %s", path, resp.StatusCode, wantStatus, body)
+	}
+	return string(body)
+}
+
+func TestDashboard(t *testing.T) {
+	f := newFixture(t)
+	body := f.get(t, "/", 200)
+	for _, want := range []string{"Evaluations-as-a-Service", "1 projects", "1 systems", "1 deployments"} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("dashboard missing %q", want)
+		}
+	}
+}
+
+func TestProjectPages(t *testing.T) {
+	f := newFixture(t)
+	body := f.get(t, "/projects", 200)
+	if !strings.Contains(body, "mongodb-demo") {
+		t.Fatal("project list missing project")
+	}
+	body = f.get(t, "/projects/"+f.projectID, 200)
+	if !strings.Contains(body, "engines") || !strings.Contains(body, f.experimentID) {
+		t.Fatal("project page missing experiment")
+	}
+	f.get(t, "/projects/project-000000404", 404)
+}
+
+func TestSystemPageShowsParameters(t *testing.T) {
+	f := newFixture(t)
+	body := f.get(t, "/systems/"+f.systemID, 200)
+	// Fig 2: parameter table with types and defaults, diagrams, deployments.
+	for _, want := range []string{"Storage Engine", "interval", "ratio", "wiredtiger",
+		"Throughput vs Threads", "sim-1"} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("system page missing %q", want)
+		}
+	}
+	body = f.get(t, "/systems", 200)
+	if !strings.Contains(body, mongoagent.SystemName) {
+		t.Fatal("system list missing system")
+	}
+}
+
+func TestExperimentAndEvaluationPages(t *testing.T) {
+	f := newFixture(t)
+	body := f.get(t, "/experiments/"+f.experimentID, 200)
+	for _, want := range []string{"Parameter Settings", "engine", "Create Evaluation", f.evaluationID} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("experiment page missing %q", want)
+		}
+	}
+	body = f.get(t, "/evaluations/"+f.evaluationID, 200)
+	for _, want := range []string{"4/4 finished", "status-finished", f.jobIDs[0]} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("evaluation page missing %q", want)
+		}
+	}
+}
+
+func TestJobPageShowsTimelineAndLog(t *testing.T) {
+	f := newFixture(t)
+	body := f.get(t, "/jobs/"+f.jobIDs[0], 200)
+	for _, want := range []string{"Timeline", "claimed", "finished", "Log Output", "prepare: engine="} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("job page missing %q", want)
+		}
+	}
+	// Finished jobs offer neither abort nor reschedule.
+	if strings.Contains(body, "Abort") || strings.Contains(body, "Re-schedule") {
+		t.Fatal("finished job offers lifecycle buttons")
+	}
+}
+
+func TestResultsPageRendersDiagrams(t *testing.T) {
+	f := newFixture(t)
+	body := f.get(t, "/evaluations/"+f.evaluationID+"/results", 200)
+	for _, want := range []string{"<svg", "polyline", "throughput", "Raw Metrics"} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("results page missing %q", want)
+		}
+	}
+	// Both engine series appear in the chart legend.
+	if !strings.Contains(body, "wiredtiger") || !strings.Contains(body, "mmapv1") {
+		t.Fatal("results page missing engine series")
+	}
+}
+
+func TestRunExperimentCreatesEvaluation(t *testing.T) {
+	f := newFixture(t)
+	before, _ := f.svc.ListEvaluations(f.experimentID)
+	resp, err := f.ts.Client().Post(f.ts.URL+"/experiments/"+f.experimentID+"/run", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	after, _ := f.svc.ListEvaluations(f.experimentID)
+	if len(after) != len(before)+1 {
+		t.Fatalf("evaluations %d -> %d", len(before), len(after))
+	}
+}
+
+func TestAbortAndRescheduleFromUI(t *testing.T) {
+	f := newFixture(t)
+	// Create a fresh evaluation with scheduled jobs.
+	ev, jobs, err := f.svc.CreateEvaluation(f.experimentID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = ev
+	// Scheduled job page offers Abort.
+	body := f.get(t, "/jobs/"+jobs[0].ID, 200)
+	if !strings.Contains(body, "Abort") {
+		t.Fatal("scheduled job page missing abort button")
+	}
+	// Abort through the UI.
+	resp, err := f.ts.Client().Post(f.ts.URL+"/jobs/"+jobs[0].ID+"/abort", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	j, _ := f.svc.GetJob(jobs[0].ID)
+	if j.Status != core.StatusAborted {
+		t.Fatalf("status after UI abort = %s", j.Status)
+	}
+	// Aborting again conflicts.
+	req, _ := http.NewRequest("POST", f.ts.URL+"/jobs/"+jobs[0].ID+"/abort", nil)
+	resp, _ = f.ts.Client().Do(req)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("double abort -> %d", resp.StatusCode)
+	}
+}

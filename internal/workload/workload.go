@@ -1,0 +1,341 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+)
+
+// OpType enumerates the benchmark operation types.
+type OpType string
+
+const (
+	// OpRead fetches one record by key.
+	OpRead OpType = "read"
+	// OpUpdate overwrites one field of an existing record.
+	OpUpdate OpType = "update"
+	// OpInsert appends a new record.
+	OpInsert OpType = "insert"
+	// OpScan reads a short range of consecutive records.
+	OpScan OpType = "scan"
+	// OpReadModifyWrite reads a record then writes it back modified.
+	OpReadModifyWrite OpType = "rmw"
+)
+
+// Mix assigns proportions to operation types. Proportions are relative
+// weights; they do not need to sum to 1.
+type Mix map[OpType]float64
+
+// Validate checks the mix has positive total weight and no negatives.
+func (m Mix) Validate() error {
+	total := 0.0
+	for op, w := range m {
+		if w < 0 {
+			return fmt.Errorf("workload: negative weight for %s", op)
+		}
+		switch op {
+		case OpRead, OpUpdate, OpInsert, OpScan, OpReadModifyWrite:
+		default:
+			return fmt.Errorf("workload: unknown operation %q", op)
+		}
+		total += w
+	}
+	if total <= 0 {
+		return fmt.Errorf("workload: mix has no positive weights")
+	}
+	return nil
+}
+
+// String renders the mix deterministically, e.g. "read=95% update=5%".
+func (m Mix) String() string {
+	ops := make([]string, 0, len(m))
+	for op := range m {
+		ops = append(ops, string(op))
+	}
+	sort.Strings(ops)
+	total := 0.0
+	for _, w := range m {
+		total += w
+	}
+	parts := make([]string, 0, len(ops))
+	for _, op := range ops {
+		parts = append(parts, fmt.Sprintf("%s=%.0f%%", op, 100*m[OpType(op)]/total))
+	}
+	return strings.Join(parts, " ")
+}
+
+// opChooser picks operations according to mix weights.
+type opChooser struct {
+	ops []OpType
+	cum []float64
+}
+
+func newOpChooser(m Mix) (*opChooser, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	ops := make([]OpType, 0, len(m))
+	for op := range m {
+		ops = append(ops, op)
+	}
+	sort.Slice(ops, func(i, j int) bool { return ops[i] < ops[j] })
+	c := &opChooser{}
+	sum := 0.0
+	for _, op := range ops {
+		if m[op] == 0 {
+			continue
+		}
+		sum += m[op]
+		c.ops = append(c.ops, op)
+		c.cum = append(c.cum, sum)
+	}
+	for i := range c.cum {
+		c.cum[i] /= sum
+	}
+	return c, nil
+}
+
+func (c *opChooser) next(r *rand.Rand) OpType {
+	u := r.Float64()
+	for i, cum := range c.cum {
+		if u <= cum {
+			return c.ops[i]
+		}
+	}
+	return c.ops[len(c.ops)-1]
+}
+
+// Config describes a workload: table size, operation volume, mix and key
+// distribution. It mirrors the knobs of a YCSB property file.
+type Config struct {
+	// Name labels the workload in results.
+	Name string
+	// RecordCount is the number of records loaded before the run.
+	RecordCount int64
+	// OperationCount is the number of operations in the run phase.
+	OperationCount int64
+	// Mix is the operation mix.
+	Mix Mix
+	// Distribution is the request distribution: uniform, zipfian, latest
+	// or sequential.
+	Distribution string
+	// FieldsPerRecord is the number of payload fields per record.
+	FieldsPerRecord int
+	// FieldLength is the byte length of each field value.
+	FieldLength int
+	// MaxScanLength bounds the records touched per scan.
+	MaxScanLength int
+	// Seed makes the run reproducible.
+	Seed int64
+}
+
+// Validate checks the configuration.
+func (c *Config) Validate() error {
+	if c.RecordCount <= 0 {
+		return fmt.Errorf("workload: record count %d", c.RecordCount)
+	}
+	if c.OperationCount < 0 {
+		return fmt.Errorf("workload: operation count %d", c.OperationCount)
+	}
+	if err := c.Mix.Validate(); err != nil {
+		return err
+	}
+	if c.Distribution == "" {
+		return fmt.Errorf("workload: missing distribution")
+	}
+	if _, err := NewChooser(c.Distribution, c.RecordCount); err != nil {
+		return err
+	}
+	return nil
+}
+
+// WithDefaults fills unset knobs with YCSB-like defaults.
+func (c Config) WithDefaults() Config {
+	if c.FieldsPerRecord == 0 {
+		c.FieldsPerRecord = 10
+	}
+	if c.FieldLength == 0 {
+		c.FieldLength = 100
+	}
+	if c.MaxScanLength == 0 {
+		c.MaxScanLength = 100
+	}
+	if c.Distribution == "" {
+		c.Distribution = "zipfian"
+	}
+	return c
+}
+
+// Core workload constructors follow the YCSB letter suite.
+
+// WorkloadA is the update-heavy mix: 50% reads, 50% updates, zipfian.
+func WorkloadA(records, ops int64) Config {
+	return Config{Name: "A", RecordCount: records, OperationCount: ops,
+		Mix: Mix{OpRead: 0.5, OpUpdate: 0.5}, Distribution: "zipfian"}.WithDefaults()
+}
+
+// WorkloadB is the read-mostly mix: 95% reads, 5% updates, zipfian.
+func WorkloadB(records, ops int64) Config {
+	return Config{Name: "B", RecordCount: records, OperationCount: ops,
+		Mix: Mix{OpRead: 0.95, OpUpdate: 0.05}, Distribution: "zipfian"}.WithDefaults()
+}
+
+// WorkloadC is read-only, zipfian.
+func WorkloadC(records, ops int64) Config {
+	return Config{Name: "C", RecordCount: records, OperationCount: ops,
+		Mix: Mix{OpRead: 1}, Distribution: "zipfian"}.WithDefaults()
+}
+
+// WorkloadD is read-latest: 95% reads of recent records, 5% inserts.
+func WorkloadD(records, ops int64) Config {
+	return Config{Name: "D", RecordCount: records, OperationCount: ops,
+		Mix: Mix{OpRead: 0.95, OpInsert: 0.05}, Distribution: "latest"}.WithDefaults()
+}
+
+// WorkloadE is short scans: 95% scans, 5% inserts.
+func WorkloadE(records, ops int64) Config {
+	c := Config{Name: "E", RecordCount: records, OperationCount: ops,
+		Mix: Mix{OpScan: 0.95, OpInsert: 0.05}, Distribution: "zipfian"}.WithDefaults()
+	c.MaxScanLength = 20
+	return c
+}
+
+// WorkloadF is read-modify-write: 50% reads, 50% RMW, zipfian.
+func WorkloadF(records, ops int64) Config {
+	return Config{Name: "F", RecordCount: records, OperationCount: ops,
+		Mix: Mix{OpRead: 0.5, OpReadModifyWrite: 0.5}, Distribution: "zipfian"}.WithDefaults()
+}
+
+// CoreWorkload returns the named YCSB core workload (letter a-f, any
+// case).
+func CoreWorkload(name string, records, ops int64) (Config, error) {
+	switch strings.ToLower(name) {
+	case "a":
+		return WorkloadA(records, ops), nil
+	case "b":
+		return WorkloadB(records, ops), nil
+	case "c":
+		return WorkloadC(records, ops), nil
+	case "d":
+		return WorkloadD(records, ops), nil
+	case "e":
+		return WorkloadE(records, ops), nil
+	case "f":
+		return WorkloadF(records, ops), nil
+	default:
+		return Config{}, fmt.Errorf("workload: unknown core workload %q", name)
+	}
+}
+
+// MixFromRatio builds a read/update mix from integer ratio parts, the
+// form the Chronos parameter type "ratio" delivers (e.g. 95:5).
+func MixFromRatio(readPart, updatePart int) Mix {
+	return Mix{OpRead: float64(readPart), OpUpdate: float64(updatePart)}
+}
+
+// Op is a single generated operation.
+type Op struct {
+	Type OpType
+	// Key is the record key for read/update/insert/rmw and the scan start.
+	Key string
+	// ScanLength is the number of records a scan touches.
+	ScanLength int
+	// Fields holds generated field values for insert/update/rmw.
+	Fields map[string][]byte
+}
+
+// Generator produces the operation stream of a run. Each worker should
+// own one Generator (they share nothing).
+type Generator struct {
+	cfg      Config
+	rng      *rand.Rand
+	chooser  KeyChooser
+	ops      *opChooser
+	latest   *Latest // non-nil when distribution is latest (insert feedback)
+	inserted int64
+}
+
+// NewGenerator builds a generator for the given worker index; distinct
+// workers derive distinct deterministic seeds.
+func NewGenerator(cfg Config, worker int) (*Generator, error) {
+	cfg = cfg.WithDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + int64(worker)*1_000_003 + 17))
+	chooser, err := NewChooser(cfg.Distribution, cfg.RecordCount)
+	if err != nil {
+		return nil, err
+	}
+	ops, err := newOpChooser(cfg.Mix)
+	if err != nil {
+		return nil, err
+	}
+	g := &Generator{cfg: cfg, rng: rng, chooser: chooser, ops: ops, inserted: cfg.RecordCount}
+	if l, ok := chooser.(*Latest); ok {
+		g.latest = l
+	}
+	return g, nil
+}
+
+// Key renders record index i as its canonical key, zero-padded so that
+// lexicographic and numeric orders agree (YCSB's "user" keys).
+func Key(i int64) string { return fmt.Sprintf("user%012d", i) }
+
+// NextOp generates the next operation.
+func (g *Generator) NextOp() Op {
+	t := g.ops.next(g.rng)
+	switch t {
+	case OpInsert:
+		g.inserted++
+		if g.latest != nil {
+			g.latest.Grow()
+		}
+		return Op{Type: t, Key: Key(g.inserted - 1), Fields: g.Record()}
+	case OpScan:
+		return Op{
+			Type:       t,
+			Key:        Key(g.chooser.Next(g.rng)),
+			ScanLength: 1 + g.rng.Intn(g.cfg.MaxScanLength),
+		}
+	case OpUpdate, OpReadModifyWrite:
+		return Op{Type: t, Key: Key(g.chooser.Next(g.rng)), Fields: g.OneField()}
+	default:
+		return Op{Type: OpRead, Key: Key(g.chooser.Next(g.rng))}
+	}
+}
+
+// Record generates a full record payload.
+func (g *Generator) Record() map[string][]byte {
+	fields := make(map[string][]byte, g.cfg.FieldsPerRecord)
+	for i := 0; i < g.cfg.FieldsPerRecord; i++ {
+		fields[fieldName(i)] = g.fieldValue()
+	}
+	return fields
+}
+
+// OneField generates a single-field update payload.
+func (g *Generator) OneField() map[string][]byte {
+	i := g.rng.Intn(g.cfg.FieldsPerRecord)
+	return map[string][]byte{fieldName(i): g.fieldValue()}
+}
+
+func fieldName(i int) string { return fmt.Sprintf("field%d", i) }
+
+// fieldValue produces a compressible-but-not-constant byte string, so
+// engines with block compression see realistic ratios (~2-4x).
+func (g *Generator) fieldValue() []byte {
+	b := make([]byte, g.cfg.FieldLength)
+	// Runs of repeated printable characters: compressible like real text.
+	i := 0
+	for i < len(b) {
+		ch := byte('a' + g.rng.Intn(26))
+		run := 1 + g.rng.Intn(8)
+		for j := 0; j < run && i < len(b); j++ {
+			b[i] = ch
+			i++
+		}
+	}
+	return b
+}

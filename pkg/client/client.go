@@ -1,0 +1,373 @@
+// Package client is the Go SDK for the Chronos Control REST API. It is
+// the Go counterpart of the paper's Java agent/client library: agents,
+// CLIs and build bots use it to talk to Chronos Control without dealing
+// with HTTP details.
+//
+// The client is version-aware: NewClient defaults to API v1; use
+// WithVersion("v2") for the extended endpoints. All methods are safe for
+// concurrent use.
+package client
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"chronos/internal/api"
+	"chronos/internal/core"
+	"chronos/internal/httputil"
+	"chronos/internal/params"
+)
+
+// Client talks to a Chronos Control server.
+type Client struct {
+	baseURL    string
+	version    string
+	httpClient *http.Client
+	token      string // session bearer token
+	agentToken string // shared agent token
+}
+
+// Option customises a Client.
+type Option func(*Client)
+
+// WithVersion selects the API version (v1 or v2).
+func WithVersion(v string) Option { return func(c *Client) { c.version = v } }
+
+// WithHTTPClient replaces the underlying HTTP client.
+func WithHTTPClient(h *http.Client) Option { return func(c *Client) { c.httpClient = h } }
+
+// WithSessionToken sets the bearer token for management endpoints.
+func WithSessionToken(tok string) Option { return func(c *Client) { c.token = tok } }
+
+// WithAgentToken sets the shared secret for the agent endpoints.
+func WithAgentToken(tok string) Option { return func(c *Client) { c.agentToken = tok } }
+
+// NewClient creates a client for the server at baseURL (e.g.
+// "http://localhost:8080").
+func NewClient(baseURL string, opts ...Option) *Client {
+	c := &Client{
+		baseURL:    baseURL,
+		version:    "v1",
+		httpClient: &http.Client{Timeout: 30 * time.Second},
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// Version reports the API version the client speaks.
+func (c *Client) Version() string { return c.version }
+
+// SetSessionToken installs a bearer token obtained via Login.
+func (c *Client) SetSessionToken(tok string) { c.token = tok }
+
+// do issues one request and decodes the enveloped response into out.
+func (c *Client) do(method, path string, body, out any) error {
+	var rdr io.Reader
+	if body != nil {
+		data, err := json.Marshal(body)
+		if err != nil {
+			return fmt.Errorf("client: marshal request: %w", err)
+		}
+		rdr = bytes.NewReader(data)
+	}
+	req, err := http.NewRequest(method, c.baseURL+"/api/"+c.version+path, rdr)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	if c.token != "" {
+		req.Header.Set("Authorization", "Bearer "+c.token)
+	}
+	if c.agentToken != "" {
+		req.Header.Set("X-Chronos-Agent-Token", c.agentToken)
+	}
+	resp, err := c.httpClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, httputil.MaxBodyBytes))
+	if err != nil {
+		return err
+	}
+	if err := httputil.ReadEnvelope(data, out); err != nil {
+		return fmt.Errorf("client: %s %s: %w", method, path, err)
+	}
+	return nil
+}
+
+// Ping checks connectivity and returns the server's version info.
+func (c *Client) Ping() (api.PingResponse, error) {
+	var out api.PingResponse
+	err := c.do(http.MethodGet, "/ping", nil, &out)
+	return out, err
+}
+
+// Login opens a session and installs its token on the client.
+func (c *Client) Login(user, password string) error {
+	var out api.LoginResponse
+	if err := c.do(http.MethodPost, "/login", api.LoginRequest{User: user, Password: password}, &out); err != nil {
+		return err
+	}
+	c.token = out.Token
+	return nil
+}
+
+// Logout terminates the session.
+func (c *Client) Logout() error {
+	return c.do(http.MethodPost, "/logout", struct{}{}, nil)
+}
+
+// --- management API ---
+
+// CreateUser registers an account (admin only when auth is enabled).
+func (c *Client) CreateUser(name string, role core.Role) (*core.User, error) {
+	var out core.User
+	err := c.do(http.MethodPost, "/users", api.CreateUserRequest{Name: name, Role: role}, &out)
+	return &out, err
+}
+
+// ListUsers returns all users.
+func (c *Client) ListUsers() ([]*core.User, error) {
+	var out []*core.User
+	err := c.do(http.MethodGet, "/users", nil, &out)
+	return out, err
+}
+
+// CreateProject creates a project.
+func (c *Client) CreateProject(name, description, ownerID string, memberIDs []string) (*core.Project, error) {
+	var out core.Project
+	err := c.do(http.MethodPost, "/projects", api.CreateProjectRequest{
+		Name: name, Description: description, OwnerID: ownerID, MemberIDs: memberIDs,
+	}, &out)
+	return &out, err
+}
+
+// ListProjects returns all projects.
+func (c *Client) ListProjects() ([]*core.Project, error) {
+	var out []*core.Project
+	err := c.do(http.MethodGet, "/projects", nil, &out)
+	return out, err
+}
+
+// ArchiveProject marks a project as archived.
+func (c *Client) ArchiveProject(id string) error {
+	return c.do(http.MethodPost, "/projects/"+id+"/archive", struct{}{}, nil)
+}
+
+// ExportProject downloads the project archive zip.
+func (c *Client) ExportProject(id string) ([]byte, error) {
+	req, err := http.NewRequest(http.MethodGet, c.baseURL+"/api/"+c.version+"/projects/"+id+"/export", nil)
+	if err != nil {
+		return nil, err
+	}
+	if c.token != "" {
+		req.Header.Set("Authorization", "Bearer "+c.token)
+	}
+	resp, err := c.httpClient.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, httputil.MaxBodyBytes))
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("client: export: %s", data)
+	}
+	return data, nil
+}
+
+// RegisterSystem declares an SuE.
+func (c *Client) RegisterSystem(name, description string, defs []params.Definition, diagrams []core.DiagramSpec) (*core.System, error) {
+	var out core.System
+	err := c.do(http.MethodPost, "/systems", api.RegisterSystemRequest{
+		Name: name, Description: description, Parameters: defs, Diagrams: diagrams,
+	}, &out)
+	return &out, err
+}
+
+// GetSystem fetches one system.
+func (c *Client) GetSystem(id string) (*core.System, error) {
+	var out core.System
+	err := c.do(http.MethodGet, "/systems/"+id, nil, &out)
+	return &out, err
+}
+
+// ListSystems returns all systems.
+func (c *Client) ListSystems() ([]*core.System, error) {
+	var out []*core.System
+	err := c.do(http.MethodGet, "/systems", nil, &out)
+	return out, err
+}
+
+// CreateDeployment registers an SuE instance.
+func (c *Client) CreateDeployment(systemID, name, environment, version string) (*core.Deployment, error) {
+	var out core.Deployment
+	err := c.do(http.MethodPost, "/deployments", api.CreateDeploymentRequest{
+		SystemID: systemID, Name: name, Environment: environment, Version: version,
+	}, &out)
+	return &out, err
+}
+
+// ListDeployments returns deployments, filtered by system when non-empty.
+func (c *Client) ListDeployments(systemID string) ([]*core.Deployment, error) {
+	path := "/deployments"
+	if systemID != "" {
+		path += "?system=" + systemID
+	}
+	var out []*core.Deployment
+	err := c.do(http.MethodGet, path, nil, &out)
+	return out, err
+}
+
+// SetDeploymentActive toggles a deployment.
+func (c *Client) SetDeploymentActive(id string, active bool) error {
+	return c.do(http.MethodPost, "/deployments/"+id+"/active", api.SetActiveRequest{Active: active}, nil)
+}
+
+// CreateExperiment defines an evaluation.
+func (c *Client) CreateExperiment(projectID, systemID, name, description string, settings map[string][]params.Value, maxAttempts int) (*core.Experiment, error) {
+	var out core.Experiment
+	err := c.do(http.MethodPost, "/experiments", api.CreateExperimentRequest{
+		ProjectID: projectID, SystemID: systemID, Name: name,
+		Description: description, Settings: settings, MaxAttempts: maxAttempts,
+	}, &out)
+	return &out, err
+}
+
+// ListExperiments returns experiments, filtered by project when set.
+func (c *Client) ListExperiments(projectID string) ([]*core.Experiment, error) {
+	path := "/experiments"
+	if projectID != "" {
+		path += "?project=" + projectID
+	}
+	var out []*core.Experiment
+	err := c.do(http.MethodGet, path, nil, &out)
+	return out, err
+}
+
+// CreateEvaluation schedules a run of an experiment (the build-bot hook).
+func (c *Client) CreateEvaluation(experimentID string) (*core.Evaluation, []*core.Job, error) {
+	var out api.CreateEvaluationResponse
+	err := c.do(http.MethodPost, "/evaluations", api.CreateEvaluationRequest{ExperimentID: experimentID}, &out)
+	if err != nil {
+		return nil, nil, err
+	}
+	return out.Evaluation, out.Jobs, nil
+}
+
+// EvaluationStatus fetches the aggregate job state of an evaluation.
+func (c *Client) EvaluationStatus(id string) (core.EvaluationStatus, error) {
+	var out core.EvaluationStatus
+	err := c.do(http.MethodGet, "/evaluations/"+id+"/status", nil, &out)
+	return out, err
+}
+
+// EvaluationJobs lists the jobs of an evaluation.
+func (c *Client) EvaluationJobs(id string) ([]*core.Job, error) {
+	var out []*core.Job
+	err := c.do(http.MethodGet, "/evaluations/"+id+"/jobs", nil, &out)
+	return out, err
+}
+
+// GetJob fetches one job.
+func (c *Client) GetJob(id string) (*core.Job, error) {
+	var out core.Job
+	err := c.do(http.MethodGet, "/jobs/"+id, nil, &out)
+	return &out, err
+}
+
+// AbortJob cancels a scheduled or running job.
+func (c *Client) AbortJob(id string) error {
+	return c.do(http.MethodPost, "/jobs/"+id+"/abort", struct{}{}, nil)
+}
+
+// RescheduleJob returns a failed job to the queue.
+func (c *Client) RescheduleJob(id string) error {
+	return c.do(http.MethodPost, "/jobs/"+id+"/reschedule", struct{}{}, nil)
+}
+
+// JobResult fetches a job's uploaded result.
+func (c *Client) JobResult(id string) (*core.Result, error) {
+	var out core.Result
+	err := c.do(http.MethodGet, "/jobs/"+id+"/result", nil, &out)
+	return &out, err
+}
+
+// JobLogs fetches a job's log chunks.
+func (c *Client) JobLogs(id string) ([]*core.LogChunk, error) {
+	var out []*core.LogChunk
+	err := c.do(http.MethodGet, "/jobs/"+id+"/logs", nil, &out)
+	return out, err
+}
+
+// JobTimeline fetches a job's event timeline.
+func (c *Client) JobTimeline(id string) ([]*core.Event, error) {
+	var out []*core.Event
+	err := c.do(http.MethodGet, "/jobs/"+id+"/timeline", nil, &out)
+	return out, err
+}
+
+// --- agent API (implements agent.Control) ---
+
+// ClaimJob asks for work on behalf of a deployment. Job is nil when the
+// queue is empty. With API v2 the response includes the system's
+// parameter definitions.
+func (c *Client) ClaimJob(deploymentID string) (*core.Job, []params.Definition, error) {
+	var out api.ClaimResponse
+	err := c.do(http.MethodPost, "/jobs/claim", api.ClaimRequest{DeploymentID: deploymentID}, &out)
+	if err != nil {
+		return nil, nil, err
+	}
+	return out.Job, out.Parameters, nil
+}
+
+// Progress reports completion percentage; the returned status lets the
+// agent observe aborts.
+func (c *Client) Progress(jobID string, percent int64) (core.JobStatus, error) {
+	var out api.StatusResponse
+	err := c.do(http.MethodPost, "/jobs/"+jobID+"/progress", api.ProgressRequest{Percent: percent}, &out)
+	return out.Status, err
+}
+
+// Heartbeat signals liveness without changing progress.
+func (c *Client) Heartbeat(jobID string) (core.JobStatus, error) {
+	var out api.StatusResponse
+	err := c.do(http.MethodPost, "/jobs/"+jobID+"/heartbeat", struct{}{}, &out)
+	return out.Status, err
+}
+
+// AppendLog streams a chunk of log output.
+func (c *Client) AppendLog(jobID, text string) error {
+	return c.do(http.MethodPost, "/jobs/"+jobID+"/log", api.LogRequest{Text: text}, nil)
+}
+
+// Complete uploads the job result.
+func (c *Client) Complete(jobID string, resultJSON, archive []byte) error {
+	return c.do(http.MethodPost, "/jobs/"+jobID+"/complete", api.CompleteRequest{ResultJSON: resultJSON, Archive: archive}, nil)
+}
+
+// Fail reports job failure.
+func (c *Client) Fail(jobID, reason string) error {
+	return c.do(http.MethodPost, "/jobs/"+jobID+"/fail", api.FailRequest{Reason: reason}, nil)
+}
+
+// BatchUpdate is the v2-only combined progress/log/heartbeat call.
+func (c *Client) BatchUpdate(jobID string, percent *int64, logText string) (core.JobStatus, error) {
+	if c.version != "v2" {
+		return "", fmt.Errorf("client: BatchUpdate requires API v2 (have %s)", c.version)
+	}
+	var out api.StatusResponse
+	err := c.do(http.MethodPost, "/jobs/"+jobID+"/update", api.BatchUpdateRequest{Percent: percent, Log: logText}, &out)
+	return out.Status, err
+}

@@ -1,0 +1,88 @@
+package client
+
+import (
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"chronos/internal/core"
+	"chronos/internal/relstore"
+	"chronos/internal/rest"
+)
+
+func newServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	svc, err := core.NewService(relstore.OpenMemory(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	server := rest.NewServer(svc)
+	server.Logger = log.New(io.Discard, "", 0)
+	ts := httptest.NewServer(server.Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func TestClientOptions(t *testing.T) {
+	hc := &http.Client{Timeout: time.Second}
+	c := NewClient("http://example", WithVersion("v2"), WithHTTPClient(hc),
+		WithSessionToken("tok"), WithAgentToken("atok"))
+	if c.Version() != "v2" {
+		t.Fatalf("version = %s", c.Version())
+	}
+	if c.httpClient != hc || c.token != "tok" || c.agentToken != "atok" {
+		t.Fatal("options not applied")
+	}
+	c.SetSessionToken("tok2")
+	if c.token != "tok2" {
+		t.Fatal("SetSessionToken failed")
+	}
+}
+
+func TestClientDefaultVersionIsV1(t *testing.T) {
+	ts := newServer(t)
+	c := NewClient(ts.URL)
+	pong, err := c.Ping()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pong.Version != "v1" {
+		t.Fatalf("default version = %s", pong.Version)
+	}
+}
+
+func TestClientErrorsIncludeContext(t *testing.T) {
+	ts := newServer(t)
+	c := NewClient(ts.URL)
+	_, err := c.GetJob("job-000000404")
+	if err == nil || !strings.Contains(err.Error(), "/jobs/job-000000404") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestClientUnreachableServer(t *testing.T) {
+	c := NewClient("http://127.0.0.1:1", WithHTTPClient(&http.Client{Timeout: 200 * time.Millisecond}))
+	if _, err := c.Ping(); err == nil {
+		t.Fatal("unreachable server pinged successfully")
+	}
+}
+
+func TestBatchUpdateRequiresV2(t *testing.T) {
+	c := NewClient("http://example") // v1 default
+	pct := int64(10)
+	if _, err := c.BatchUpdate("job-1", &pct, ""); err == nil {
+		t.Fatal("v1 BatchUpdate should refuse locally")
+	}
+}
+
+func TestLoginAgainstAuthlessServer(t *testing.T) {
+	ts := newServer(t)
+	c := NewClient(ts.URL)
+	if err := c.Login("u", "p"); err == nil {
+		t.Fatal("login should fail when auth is disabled server-side")
+	}
+}

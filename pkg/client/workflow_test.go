@@ -1,0 +1,153 @@
+package client
+
+import (
+	"strings"
+	"testing"
+
+	"chronos/internal/core"
+	"chronos/internal/params"
+)
+
+// TestClientFullWorkflow drives every client method against a live
+// server: the SDK-level equivalent of the paper's workflow walkthrough.
+func TestClientFullWorkflow(t *testing.T) {
+	ts := newServer(t)
+	c := NewClient(ts.URL, WithVersion("v2"))
+
+	u, err := c.CreateUser("sdk", core.RoleAdmin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	users, err := c.ListUsers()
+	if err != nil || len(users) != 1 {
+		t.Fatalf("users: %v %v", users, err)
+	}
+	p, err := c.CreateProject("sdk-project", "demo", u.ID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps, err := c.ListProjects()
+	if err != nil || len(ps) != 1 {
+		t.Fatalf("projects: %v %v", ps, err)
+	}
+	defs := []params.Definition{
+		{Name: "threads", Type: params.TypeInterval, Min: 1, Max: 8, Default: params.Int(1)},
+	}
+	sys, err := c.RegisterSystem("sdk-sue", "", defs, []core.DiagramSpec{
+		{Type: "line", Title: "T", Metric: "throughput", XParam: "threads"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, err := c.GetSystem(sys.ID); err != nil || got.Name != "sdk-sue" {
+		t.Fatalf("get system: %v %v", got, err)
+	}
+	if all, err := c.ListSystems(); err != nil || len(all) != 1 {
+		t.Fatalf("list systems: %v %v", all, err)
+	}
+	dep, err := c.CreateDeployment(sys.ID, "d", "env", "v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetDeploymentActive(dep.ID, true); err != nil {
+		t.Fatal(err)
+	}
+	if deps, err := c.ListDeployments(sys.ID); err != nil || len(deps) != 1 {
+		t.Fatalf("deployments: %v %v", deps, err)
+	}
+	exp, err := c.CreateExperiment(p.ID, sys.ID, "sweep", "", map[string][]params.Value{
+		"threads": {params.Int(1), params.Int(2)},
+	}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exps, err := c.ListExperiments(p.ID); err != nil || len(exps) != 1 {
+		t.Fatalf("experiments: %v %v", exps, err)
+	}
+	ev, jobs, err := c.CreateEvaluation(exp.ID)
+	if err != nil || len(jobs) != 2 {
+		t.Fatalf("evaluation: %v %v", err, jobs)
+	}
+	if listed, err := c.EvaluationJobs(ev.ID); err != nil || len(listed) != 2 {
+		t.Fatalf("evaluation jobs: %v %v", listed, err)
+	}
+
+	// Agent-side flow: claim, progress, heartbeat, batch update, log,
+	// complete; abort + reschedule on the second job.
+	j, defs2, err := c.ClaimJob(dep.ID)
+	if err != nil || j == nil {
+		t.Fatal(err)
+	}
+	if len(defs2) != 1 {
+		t.Fatalf("v2 defs: %v", defs2)
+	}
+	if st, err := c.Progress(j.ID, 10); err != nil || st != core.StatusRunning {
+		t.Fatalf("progress: %v %v", st, err)
+	}
+	if st, err := c.Heartbeat(j.ID); err != nil || st != core.StatusRunning {
+		t.Fatalf("heartbeat: %v %v", st, err)
+	}
+	pct := int64(50)
+	if st, err := c.BatchUpdate(j.ID, &pct, "batched\n"); err != nil || st != core.StatusRunning {
+		t.Fatalf("batch: %v %v", st, err)
+	}
+	if _, err := c.BatchUpdate(j.ID, nil, ""); err != nil { // heartbeat-only form
+		t.Fatal(err)
+	}
+	if err := c.AppendLog(j.ID, "line\n"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Complete(j.ID, []byte(`{"throughput": 9}`), []byte("arch")); err != nil {
+		t.Fatal(err)
+	}
+	logs, err := c.JobLogs(j.ID)
+	if err != nil || len(logs) != 2 {
+		t.Fatalf("logs: %v %v", logs, err)
+	}
+	tl, err := c.JobTimeline(j.ID)
+	if err != nil || len(tl) < 3 {
+		t.Fatalf("timeline: %v %v", tl, err)
+	}
+	res, err := c.JobResult(j.ID)
+	if err != nil || !strings.Contains(string(res.JSON), "9") {
+		t.Fatalf("result: %v %v", res, err)
+	}
+
+	// Abort the scheduled second job, then it cannot be claimed.
+	var second *core.Job
+	for _, cand := range jobs {
+		if cand.ID != j.ID {
+			second = cand
+		}
+	}
+	if err := c.AbortJob(second.ID); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := c.GetJob(second.ID); err != nil || got.Status != core.StatusAborted {
+		t.Fatalf("aborted job: %v %v", got, err)
+	}
+	if j2, _, err := c.ClaimJob(dep.ID); err != nil || j2 != nil {
+		t.Fatalf("aborted job claimed: %v %v", j2, err)
+	}
+	// Reschedule is illegal from aborted -> client surfaces the conflict.
+	if err := c.RescheduleJob(second.ID); err == nil {
+		t.Fatal("reschedule of aborted job accepted")
+	}
+
+	// Status + export.
+	st, err := c.EvaluationStatus(ev.ID)
+	if err != nil || st.Finished != 1 || st.Aborted != 1 {
+		t.Fatalf("status: %+v %v", st, err)
+	}
+	data, err := c.ExportProject(p.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if arch, err := core.ReadProjectArchive(data); err != nil || len(arch.Evaluations) != 1 {
+		t.Fatalf("archive: %v %v", arch, err)
+	}
+	// Archive the project through the client.
+	if err := c.ArchiveProject(p.ID); err != nil {
+		t.Fatal(err)
+	}
+}
