@@ -16,6 +16,8 @@ package chronos
 import (
 	"context"
 	"fmt"
+	"sync"
+	"sync/atomic"
 	"testing"
 
 	"chronos/internal/agent"
@@ -308,46 +310,187 @@ func BenchmarkRelstoreWAL(b *testing.B) {
 	}
 }
 
-// BenchmarkSchedulerClaim measures the job claim path (the agent-facing
-// hot endpoint) with a deep queue.
-func BenchmarkSchedulerClaim(b *testing.B) {
-	svc, err := core.NewService(relstore.OpenMemory(), nil)
+// BenchmarkRelstoreWALGroupCommit measures durable write throughput
+// under concurrency: with group commit, parallel committers share
+// fsyncs, so ops/s should scale well past the serial per-commit-fsync
+// figure from BenchmarkRelstoreWAL.
+func BenchmarkRelstoreWALGroupCommit(b *testing.B) {
+	for _, par := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("writers=%d", par), func(b *testing.B) {
+			db, err := relstore.Open(b.TempDir(), nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer db.Close()
+			schema := relstore.Schema{Name: "t", Key: "id", Columns: []relstore.Column{
+				{Name: "id", Type: relstore.TString},
+				{Name: "v", Type: relstore.TInt},
+			}}
+			if err := db.CreateTable(schema); err != nil {
+				b.Fatal(err)
+			}
+			// Exactly par writer goroutines (RunParallel would multiply
+			// by GOMAXPROCS and skew the writers=1 serial baseline).
+			b.ResetTimer()
+			var n int64
+			var wg sync.WaitGroup
+			for w := 0; w < par; w++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for {
+						i := atomic.AddInt64(&n, 1)
+						if i > int64(b.N) {
+							return
+						}
+						err := db.Update(func(tx *relstore.Tx) error {
+							return tx.Put("t", relstore.Row{"id": fmt.Sprintf("k%d", i%1000), "v": i})
+						})
+						if err != nil {
+							b.Error(err)
+							return
+						}
+					}
+				}()
+			}
+			wg.Wait()
+		})
+	}
+}
+
+// BenchmarkRelstoreSelect isolates the relstore query planner: an
+// indexed equality lookup, a full scan with a predicate, an indexed
+// Limit(1) (the claim pattern), a two-index intersection, and a
+// non-cloning Count — all over the same 10k-row table.
+func BenchmarkRelstoreSelect(b *testing.B) {
+	const n = 10000
+	db := relstore.OpenMemory()
+	schema := relstore.Schema{Name: "t", Key: "id", Columns: []relstore.Column{
+		{Name: "id", Type: relstore.TString},
+		{Name: "status", Type: relstore.TString, Indexed: true},
+		{Name: "shard", Type: relstore.TString, Indexed: true},
+		{Name: "v", Type: relstore.TInt},
+	}}
+	if err := db.CreateTable(schema); err != nil {
+		b.Fatal(err)
+	}
+	err := db.Update(func(tx *relstore.Tx) error {
+		for i := 0; i < n; i++ {
+			status := "cold"
+			if i%100 == 0 {
+				status = "hot" // 1% selectivity
+			}
+			row := relstore.Row{
+				"id":     fmt.Sprintf("r%06d", i),
+				"status": status,
+				"shard":  fmt.Sprintf("s%d", i%16),
+				"v":      int64(i),
+			}
+			if err := tx.Put("t", row); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
 	if err != nil {
 		b.Fatal(err)
 	}
-	u, _ := svc.CreateUser("bench", core.RoleAdmin)
-	p, _ := svc.CreateProject("bench", "", u.ID, nil)
-	defs := []params.Definition{
-		{Name: "idx", Type: params.TypeInterval, Min: 1, Max: 100000, Default: params.Int(1)},
+	run := func(name string, fn func(tx *relstore.Tx) error) {
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := db.View(fn); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
-	sys, _ := svc.RegisterSystem("sue", "", defs, nil)
-	dep, _ := svc.CreateDeployment(sys.ID, "d", "", "")
-	variants := make([]params.Value, 0, b.N)
-	for i := 0; i < b.N; i++ {
-		variants = append(variants, params.Int(int64(i%100000)+1))
-	}
-	// A single experiment cannot exceed the job cap; chunk if needed.
-	for len(variants) > 0 {
-		n := len(variants)
-		if n > 50000 {
-			n = 50000
+	run("indexed-eq", func(tx *relstore.Tx) error {
+		rows, err := tx.Select("t", relstore.NewQuery().Eq("status", "hot"))
+		if err == nil && len(rows) != n/100 {
+			return fmt.Errorf("got %d rows", len(rows))
 		}
-		exp, err := svc.CreateExperiment(p.ID, sys.ID, fmt.Sprintf("e%d", len(variants)), "",
-			map[string][]params.Value{"idx": variants[:n]}, 0)
-		if err != nil {
-			b.Fatal(err)
+		return err
+	})
+	run("full-scan", func(tx *relstore.Tx) error {
+		rows, err := tx.Select("t", relstore.NewQuery().
+			Where(func(r relstore.Row) bool { return r["v"].(int64)%100 == 0 }))
+		if err == nil && len(rows) != n/100 {
+			return fmt.Errorf("got %d rows", len(rows))
 		}
-		if _, _, err := svc.CreateEvaluation(exp.ID); err != nil {
-			b.Fatal(err)
+		return err
+	})
+	run("indexed-limit1", func(tx *relstore.Tx) error {
+		rows, err := tx.Select("t", relstore.NewQuery().Eq("status", "cold").Limit(1))
+		if err == nil && len(rows) != 1 {
+			return fmt.Errorf("got %d rows", len(rows))
 		}
-		variants = variants[n:]
-	}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		_, ok, err := svc.ClaimJob(dep.ID)
-		if err != nil || !ok {
-			b.Fatalf("claim %d: %v %v", i, ok, err)
+		return err
+	})
+	run("indexed-intersect", func(tx *relstore.Tx) error {
+		_, err := tx.Select("t", relstore.NewQuery().Eq("status", "hot").Eq("shard", "s0"))
+		return err
+	})
+	run("count-indexed", func(tx *relstore.Tx) error {
+		c, err := tx.Count("t", relstore.NewQuery().Eq("status", "hot"))
+		if err == nil && c != n/100 {
+			return fmt.Errorf("count %d", c)
 		}
+		return err
+	})
+}
+
+// BenchmarkSchedulerClaim measures the job claim path (the agent-facing
+// hot endpoint) at several queue depths. ns/op is ns per claim; with
+// the planner's Limit(1) indexed lookup it should stay near-flat as the
+// queue deepens, where the old full-scan path grew linearly.
+func BenchmarkSchedulerClaim(b *testing.B) {
+	for _, depth := range []int{1000, 10000, 50000} {
+		b.Run(fmt.Sprintf("depth=%d", depth), func(b *testing.B) {
+			svc, err := core.NewService(relstore.OpenMemory(), nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			u, _ := svc.CreateUser("bench", core.RoleAdmin)
+			p, _ := svc.CreateProject("bench", "", u.ID, nil)
+			defs := []params.Definition{
+				{Name: "idx", Type: params.TypeInterval, Min: 1, Max: 100000, Default: params.Int(1)},
+			}
+			sys, _ := svc.RegisterSystem("sue", "", defs, nil)
+			dep, _ := svc.CreateDeployment(sys.ID, "d", "", "")
+			variants := make([]params.Value, depth)
+			for i := range variants {
+				variants[i] = params.Int(int64(i%100000) + 1)
+			}
+			refills := 0
+			refill := func() {
+				refills++
+				exp, err := svc.CreateExperiment(p.ID, sys.ID, fmt.Sprintf("e%d", refills), "",
+					map[string][]params.Value{"idx": variants}, 0)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, _, err := svc.CreateEvaluation(exp.ID); err != nil {
+					b.Fatal(err)
+				}
+			}
+			refill()
+			remaining := depth
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if remaining == 0 {
+					b.StopTimer()
+					refill()
+					remaining = depth
+					b.StartTimer()
+				}
+				_, ok, err := svc.ClaimJob(dep.ID)
+				if err != nil || !ok {
+					b.Fatalf("claim %d: %v %v", i, ok, err)
+				}
+				remaining--
+			}
+		})
 	}
 }
 

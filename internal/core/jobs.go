@@ -162,14 +162,15 @@ func (s *Service) ClaimJob(deploymentID string) (job *Job, ok bool, err error) {
 		if !dep.Active {
 			return ErrInactiveDeployment
 		}
-		candidates, err := s.store.ListJobsByStatus(tx, StatusScheduled, dep.SystemID)
+		// Limit(1) indexed lookup: the planner drives from the smaller of
+		// the status/system posting lists and decodes exactly one job.
+		j, err := s.store.FirstJobByStatus(tx, StatusScheduled, dep.SystemID)
 		if err != nil {
 			return err
 		}
-		if len(candidates) == 0 {
+		if j == nil {
 			return nil
 		}
-		j := candidates[0] // Select orders by id == creation order
 		if err := s.transition(tx, j, StatusRunning); err != nil {
 			return err
 		}
@@ -415,12 +416,8 @@ func (s *Service) EvaluationStatusOf(evaluationID string) (EvaluationStatus, err
 		if _, err := s.store.GetEvaluation(tx, evaluationID); err != nil {
 			return mapNotFound(err)
 		}
-		jobs, err := s.store.ListJobsByEvaluation(tx, evaluationID)
-		if err != nil {
-			return err
-		}
 		var progress int64
-		for _, j := range jobs {
+		err := s.store.EachJobByEvaluation(tx, evaluationID, func(j *Job) bool {
 			st.Total++
 			progress += j.Progress
 			switch j.Status {
@@ -435,6 +432,10 @@ func (s *Service) EvaluationStatusOf(evaluationID string) (EvaluationStatus, err
 			case StatusFailed:
 				st.Failed++
 			}
+			return true
+		})
+		if err != nil {
+			return err
 		}
 		if st.Total > 0 {
 			st.Progress = float64(progress) / float64(st.Total)
@@ -452,16 +453,12 @@ func (s *Service) CheckHeartbeats() ([]string, error) {
 	cutoff := s.now().Add(-s.HeartbeatTimeout)
 	var stale []string
 	err := s.store.db.View(func(tx *relstore.Tx) error {
-		jobs, err := s.store.ListJobsByStatus(tx, StatusRunning, "")
-		if err != nil {
-			return err
-		}
-		for _, j := range jobs {
+		return s.store.EachJobByStatus(tx, StatusRunning, "", func(j *Job) bool {
 			if j.Heartbeat.Before(cutoff) {
 				stale = append(stale, j.ID)
 			}
-		}
-		return nil
+			return true
+		})
 	})
 	if err != nil {
 		return nil, err

@@ -309,14 +309,50 @@ func (s *Store) ListJobsByEvaluation(tx *relstore.Tx, evaluationID string) ([]*J
 	return selectJSON[Job](tx, tableJobs, relstore.NewQuery().Eq("evaluationId", evaluationID))
 }
 
+// jobsByStatusQuery builds the indexed query for status (+ optional
+// system) lookups. Both conditions are Eq on indexed columns so the
+// planner can drive from the smaller posting list and probe the other.
+func jobsByStatusQuery(status JobStatus, systemID string) *relstore.Query {
+	q := relstore.NewQuery().Eq("status", string(status))
+	if systemID != "" {
+		q = q.Eq("systemId", systemID)
+	}
+	return q
+}
+
 // ListJobsByStatus returns jobs with the given status, optionally
 // restricted to a system.
 func (s *Store) ListJobsByStatus(tx *relstore.Tx, status JobStatus, systemID string) ([]*Job, error) {
-	q := relstore.NewQuery().Eq("status", string(status))
-	if systemID != "" {
-		q = q.Where(func(r relstore.Row) bool { return r["systemId"] == systemID })
-	}
-	return selectJSON[Job](tx, tableJobs, q)
+	return selectJSON[Job](tx, tableJobs, jobsByStatusQuery(status, systemID))
+}
+
+// FirstJobByStatus returns the oldest (lowest-id, i.e. first-created)
+// job with the given status, optionally restricted to a system. It is
+// the scheduler's claim lookup: a Limit(1) indexed select that decodes
+// exactly one row. Returns (nil, nil) when no job matches.
+func (s *Store) FirstJobByStatus(tx *relstore.Tx, status JobStatus, systemID string) (*Job, error) {
+	var j *Job
+	err := eachJSON[Job](tx, tableJobs, jobsByStatusQuery(status, systemID).Limit(1), func(v *Job) bool {
+		j = v
+		return false
+	})
+	return j, err
+}
+
+// CountJobsByStatus reports queue depth without decoding any job.
+func (s *Store) CountJobsByStatus(tx *relstore.Tx, status JobStatus, systemID string) (int, error) {
+	return tx.Count(tableJobs, jobsByStatusQuery(status, systemID))
+}
+
+// EachJobByStatus streams jobs with the given status in creation order,
+// decoding one at a time; fn returns false to stop.
+func (s *Store) EachJobByStatus(tx *relstore.Tx, status JobStatus, systemID string, fn func(*Job) bool) error {
+	return eachJSON[Job](tx, tableJobs, jobsByStatusQuery(status, systemID), fn)
+}
+
+// EachJobByEvaluation streams an evaluation's jobs in creation order.
+func (s *Store) EachJobByEvaluation(tx *relstore.Tx, evaluationID string, fn func(*Job) bool) error {
+	return eachJSON[Job](tx, tableJobs, relstore.NewQuery().Eq("evaluationId", evaluationID), fn)
 }
 
 // --- Results ---
@@ -347,8 +383,14 @@ func (s *Store) AppendLog(tx *relstore.Tx, c *LogChunk) error {
 // ListLogs returns a job's log chunks in sequence order.
 func (s *Store) ListLogs(tx *relstore.Tx, jobID string) ([]*LogChunk, error) {
 	// Chunk ids embed a zero-padded sequence number, so id order == seq
-	// order, which Select already guarantees.
+	// order, which the scan already guarantees.
 	return selectJSON[LogChunk](tx, tableLogs, relstore.NewQuery().Eq("jobId", jobID))
+}
+
+// EachLog streams a job's log chunks in sequence order, decoding one at
+// a time; fn returns false to stop.
+func (s *Store) EachLog(tx *relstore.Tx, jobID string, fn func(*LogChunk) bool) error {
+	return eachJSON[LogChunk](tx, tableLogs, relstore.NewQuery().Eq("jobId", jobID), fn)
 }
 
 // --- Events ---
@@ -364,19 +406,44 @@ func (s *Store) ListEvents(tx *relstore.Tx, jobID string) ([]*Event, error) {
 	return selectJSON[Event](tx, tableEvents, relstore.NewQuery().Eq("jobId", jobID))
 }
 
+// EachEvent streams a job's events in creation order.
+func (s *Store) EachEvent(tx *relstore.Tx, jobID string, fn func(*Event) bool) error {
+	return eachJSON[Event](tx, tableEvents, relstore.NewQuery().Eq("jobId", jobID), fn)
+}
+
+// eachJSON streams matching rows through relstore's non-cloning
+// iterator, decoding the data column one entity at a time. fn returns
+// false to stop early; with a Limit the scan also stops at the limit,
+// so callers never pay for entities they discard.
+func eachJSON[T any](tx *relstore.Tx, table string, q *relstore.Query, fn func(*T) bool) error {
+	var derr error
+	err := tx.SelectFunc(table, q, func(row relstore.Row) bool {
+		var v T
+		// json.Unmarshal does not retain its input, so decoding straight
+		// from the store's internal row is safe and skips Select's clone.
+		if derr = json.Unmarshal(row["data"].([]byte), &v); derr != nil {
+			return false
+		}
+		return fn(&v)
+	})
+	if err != nil {
+		return err
+	}
+	if derr != nil {
+		return fmt.Errorf("core: decode %s row: %w", table, derr)
+	}
+	return nil
+}
+
 // selectJSON decodes the data column of every matching row.
 func selectJSON[T any](tx *relstore.Tx, table string, q *relstore.Query) ([]*T, error) {
-	rows, err := tx.Select(table, q)
+	out := make([]*T, 0, 8)
+	err := eachJSON[T](tx, table, q, func(v *T) bool {
+		out = append(out, v)
+		return true
+	})
 	if err != nil {
 		return nil, err
-	}
-	out := make([]*T, 0, len(rows))
-	for _, row := range rows {
-		var v T
-		if err := json.Unmarshal(row["data"].([]byte), &v); err != nil {
-			return nil, fmt.Errorf("core: decode %s row: %w", table, err)
-		}
-		out = append(out, &v)
 	}
 	return out, nil
 }

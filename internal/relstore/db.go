@@ -7,6 +7,7 @@ import (
 	"sort"
 	"strconv"
 	"sync"
+	"sync/atomic"
 )
 
 // SyncMode controls when the WAL is flushed to stable storage.
@@ -14,7 +15,9 @@ type SyncMode int
 
 const (
 	// SyncEveryCommit fsyncs the WAL after each commit — maximum
-	// durability, the default.
+	// durability, the default. Concurrent committers share fsyncs via
+	// group commit: the write is acknowledged only once its batch is on
+	// stable storage.
 	SyncEveryCommit SyncMode = iota
 	// SyncBatched lets the OS page cache absorb writes; a crash may lose
 	// the most recent commits but never corrupts the store. Used by the
@@ -33,17 +36,35 @@ type Options struct {
 
 // table is the in-memory state of one table.
 type table struct {
-	schema  Schema
-	rows    map[string]Row            // key -> row
-	indexes map[string]map[string]set // column -> value-string -> ids
-	seq     int64                     // auto-increment sequence
+	schema Schema
+	rows   map[string]Row // key -> row
+	// keys lists the primary keys in sorted order so full scans iterate
+	// without sorting per query.
+	keys *postingList
+	// indexes holds one sorted posting list per (column, value) pair.
+	indexes map[string]map[string]*postingList
+	seq     int64 // auto-increment sequence
 }
 
-type set map[string]struct{}
-
 // DB is an embedded, durable, transactional table store. All methods are
-// safe for concurrent use: writes serialise behind a single writer lock,
-// reads proceed concurrently.
+// safe for concurrent use.
+//
+// Locking rules:
+//   - db.mu guards the in-memory tables: writes (commit apply) hold it
+//     exclusively, reads share it. It is never held across disk IO.
+//   - db.walMu serialises WAL file writes, compaction and close.
+//   - group.mu only orders commit batches; it is held for O(1) sections.
+//
+// A committing Update applies its writes under db.mu, then releases the
+// lock and waits for the group committer to make the batch durable (one
+// WAL write + fsync may cover many concurrent commits). Update does not
+// return success before its record is on stable storage, but concurrent
+// readers may observe a commit slightly before it is durable — the same
+// contract as group commit in classic databases. A WAL write failure is
+// sticky: the in-memory state is ahead of the log at that point, so the
+// store poisons itself — all further writes and compactions fail (the
+// divergent state can never become durable) and reopening the store
+// recovers the last consistent logged state.
 type DB struct {
 	dir  string
 	opts Options
@@ -51,10 +72,33 @@ type DB struct {
 	mu     sync.RWMutex // guards tables
 	tables map[string]*table
 
-	walMu       sync.Mutex // serialises WAL appends and compaction
-	wal         *walWriter
-	commitCount int
+	walMu  sync.Mutex // serialises WAL writes and compaction
+	wal    *walWriter
+	walErr error // sticky WAL failure; guarded by walMu
+	// commitCount is written under walMu but read lock-free by
+	// maybeCompact, so committers don't queue on walMu (where a group
+	// leader may be mid-fsync) just to learn no compaction is due.
+	commitCount atomic.Int64
 	closed      bool
+
+	group groupCommitter
+}
+
+// groupCommitter batches concurrently committing transactions into a
+// single WAL write + fsync. Records are enqueued in apply order (the
+// enqueuer holds db.mu) and one committer — the leader — drains whole
+// batches on behalf of everyone waiting on them.
+type groupCommitter struct {
+	mu      sync.Mutex
+	cur     *walBatch // batch currently accumulating, nil if none
+	writing bool      // a leader is flushing batches
+}
+
+// walBatch is one group of commit records flushed by a single WAL write.
+type walBatch struct {
+	recs []walRecord
+	done chan struct{}
+	err  error
 }
 
 // Open loads (or creates) a store in dir. Pass opts as nil for defaults.
@@ -115,7 +159,7 @@ func (db *DB) Close() error {
 
 // CreateTable registers a table. Creating an existing table with an equal
 // schema is a no-op; with a different schema it fails. Table creations are
-// durable via the WAL.
+// durable via the WAL and ordered with commits that use the new table.
 func (db *DB) CreateTable(s Schema) error {
 	if err := s.Check(); err != nil {
 		return err
@@ -130,10 +174,16 @@ func (db *DB) CreateTable(s Schema) error {
 		return fmt.Errorf("relstore: table %q already exists with a different schema", s.Name)
 	}
 	db.tables[s.Name] = newTable(s)
+	var batch *walBatch
+	if db.wal != nil {
+		batch = db.enqueueCommit(walRecord{CreateTable: &s})
+	}
 	db.mu.Unlock()
 
-	if err := db.appendWAL(walRecord{CreateTable: &s}); err != nil {
-		return err
+	if batch != nil {
+		if err := db.awaitCommit(batch); err != nil {
+			return err
+		}
 	}
 	return db.maybeCompact()
 }
@@ -154,11 +204,12 @@ func newTable(s Schema) *table {
 	t := &table{
 		schema:  s,
 		rows:    make(map[string]Row),
-		indexes: make(map[string]map[string]set),
+		keys:    newPostingList(),
+		indexes: make(map[string]map[string]*postingList),
 	}
 	for _, c := range s.Columns {
 		if c.Indexed && c.Name != s.Key {
-			t.indexes[c.Name] = make(map[string]set)
+			t.indexes[c.Name] = make(map[string]*postingList)
 		}
 	}
 	return t
@@ -200,12 +251,12 @@ func (t *table) addToIndexes(id string, r Row) {
 			continue
 		}
 		k := indexKey(v)
-		ids := idx[k]
-		if ids == nil {
-			ids = make(set)
-			idx[k] = ids
+		pl := idx[k]
+		if pl == nil {
+			pl = newPostingList()
+			idx[k] = pl
 		}
-		ids[id] = struct{}{}
+		pl.add(id)
 	}
 }
 
@@ -217,17 +268,39 @@ func (t *table) removeFromIndexes(id string, r Row) {
 			continue
 		}
 		k := indexKey(v)
-		if ids := idx[k]; ids != nil {
-			delete(ids, id)
-			if len(ids) == 0 {
+		if pl := idx[k]; pl != nil {
+			pl.remove(id)
+			if pl.len() == 0 {
 				delete(idx, k)
 			}
 		}
 	}
 }
 
-// apply installs a committed operation into the in-memory state. The
-// caller holds the write lock.
+// applyPut installs a typed row, maintaining the key list and secondary
+// indexes. Caller holds the write lock.
+func (t *table) applyPut(id string, row Row) {
+	if old, ok := t.rows[id]; ok {
+		t.removeFromIndexes(id, old)
+	} else {
+		t.keys.add(id)
+	}
+	t.rows[id] = row
+	t.addToIndexes(id, row)
+}
+
+// applyDelete removes a row. Missing rows are a no-op (idempotent WAL
+// replay). Caller holds the write lock.
+func (t *table) applyDelete(id string) {
+	if old, ok := t.rows[id]; ok {
+		t.removeFromIndexes(id, old)
+		delete(t.rows, id)
+		t.keys.remove(id)
+	}
+}
+
+// apply installs a committed WAL operation into the in-memory state,
+// used on replay and snapshot load. The caller holds the write lock.
 func (t *table) apply(op walOp) error {
 	switch op.Op {
 	case opPut:
@@ -235,16 +308,9 @@ func (t *table) apply(op walOp) error {
 		if err != nil {
 			return err
 		}
-		if old, ok := t.rows[op.ID]; ok {
-			t.removeFromIndexes(op.ID, old)
-		}
-		t.rows[op.ID] = row
-		t.addToIndexes(op.ID, row)
+		t.applyPut(op.ID, row)
 	case opDelete:
-		if old, ok := t.rows[op.ID]; ok {
-			t.removeFromIndexes(op.ID, old)
-			delete(t.rows, op.ID)
-		}
+		t.applyDelete(op.ID)
 	case opSeq:
 		if op.Seq > t.seq {
 			t.seq = op.Seq
@@ -257,17 +323,22 @@ func (t *table) apply(op walOp) error {
 
 // Update runs fn inside a read-write transaction. If fn returns an error
 // the transaction is rolled back (no state or WAL change); otherwise the
-// buffered writes are committed atomically.
+// buffered writes are committed atomically. Update returns only after
+// the commit is durable per the configured SyncMode; the fsync may be
+// shared with other transactions committing concurrently (group commit).
 func (db *DB) Update(fn func(tx *Tx) error) error {
 	db.mu.Lock()
 	tx := &Tx{db: db, writable: true, pending: make(map[string]map[string]*pendingRow), seqs: make(map[string]int64)}
-	err := fn(tx)
-	if err == nil {
-		err = db.commitLocked(tx)
-	}
-	db.mu.Unlock()
-	if err != nil {
+	if err := fn(tx); err != nil {
+		db.mu.Unlock()
 		return err
+	}
+	batch := db.commitLocked(tx)
+	db.mu.Unlock()
+	if batch != nil {
+		if err := db.awaitCommit(batch); err != nil {
+			return err
+		}
 	}
 	// Compaction happens outside the table lock: writeSnapshot re-acquires
 	// it read-only, which would deadlock if still held here.
@@ -282,44 +353,115 @@ func (db *DB) View(fn func(tx *Tx) error) error {
 	return fn(tx)
 }
 
-// commitLocked writes the transaction to the WAL and applies it. Caller
-// holds the write lock.
-func (db *DB) commitLocked(tx *Tx) error {
-	rec := tx.toWALRecord()
-	if len(rec.Ops) == 0 {
+// commitLocked applies the transaction's buffered writes to the
+// in-memory tables directly from their typed form (no encode/decode
+// round-trip) and, for durable stores, enqueues the WAL record. Caller
+// holds db.mu exclusively; the returned batch — nil for memory stores
+// and empty transactions — must be awaited after releasing it.
+func (db *DB) commitLocked(tx *Tx) *walBatch {
+	if len(tx.pendingOrder) == 0 && len(tx.seqs) == 0 {
 		return nil
 	}
-	if err := db.appendWAL(rec); err != nil {
-		return err
-	}
-	for _, op := range rec.Ops {
-		t := db.tables[op.Table]
-		if t == nil {
-			return fmt.Errorf("relstore: commit references unknown table %q", op.Table)
+	durable := db.wal != nil
+	var rec walRecord
+	for _, pk := range tx.pendingOrder {
+		p := tx.pending[pk.table][pk.id]
+		t := db.tables[pk.table]
+		if p.row == nil {
+			t.applyDelete(pk.id)
+			if durable {
+				rec.Ops = append(rec.Ops, walOp{Op: opDelete, Table: pk.table, ID: pk.id})
+			}
+		} else {
+			if durable {
+				rec.Ops = append(rec.Ops, walOp{Op: opPut, Table: pk.table, ID: pk.id, Row: t.schema.encodeRow(p.row)})
+			}
+			// The pending row was cloned on Put and the tx dies with this
+			// commit, so ownership transfers without another copy.
+			t.applyPut(pk.id, p.row)
 		}
-		if err := t.apply(op); err != nil {
-			return err
+	}
+	// Deterministic sequence ordering.
+	tables := make([]string, 0, len(tx.seqs))
+	for tbl := range tx.seqs {
+		tables = append(tables, tbl)
+	}
+	sort.Strings(tables)
+	for _, tbl := range tables {
+		n := tx.seqs[tbl]
+		if t := db.tables[tbl]; t != nil && n > t.seq {
+			t.seq = n
+		}
+		if durable {
+			rec.Ops = append(rec.Ops, walOp{Op: opSeq, Table: tbl, Seq: n})
 		}
 	}
-	return nil
+	if !durable || len(rec.Ops) == 0 {
+		return nil
+	}
+	return db.enqueueCommit(rec)
 }
 
-// appendWAL writes one record. In a memory-only store it is a no-op.
-// Compaction is deferred to maybeCompact, which callers invoke after
-// releasing the table lock.
-func (db *DB) appendWAL(rec walRecord) error {
-	if db.wal == nil {
-		return nil
+// enqueueCommit appends rec to the currently accumulating batch. Callers
+// hold db.mu, so batch order always equals apply order.
+func (db *DB) enqueueCommit(rec walRecord) *walBatch {
+	g := &db.group
+	g.mu.Lock()
+	if g.cur == nil {
+		g.cur = &walBatch{done: make(chan struct{})}
 	}
+	b := g.cur
+	b.recs = append(b.recs, rec)
+	g.mu.Unlock()
+	return b
+}
+
+// awaitCommit blocks until b is durable. The first waiter to find no
+// active leader becomes one and flushes batches — its own and any that
+// accumulate while it is writing — so every fsync covers all commits
+// that queued up behind the previous one. Called without db.mu.
+func (db *DB) awaitCommit(b *walBatch) error {
+	g := &db.group
+	g.mu.Lock()
+	if !g.writing && g.cur == b {
+		g.writing = true
+		for g.cur != nil {
+			batch := g.cur
+			g.cur = nil
+			g.mu.Unlock()
+			batch.err = db.writeBatch(batch.recs)
+			close(batch.done)
+			g.mu.Lock()
+		}
+		g.writing = false
+	}
+	g.mu.Unlock()
+	<-b.done
+	return b.err
+}
+
+// writeBatch appends a batch of records to the WAL with a single flush
+// (and fsync, in SyncEveryCommit mode) at the end.
+func (db *DB) writeBatch(recs []walRecord) error {
 	db.walMu.Lock()
 	defer db.walMu.Unlock()
 	if db.closed {
 		return fmt.Errorf("relstore: store is closed")
 	}
-	if err := db.wal.Append(rec); err != nil {
+	if db.walErr != nil {
+		return fmt.Errorf("relstore: store failed a previous WAL write: %w", db.walErr)
+	}
+	for _, rec := range recs {
+		if err := db.wal.append(rec); err != nil {
+			db.walErr = err
+			return err
+		}
+	}
+	if err := db.wal.commit(); err != nil {
+		db.walErr = err
 		return err
 	}
-	db.commitCount++
+	db.commitCount.Add(int64(len(recs)))
 	return nil
 }
 
@@ -329,15 +471,20 @@ func (db *DB) maybeCompact() error {
 	if db.wal == nil || db.opts.CompactEvery <= 0 {
 		return nil
 	}
+	// Lock-free pre-check: committers must not serialise on walMu (a
+	// group leader may be mid-fsync there) just to find nothing to do.
+	if db.commitCount.Load() < int64(db.opts.CompactEvery) {
+		return nil
+	}
 	db.walMu.Lock()
 	defer db.walMu.Unlock()
-	if db.commitCount < db.opts.CompactEvery {
-		return nil
+	if db.commitCount.Load() < int64(db.opts.CompactEvery) {
+		return nil // another committer compacted first
 	}
 	if err := db.compactLocked(); err != nil {
 		return err
 	}
-	db.commitCount = 0
+	db.commitCount.Store(0)
 	return nil
 }
 
@@ -354,9 +501,15 @@ func (db *DB) Compact() error {
 
 // compactLocked assumes walMu is held. It takes the table read lock to
 // produce a consistent snapshot. NB: callers on the Update path already
-// hold db.mu exclusively; the snapshot helper therefore receives the
-// tables directly instead of re-locking.
+// released db.mu; the snapshot helper re-acquires it read-only.
 func (db *DB) compactLocked() error {
+	// After a WAL write failure the in-memory state may contain a
+	// transaction whose Update returned an error. Snapshotting it (and
+	// truncating the log) would silently make that failed commit
+	// durable, so a poisoned store refuses to compact.
+	if db.walErr != nil {
+		return fmt.Errorf("relstore: store failed a previous WAL write: %w", db.walErr)
+	}
 	if err := db.writeSnapshot(); err != nil {
 		return err
 	}

@@ -8,9 +8,43 @@
 // CRUD over typed tables with secondary indexes and predicate scans.
 //
 // Durability follows the classic write-ahead log design: every committed
-// transaction is appended to a WAL (length- and CRC-framed JSON records)
-// before it is applied to the in-memory tables; a snapshot plus WAL replay
-// restores the state on open, tolerating a torn final record from a crash.
+// transaction is recorded in a WAL (length- and CRC-framed JSON records);
+// a snapshot plus WAL replay restores the state on open, tolerating a
+// torn final record from a crash.
+//
+// # Query planner
+//
+// Reads go through a small planner (Tx.scan). Every secondary index and
+// the per-table primary-key list are sorted posting lists maintained on
+// apply. For a query the planner picks the smallest posting list among
+// all indexed Eq conditions as the scan driver and turns the remaining
+// indexed conditions into O(1) membership probes; without an indexed
+// condition the primary-key list drives, so even full scans never sort
+// per query. Because both the driver and the transaction's pending
+// writes stream in key order, Limit pushes down: the scan stops at the
+// limit instead of materialising and sorting the full candidate set.
+// Select clones matching rows; SelectFunc streams them without cloning
+// and Count never clones or decodes at all.
+//
+// # Commit path and group commit
+//
+// DB.Update applies buffered writes to the in-memory tables under the
+// exclusive table lock (db.mu), then releases the lock and waits for the
+// group committer to make the WAL record durable. Concurrent committers
+// batch into a single WAL write and fsync: the first waiter becomes the
+// leader and flushes every record that queued up behind the previous
+// fsync. Update never acknowledges a commit before it is on stable
+// storage (in SyncEveryCommit mode), but readers may observe a commit
+// slightly before its fsync completes — the standard group-commit
+// contract. No disk IO ever happens while db.mu is held.
+//
+// # Locking
+//
+// db.mu guards the tables (exclusive for apply, shared for reads);
+// walMu serialises WAL file writes, compaction and close; group.mu only
+// orders commit batches and is held for O(1) critical sections. Lock
+// order is db.mu -> group.mu, and walMu is only taken with neither or
+// just group-independent locks held.
 package relstore
 
 import (

@@ -218,96 +218,147 @@ func (q *Query) Limit(n int) *Query {
 }
 
 // Select returns copies of all rows matching the query, ordered by key
-// for determinism.
+// for determinism. With Limit set, the scan stops as soon as the limit
+// is reached instead of materialising the full candidate set.
 func (tx *Tx) Select(tableName string, q *Query) ([]Row, error) {
+	var out []Row
+	err := tx.scan(tableName, q, func(row Row) bool {
+		out = append(out, row.Clone())
+		return true
+	})
+	return out, err
+}
+
+// SelectFunc streams matching rows to fn in key order, stopping early
+// when fn returns false. Unlike Select it does not clone: fn receives
+// the store's internal row (or the transaction's pending row) and must
+// neither mutate nor retain it after returning. Use Select when a
+// stable copy is needed.
+func (tx *Tx) SelectFunc(tableName string, q *Query, fn func(Row) bool) error {
+	return tx.scan(tableName, q, fn)
+}
+
+// Count returns the number of rows matching the query without cloning
+// or materialising them.
+func (tx *Tx) Count(tableName string, q *Query) (int, error) {
+	n := 0
+	err := tx.scan(tableName, q, func(Row) bool { n++; return true })
+	return n, err
+}
+
+// scan is the query planner and executor behind Select, SelectFunc and
+// Count. Committed rows come from the access path chosen by plan (the
+// smallest matching posting list, probing the remaining indexed
+// conditions, or the primary-key list); pending writes are merged in by
+// id so uncommitted rows, overwrites and tombstones are all visible.
+// Both sources are sorted, so rows stream in key order and the walk
+// stops as soon as fn declines or the limit is reached.
+func (tx *Tx) scan(tableName string, q *Query, fn func(Row) bool) error {
 	t, err := tx.table(tableName)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	if q == nil {
 		q = NewQuery()
 	}
+	driver, probes := t.plan(q)
 
-	// Candidate id set: intersect indexed equality conditions if possible,
-	// else full scan.
-	candidates := tx.candidateIDs(t, q)
-
-	matched := make([]Row, 0, 16)
-	ids := make([]string, 0, len(candidates))
-	for _, id := range candidates {
-		ids = append(ids, id)
+	var pend []string
+	if len(tx.pending[tableName]) > 0 {
+		pend = make([]string, 0, len(tx.pending[tableName]))
+		for id := range tx.pending[tableName] {
+			pend = append(pend, id)
+		}
+		sort.Strings(pend)
 	}
-	sort.Strings(ids)
-	for _, id := range ids {
+
+	matched := 0
+	emit := func(id string) bool {
 		row := tx.effectiveRow(t, tableName, id)
-		if row == nil {
-			continue
+		if row == nil || !matchesQuery(row, q) {
+			return true
 		}
-		if !matchesQuery(row, q) {
-			continue
+		matched++
+		if !fn(row) {
+			return false
 		}
-		matched = append(matched, row.Clone())
-		if q.limit > 0 && len(matched) >= q.limit {
-			break
+		return q.limit <= 0 || matched < q.limit
+	}
+
+	cur := plCursor{pl: driver}
+	pi := 0
+	for {
+		cid, cok := cur.peek()
+		// Skip committed ids that fail an indexed probe without paying
+		// for row resolution (matchesQuery would reject them anyway).
+		for cok && !inAll(probes, cid) {
+			cur.next()
+			cid, cok = cur.peek()
+		}
+		pok := pi < len(pend)
+		switch {
+		case !cok && !pok:
+			return nil
+		case cok && (!pok || cid < pend[pi]):
+			if !emit(cid) {
+				return nil
+			}
+			cur.next()
+		case pok && (!cok || pend[pi] < cid):
+			if !emit(pend[pi]) {
+				return nil
+			}
+			pi++
+		default: // same id: the pending write supersedes the committed row
+			if !emit(pend[pi]) {
+				return nil
+			}
+			cur.next()
+			pi++
 		}
 	}
-	return matched, nil
 }
 
-// Count returns the number of rows matching the query.
-func (tx *Tx) Count(tableName string, q *Query) (int, error) {
-	rows, err := tx.Select(tableName, q)
-	if err != nil {
-		return 0, err
-	}
-	return len(rows), nil
-}
-
-// candidateIDs picks the cheapest starting set of row ids for a query.
-func (tx *Tx) candidateIDs(t *table, q *Query) []string {
-	// Try an indexed equality condition first.
+// plan chooses the committed-row access path for q: the smallest
+// posting list among all indexed equality conditions drives the scan
+// and the remaining ones become O(1) membership probes. Without an
+// indexed condition the sorted primary-key list drives (full scan). A
+// condition no committed row satisfies yields a nil driver — only
+// pending writes can match then.
+func (t *table) plan(q *Query) (driver *postingList, probes []*postingList) {
+	var lists []*postingList
 	for _, eq := range q.eq {
 		idx, ok := t.indexes[eq.col]
 		if !ok {
 			continue
 		}
-		ids := make([]string, 0)
-		for id := range idx[indexKey(eq.val)] {
-			ids = append(ids, id)
+		pl := idx[indexKey(eq.val)]
+		if pl == nil || pl.len() == 0 {
+			return nil, nil
 		}
-		// Pending rows may add matches the committed index doesn't know.
-		for _, pk := range tx.pendingOrder {
-			if pk.table != t.schema.Name {
-				continue
-			}
-			ids = append(ids, pk.id)
-		}
-		return dedupe(ids)
+		lists = append(lists, pl)
 	}
-	// Full scan: committed rows plus pending inserts.
-	ids := make([]string, 0, len(t.rows))
-	for id := range t.rows {
-		ids = append(ids, id)
+	if len(lists) == 0 {
+		return t.keys, nil
 	}
-	for _, pk := range tx.pendingOrder {
-		if pk.table == t.schema.Name {
-			ids = append(ids, pk.id)
+	smallest := 0
+	for i, pl := range lists {
+		if pl.len() < lists[smallest].len() {
+			smallest = i
 		}
 	}
-	return dedupe(ids)
+	driver = lists[smallest]
+	return driver, append(lists[:smallest], lists[smallest+1:]...)
 }
 
-func dedupe(ids []string) []string {
-	seen := make(map[string]struct{}, len(ids))
-	out := ids[:0]
-	for _, id := range ids {
-		if _, ok := seen[id]; ok {
-			continue
+// inAll reports whether id is live in every posting list.
+func inAll(pls []*postingList, id string) bool {
+	for _, pl := range pls {
+		if !pl.contains(id) {
+			return false
 		}
-		seen[id] = struct{}{}
-		out = append(out, id)
 	}
-	return out
+	return true
 }
 
 // effectiveRow resolves a row id through the transaction's write buffer.
@@ -350,28 +401,4 @@ func valueEqual(a, b any) bool {
 		return true
 	}
 	return a == b
-}
-
-// toWALRecord converts buffered writes into a WAL record in buffer order.
-func (tx *Tx) toWALRecord() walRecord {
-	var rec walRecord
-	for _, pk := range tx.pendingOrder {
-		p := tx.pending[pk.table][pk.id]
-		t := tx.db.tables[pk.table]
-		if p.row == nil {
-			rec.Ops = append(rec.Ops, walOp{Op: opDelete, Table: pk.table, ID: pk.id})
-		} else {
-			rec.Ops = append(rec.Ops, walOp{Op: opPut, Table: pk.table, ID: pk.id, Row: t.schema.encodeRow(p.row)})
-		}
-	}
-	// Deterministic sequence ordering.
-	tables := make([]string, 0, len(tx.seqs))
-	for tbl := range tx.seqs {
-		tables = append(tables, tbl)
-	}
-	sort.Strings(tables)
-	for _, tbl := range tables {
-		rec.Ops = append(rec.Ops, walOp{Op: opSeq, Table: tbl, Seq: tx.seqs[tbl]})
-	}
-	return rec
 }

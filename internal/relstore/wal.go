@@ -56,9 +56,10 @@ func openWALWriter(path string, syncEveryCommit bool) (*walWriter, error) {
 	return &walWriter{f: f, buf: bufio.NewWriterSize(f, 64<<10), sync: syncEveryCommit}, nil
 }
 
-// Append frames and writes one record, flushing (and optionally syncing)
-// before returning so the commit is durable on success.
-func (w *walWriter) Append(rec walRecord) error {
+// append frames one record into the write buffer. Nothing is durable
+// until commit is called, letting the group committer amortise a single
+// flush+fsync over many records.
+func (w *walWriter) append(rec walRecord) error {
 	payload, err := json.Marshal(rec)
 	if err != nil {
 		return fmt.Errorf("relstore: marshal wal record: %w", err)
@@ -69,16 +70,18 @@ func (w *walWriter) Append(rec walRecord) error {
 	if _, err := w.buf.Write(hdr[:]); err != nil {
 		return err
 	}
-	if _, err := w.buf.Write(payload); err != nil {
-		return err
-	}
+	_, err = w.buf.Write(payload)
+	return err
+}
+
+// commit flushes buffered records to the file and, in sync mode, fsyncs
+// so every appended record is durable when it returns.
+func (w *walWriter) commit() error {
 	if err := w.buf.Flush(); err != nil {
 		return err
 	}
 	if w.sync {
-		if err := w.f.Sync(); err != nil {
-			return err
-		}
+		return w.f.Sync()
 	}
 	return nil
 }
@@ -262,8 +265,7 @@ func (db *DB) loadSnapshot() error {
 			if err != nil {
 				return err
 			}
-			t.rows[id] = row
-			t.addToIndexes(id, row)
+			t.applyPut(id, row)
 		}
 		db.tables[st.Schema.Name] = t
 	}
