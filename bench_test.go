@@ -19,6 +19,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"chronos/internal/agent"
 	"chronos/internal/core"
@@ -369,7 +370,7 @@ func BenchmarkRelstoreSelect(b *testing.B) {
 		{Name: "id", Type: relstore.TString},
 		{Name: "status", Type: relstore.TString, Indexed: true},
 		{Name: "shard", Type: relstore.TString, Indexed: true},
-		{Name: "v", Type: relstore.TInt},
+		{Name: "v", Type: relstore.TInt, Ordered: true},
 	}}
 	if err := db.CreateTable(schema); err != nil {
 		b.Fatal(err)
@@ -438,6 +439,31 @@ func BenchmarkRelstoreSelect(b *testing.B) {
 		}
 		return err
 	})
+	// Range predicates over the ordered column: a narrow slice in the
+	// middle of the table (0.5% selectivity), the same slice under
+	// Limit(1) — the watchdog/claim pattern, expected depth-independent —
+	// and a range composed with an indexed equality.
+	run("range-slice", func(tx *relstore.Tx) error {
+		rows, err := tx.Select("t", relstore.NewQuery().Ge("v", int64(5000)).Lt("v", int64(5050)))
+		if err == nil && len(rows) != 50 {
+			return fmt.Errorf("got %d rows", len(rows))
+		}
+		return err
+	})
+	run("range-limit1", func(tx *relstore.Tx) error {
+		rows, err := tx.Select("t", relstore.NewQuery().Ge("v", int64(5000)).Lt("v", int64(5005)).Limit(1))
+		if err == nil && len(rows) != 1 {
+			return fmt.Errorf("got %d rows", len(rows))
+		}
+		return err
+	})
+	run("range-intersect-eq", func(tx *relstore.Tx) error {
+		rows, err := tx.Select("t", relstore.NewQuery().Eq("status", "hot").Ge("v", int64(5000)).Lt("v", int64(5200)))
+		if err == nil && len(rows) != 2 {
+			return fmt.Errorf("got %d rows", len(rows))
+		}
+		return err
+	})
 }
 
 // BenchmarkSchedulerClaim measures the job claim path (the agent-facing
@@ -489,6 +515,82 @@ func BenchmarkSchedulerClaim(b *testing.B) {
 					b.Fatalf("claim %d: %v %v", i, ok, err)
 				}
 				remaining--
+			}
+		})
+	}
+}
+
+// BenchmarkCheckHeartbeats measures the watchdog at different running-job
+// counts with a fixed number of stale agents. With the heartbeat column's
+// ordered index the stale scan is an indexed range slice — the cost per
+// sweep tracks the stale count (here constant at 8), not the running-job
+// total, so ns/op should stay flat from 1k to 10k running jobs. The seed
+// path decoded every running job's JSON per sweep and grew linearly.
+func BenchmarkCheckHeartbeats(b *testing.B) {
+	const staleCount = 8
+	for _, running := range []int{1000, 10000} {
+		b.Run(fmt.Sprintf("running=%d", running), func(b *testing.B) {
+			base := time.Date(2026, 7, 29, 12, 0, 0, 0, time.UTC)
+			now := base
+			svc, err := core.NewService(relstore.OpenMemory(), func() time.Time { return now })
+			if err != nil {
+				b.Fatal(err)
+			}
+			svc.HeartbeatTimeout = time.Hour
+			u, _ := svc.CreateUser("bench", core.RoleAdmin)
+			p, _ := svc.CreateProject("bench", "", u.ID, nil)
+			defs := []params.Definition{
+				{Name: "idx", Type: params.TypeInterval, Min: 1, Max: 100000, Default: params.Int(1)},
+			}
+			sys, _ := svc.RegisterSystem("sue", "", defs, nil)
+			dep, _ := svc.CreateDeployment(sys.ID, "d", "", "")
+			// One modest experiment evaluated many times: the running pool
+			// scales while per-job costs (e.g. failJob reading the
+			// experiment's settings for the attempt budget) stay constant.
+			const perEval = 100
+			variants := make([]params.Value, perEval)
+			for i := range variants {
+				variants[i] = params.Int(int64(i) + 1)
+			}
+			// Huge attempt budget so staled jobs keep auto-rescheduling
+			// across iterations instead of sticking in failed.
+			exp, err := svc.CreateExperiment(p.ID, sys.ID, "e", "",
+				map[string][]params.Value{"idx": variants}, 1<<30)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for n := 0; n < running; n += perEval {
+				if _, _, err := svc.CreateEvaluation(exp.ID); err != nil {
+					b.Fatal(err)
+				}
+			}
+			claim := func(n int) {
+				for i := 0; i < n; i++ {
+					if _, ok, err := svc.ClaimJob(dep.ID); err != nil || !ok {
+						b.Fatalf("claim: %v %v", ok, err)
+					}
+				}
+			}
+			// staleCount agents last heartbeat two timeouts ago; the rest
+			// are fresh.
+			now = base.Add(-2 * svc.HeartbeatTimeout)
+			claim(staleCount)
+			now = base
+			claim(running - staleCount)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				failed, err := svc.CheckHeartbeats()
+				if err != nil || len(failed) != staleCount {
+					b.Fatalf("failed %d jobs (%v), want %d", len(failed), err, staleCount)
+				}
+				b.StopTimer()
+				// The stale jobs auto-rescheduled; re-claim them with a
+				// long-gone heartbeat so the next sweep sees the same
+				// workload.
+				now = base.Add(-2 * svc.HeartbeatTimeout)
+				claim(staleCount)
+				now = base
+				b.StartTimer()
 			}
 		})
 	}

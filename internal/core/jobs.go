@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"time"
 
@@ -310,16 +311,28 @@ func (s *Service) CompleteJob(jobID string, resultJSON, archive []byte) error {
 // exhausted the job is automatically re-scheduled (requirement iii:
 // automated failure handling and recovery).
 func (s *Service) FailJob(jobID, reason string) error {
-	return s.failJob(jobID, reason, EventFailed)
+	return s.failJob(jobID, reason, EventFailed, nil)
 }
 
+// errPreconditionChanged reports that a guarded failJob observed a job
+// that no longer satisfies the caller's reason to fail it.
+var errPreconditionChanged = errors.New("core: job state changed before fail")
+
 // failJob implements FailJob with a configurable primary event kind so
-// the watchdog can mark heartbeat losses distinctly.
-func (s *Service) failJob(jobID, reason string, kind EventKind) error {
+// the watchdog can mark heartbeat losses distinctly. A non-nil guard is
+// re-evaluated on the freshly loaded job inside the transaction; when it
+// reports false the job is left untouched and errPreconditionChanged is
+// returned. This closes the watchdog's scan-then-fail race: a job whose
+// agent heartbeats between the stale scan and the fail transaction is
+// never killed.
+func (s *Service) failJob(jobID, reason string, kind EventKind, guard func(*Job) bool) error {
 	return s.store.db.Update(func(tx *relstore.Tx) error {
 		j, err := s.store.GetJob(tx, jobID)
 		if err != nil {
 			return mapNotFound(err)
+		}
+		if guard != nil && !guard(j) {
+			return errPreconditionChanged
 		}
 		if err := s.transition(tx, j, StatusFailed); err != nil {
 			return err
@@ -449,14 +462,20 @@ func (s *Service) EvaluationStatusOf(evaluationID string) (EvaluationStatus, err
 // within HeartbeatTimeout. It returns the ids of newly failed jobs. The
 // watchdog calls this periodically; tests call it directly with a manual
 // clock.
+//
+// The stale scan is an indexed range query — status=running AND
+// heartbeat < cutoff — over the jobs table's ordered heartbeat column,
+// so its cost is O(stale), independent of how many jobs are running and
+// with no per-job JSON decoding. Each stale id is then failed in its own
+// transaction that re-checks the job's status and heartbeat: a job that
+// finishes, aborts or heartbeats between the scan and the fail is left
+// alone.
 func (s *Service) CheckHeartbeats() ([]string, error) {
 	cutoff := s.now().Add(-s.HeartbeatTimeout)
 	var stale []string
 	err := s.store.db.View(func(tx *relstore.Tx) error {
-		return s.store.EachJobByStatus(tx, StatusRunning, "", func(j *Job) bool {
-			if j.Heartbeat.Before(cutoff) {
-				stale = append(stale, j.ID)
-			}
+		return s.store.EachStaleRunningJobID(tx, cutoff, func(id string) bool {
+			stale = append(stale, id)
 			return true
 		})
 	})
@@ -464,11 +483,20 @@ func (s *Service) CheckHeartbeats() ([]string, error) {
 		return nil, err
 	}
 	var failed []string
+	reason := fmt.Sprintf("agent heartbeat lost (timeout %v)", s.HeartbeatTimeout)
 	for _, id := range stale {
-		err := s.failJob(id, fmt.Sprintf("agent heartbeat lost (timeout %v)", s.HeartbeatTimeout), EventHeartbeatLost)
-		if err != nil {
-			// The job may have finished between scan and fail; skip it.
+		err := s.failJob(id, reason, EventHeartbeatLost, func(j *Job) bool {
+			return j.Status == StatusRunning && j.Heartbeat.Before(cutoff)
+		})
+		switch {
+		case errors.Is(err, errPreconditionChanged), errors.Is(err, ErrNotFound):
+			// The job finished, aborted, heartbeat or was pruned between
+			// scan and fail; skip it.
 			continue
+		case err != nil:
+			// A real storage failure: surface it (with the jobs failed so
+			// far) instead of misreporting the sweep as clean.
+			return failed, err
 		}
 		failed = append(failed, id)
 	}

@@ -8,6 +8,9 @@ import (
 	"testing"
 	"testing/quick"
 	"time"
+
+	"chronos/internal/params"
+	"chronos/internal/relstore"
 )
 
 func TestJobStateMachine(t *testing.T) {
@@ -392,5 +395,103 @@ func TestJobLabel(t *testing.T) {
 	j := &Job{Index: 3}
 	if j.Label() != "job 3" {
 		t.Fatalf("label = %q", j.Label())
+	}
+}
+
+// TestWatchdogScanThenFailRace pins down the race between the watchdog's
+// stale scan and its fail transactions: a job that heartbeats (or
+// finishes) after being scanned as stale must not be killed, because
+// failJob re-checks the staleness precondition inside its own
+// transaction.
+func TestWatchdogScanThenFailRace(t *testing.T) {
+	svc, clock := newTestService(t)
+	_, _, depID, expID := registerDemo(t, svc)
+	svc.CreateEvaluation(expID)
+	svc.HeartbeatTimeout = 30 * time.Second
+
+	j, _, _ := svc.ClaimJob(depID)
+	clock.Advance(31 * time.Second)
+	cutoff := svc.now().Add(-svc.HeartbeatTimeout)
+
+	// The watchdog's scan would report j stale now...
+	var stale []string
+	svc.store.db.View(func(tx *relstore.Tx) error {
+		return svc.store.EachStaleRunningJobID(tx, cutoff, func(id string) bool {
+			stale = append(stale, id)
+			return true
+		})
+	})
+	if len(stale) != 1 || stale[0] != j.ID {
+		t.Fatalf("stale scan = %v", stale)
+	}
+	// ...but the agent heartbeats between the scan and the fail.
+	if _, err := svc.Heartbeat(j.ID); err != nil {
+		t.Fatal(err)
+	}
+	err := svc.failJob(j.ID, "agent heartbeat lost", EventHeartbeatLost, func(j *Job) bool {
+		return j.Status == StatusRunning && j.Heartbeat.Before(cutoff)
+	})
+	if !errors.Is(err, errPreconditionChanged) {
+		t.Fatalf("guarded fail after heartbeat: %v", err)
+	}
+	got, _ := svc.GetJob(j.ID)
+	if got.Status != StatusRunning {
+		t.Fatalf("heartbeating job killed: %s", got.Status)
+	}
+	// Same race with a completion instead of a heartbeat: the guard sees
+	// a non-running job and declines.
+	clock.Advance(31 * time.Second)
+	cutoff = svc.now().Add(-svc.HeartbeatTimeout)
+	if err := svc.CompleteJob(j.ID, []byte(`{}`), nil); err != nil {
+		t.Fatal(err)
+	}
+	err = svc.failJob(j.ID, "agent heartbeat lost", EventHeartbeatLost, func(j *Job) bool {
+		return j.Status == StatusRunning && j.Heartbeat.Before(cutoff)
+	})
+	if !errors.Is(err, errPreconditionChanged) {
+		t.Fatalf("guarded fail after completion: %v", err)
+	}
+	got, _ = svc.GetJob(j.ID)
+	if got.Status != StatusFinished {
+		t.Fatalf("finished job killed: %s", got.Status)
+	}
+	// CheckHeartbeats end to end still reports nothing for a fresh store.
+	failed, err := svc.CheckHeartbeats()
+	if err != nil || len(failed) != 0 {
+		t.Fatalf("spurious failures: %v %v", failed, err)
+	}
+}
+
+// TestWatchdogScalesWithStaleNotRunning sanity-checks the indexed stale
+// scan: with many fresh running jobs and a handful of stale ones, only
+// the stale ids surface, in id order.
+func TestWatchdogScalesWithStaleNotRunning(t *testing.T) {
+	svc, clock := newTestService(t)
+	u, _ := svc.CreateUser("w", RoleAdmin)
+	p, _ := svc.CreateProject("w", "", u.ID, nil)
+	sys, _ := svc.RegisterSystem("sue", "", mongoParams(), nil)
+	dep, _ := svc.CreateDeployment(sys.ID, "d", "", "")
+	exp, _ := svc.CreateExperiment(p.ID, sys.ID, "e", "",
+		map[string][]params.Value{
+			"engine":  {params.String_("wiredtiger")},
+			"threads": {params.Int(1), params.Int(2), params.Int(3), params.Int(4)},
+		}, 0)
+	svc.CreateEvaluation(exp.ID)
+	svc.HeartbeatTimeout = 30 * time.Second
+
+	// Claim 2 jobs that will go stale, then 2 that stay fresh.
+	a, _, _ := svc.ClaimJob(dep.ID)
+	b, _, _ := svc.ClaimJob(dep.ID)
+	clock.Advance(31 * time.Second)
+	svc.ClaimJob(dep.ID)
+	svc.ClaimJob(dep.ID)
+
+	failed, err := svc.CheckHeartbeats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]bool{a.ID: true, b.ID: true}
+	if len(failed) != 2 || !want[failed[0]] || !want[failed[1]] {
+		t.Fatalf("failed = %v, want exactly %v", failed, want)
 	}
 }

@@ -219,10 +219,14 @@ type Job struct {
 	// Attempts counts executions including the current one.
 	Attempts int64 `json:"attempts"`
 	// Error holds the failure reason for failed jobs.
-	Error     string    `json:"error,omitempty"`
-	Created   time.Time `json:"created"`
-	Started   time.Time `json:"started"`
-	Finished  time.Time `json:"finished"`
+	Error    string    `json:"error,omitempty"`
+	Created  time.Time `json:"created"`
+	Started  time.Time `json:"started"`
+	Finished time.Time `json:"finished"`
+	// Heartbeat is the last agent liveness report. While the job runs it
+	// is mirrored into a scalar, range-indexed column of the jobs table
+	// so the watchdog finds stale jobs with an indexed range scan
+	// instead of decoding every running job.
 	Heartbeat time.Time `json:"heartbeat"`
 }
 

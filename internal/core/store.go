@@ -72,6 +72,14 @@ func NewStore(db *relstore.DB) (*Store, error) {
 			{Name: "systemId", Type: relstore.TString, Indexed: true},
 			{Name: "status", Type: relstore.TString, Indexed: true},
 			{Name: "created", Type: relstore.TTime},
+			// heartbeat mirrors Job.Heartbeat as a scalar — for running
+			// jobs only — so the watchdog's "status=running AND heartbeat
+			// < cutoff" scan is an indexed range slice over exactly the
+			// running set instead of decoding every running job. Nullable
+			// both for that and because stores persisted before this
+			// column existed upgrade in place (running rows from such
+			// stores are backfilled on open).
+			{Name: "heartbeat", Type: relstore.TTime, Ordered: true, Nullable: true},
 			{Name: "data", Type: relstore.TBytes},
 		}},
 		{Name: tableResults, Key: "id", Columns: []relstore.Column{
@@ -96,7 +104,47 @@ func NewStore(db *relstore.DB) (*Store, error) {
 			return nil, fmt.Errorf("core: create table %s: %w", s.Name, err)
 		}
 	}
-	return &Store{db: db}, nil
+	store := &Store{db: db}
+	if err := store.backfillHeartbeats(); err != nil {
+		return nil, err
+	}
+	return store, nil
+}
+
+// backfillHeartbeats rewrites running jobs persisted before the scalar
+// heartbeat column existed, so the watchdog's indexed stale scan sees
+// them. Rows from such stores carry the heartbeat inside their JSON blob
+// but not as a column — and a job whose agent died before the upgrade
+// would otherwise never match the stale range and run forever. One
+// O(running) pass at open; up-to-date stores decode nothing.
+func (s *Store) backfillHeartbeats() error {
+	return s.db.Update(func(tx *relstore.Tx) error {
+		var fix []*Job
+		var derr error
+		err := tx.SelectFunc(tableJobs, relstore.NewQuery().Eq("status", string(StatusRunning)), func(row relstore.Row) bool {
+			if _, ok := row["heartbeat"]; ok {
+				return true
+			}
+			var j Job
+			if derr = json.Unmarshal(row["data"].([]byte), &j); derr != nil {
+				return false
+			}
+			fix = append(fix, &j)
+			return true
+		})
+		if err != nil {
+			return err
+		}
+		if derr != nil {
+			return fmt.Errorf("core: decode job during heartbeat backfill: %w", derr)
+		}
+		for _, j := range fix {
+			if err := s.PutJob(tx, j); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
 }
 
 // DB exposes the underlying store for transaction control.
@@ -292,6 +340,14 @@ func (s *Store) PutJob(tx *relstore.Tx, j *Job) error {
 		"status":       string(j.Status),
 		"created":      j.Created,
 	}
+	// Only running jobs carry the scalar heartbeat: the watchdog's range
+	// then spans exactly the running set, so the stale scan stays
+	// O(stale) even as finished/failed history (whose old heartbeats all
+	// lie below any future cutoff) accumulates. Scheduled and terminal
+	// rows keep the heartbeat only inside their JSON blob.
+	if j.Status == StatusRunning {
+		row["heartbeat"] = j.Heartbeat
+	}
 	return putJSON(tx, tableJobs, row, j)
 }
 
@@ -348,6 +404,17 @@ func (s *Store) CountJobsByStatus(tx *relstore.Tx, status JobStatus, systemID st
 // decoding one at a time; fn returns false to stop.
 func (s *Store) EachJobByStatus(tx *relstore.Tx, status JobStatus, systemID string, fn func(*Job) bool) error {
 	return eachJSON[Job](tx, tableJobs, jobsByStatusQuery(status, systemID), fn)
+}
+
+// EachStaleRunningJobID streams the ids of running jobs whose heartbeat
+// is strictly before cutoff. The status equality and the heartbeat range
+// are both index-assisted and no job JSON is decoded at all, so the
+// watchdog pays O(stale), not O(running).
+func (s *Store) EachStaleRunningJobID(tx *relstore.Tx, cutoff time.Time, fn func(id string) bool) error {
+	q := relstore.NewQuery().Eq("status", string(StatusRunning)).Lt("heartbeat", cutoff)
+	return tx.SelectFunc(tableJobs, q, func(row relstore.Row) bool {
+		return fn(row["id"].(string))
+	})
 }
 
 // EachJobByEvaluation streams an evaluation's jobs in creation order.

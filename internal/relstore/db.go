@@ -43,6 +43,8 @@ type table struct {
 	keys *postingList
 	// indexes holds one sorted posting list per (column, value) pair.
 	indexes map[string]map[string]*postingList
+	// ordered holds one ordered (range-capable) index per Ordered column.
+	ordered map[string]*orderedIndex
 	seq     int64 // auto-increment sequence
 }
 
@@ -158,22 +160,30 @@ func (db *DB) Close() error {
 }
 
 // CreateTable registers a table. Creating an existing table with an equal
-// schema is a no-op; with a different schema it fails. Table creations are
-// durable via the WAL and ordered with commits that use the new table.
+// schema is a no-op. An existing table with a compatible extension of its
+// schema (added nullable columns, added or dropped index flags — see
+// schemaUpgradable) is migrated in place, so applications can grow their
+// schemas across versions without losing persisted data; any other
+// schema change fails. Table creations and upgrades are durable via the
+// WAL and ordered with commits that use the new table.
 func (db *DB) CreateTable(s Schema) error {
 	if err := s.Check(); err != nil {
 		return err
 	}
 	db.mu.Lock()
 	if existing, ok := db.tables[s.Name]; ok {
-		same := schemaEqual(existing.schema, s)
-		db.mu.Unlock()
-		if same {
+		if schemaEqual(existing.schema, s) {
+			db.mu.Unlock()
 			return nil
 		}
-		return fmt.Errorf("relstore: table %q already exists with a different schema", s.Name)
+		if !schemaUpgradable(existing.schema, s) {
+			db.mu.Unlock()
+			return fmt.Errorf("relstore: table %q already exists with an incompatible schema", s.Name)
+		}
+		db.tables[s.Name] = existing.upgrade(s)
+	} else {
+		db.tables[s.Name] = newTable(s)
 	}
-	db.tables[s.Name] = newTable(s)
 	var batch *walBatch
 	if db.wal != nil {
 		batch = db.enqueueCommit(walRecord{CreateTable: &s})
@@ -206,13 +216,66 @@ func newTable(s Schema) *table {
 		rows:    make(map[string]Row),
 		keys:    newPostingList(),
 		indexes: make(map[string]map[string]*postingList),
+		ordered: make(map[string]*orderedIndex),
 	}
 	for _, c := range s.Columns {
-		if c.Indexed && c.Name != s.Key {
+		if c.Name == s.Key {
+			continue
+		}
+		if c.Indexed {
 			t.indexes[c.Name] = make(map[string]*postingList)
+		}
+		if c.Ordered {
+			t.ordered[c.Name] = newOrderedIndex()
 		}
 	}
 	return t
+}
+
+// upgrade rebuilds the table under a compatible replacement schema: the
+// rows (and key list) carry over untouched, the secondary indexes are
+// rebuilt from scratch so added Indexed/Ordered flags take effect.
+// Iterating ids in key order keeps every per-value posting-list insert an
+// append, so the rebuild is linear in the table size.
+func (t *table) upgrade(s Schema) *table {
+	nt := newTable(s)
+	nt.rows = t.rows
+	nt.keys = t.keys
+	nt.seq = t.seq
+	cur := plCursor{pl: nt.keys}
+	for {
+		id, ok := cur.peek()
+		if !ok {
+			return nt
+		}
+		nt.addToIndexes(id, nt.rows[id])
+		cur.next()
+	}
+}
+
+// schemaUpgradable reports whether old can be migrated in place to new:
+// the table and key names match, every old column survives with the same
+// type (index flags may change freely, nullability may only loosen), and
+// any brand-new column is nullable so existing rows stay valid.
+func schemaUpgradable(old, new Schema) bool {
+	if old.Name != new.Name || old.Key != new.Key {
+		return false
+	}
+	for _, oc := range old.Columns {
+		nc, ok := new.column(oc.Name)
+		if !ok || nc.Type != oc.Type {
+			return false
+		}
+		if oc.Nullable && !nc.Nullable {
+			return false
+		}
+	}
+	for _, nc := range new.Columns {
+		if _, ok := old.column(nc.Name); !ok && !nc.Nullable {
+			return false
+		}
+	}
+	return true
 }
 
 func schemaEqual(a, b Schema) bool {
@@ -258,6 +321,14 @@ func (t *table) addToIndexes(id string, r Row) {
 		}
 		pl.add(id)
 	}
+	for col, oi := range t.ordered {
+		v, ok := r[col]
+		if !ok {
+			continue
+		}
+		c, _ := t.schema.column(col)
+		oi.add(ordKey(c.Type, v), id)
+	}
 }
 
 // removeFromIndexes unregisters a row from the secondary indexes.
@@ -274,6 +345,14 @@ func (t *table) removeFromIndexes(id string, r Row) {
 				delete(idx, k)
 			}
 		}
+	}
+	for col, oi := range t.ordered {
+		v, ok := r[col]
+		if !ok {
+			continue
+		}
+		c, _ := t.schema.column(col)
+		oi.remove(ordKey(c.Type, v), id)
 	}
 }
 

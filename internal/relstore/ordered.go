@@ -1,0 +1,287 @@
+package relstore
+
+import (
+	"math"
+	"sort"
+	"strconv"
+	"time"
+)
+
+// orderedIndex is the ordered secondary index behind range predicates
+// (Lt/Le/Gt/Ge). It keeps a sorted, stale-tolerant directory of encoded
+// column values (vals, itself a postingList) next to one id posting list
+// per value. A range query binary-searches the value directory for its
+// bounds and touches only the value slots inside the slice, so a narrow
+// range costs O(log v + match) regardless of table size.
+type orderedIndex struct {
+	vals  *postingList            // ordKeys of all present values, sorted
+	lists map[string]*postingList // ordKey -> ids of rows with that value
+}
+
+func newOrderedIndex() *orderedIndex {
+	return &orderedIndex{vals: newPostingList(), lists: make(map[string]*postingList)}
+}
+
+// add registers id under the encoded value key.
+func (oi *orderedIndex) add(key, id string) {
+	pl := oi.lists[key]
+	if pl == nil {
+		pl = newPostingList()
+		oi.lists[key] = pl
+		oi.vals.add(key)
+	}
+	pl.add(id)
+}
+
+// remove drops id from the value's list, retiring the value slot when it
+// empties so range scans do not revisit dead values.
+func (oi *orderedIndex) remove(key, id string) {
+	pl := oi.lists[key]
+	if pl == nil {
+		return
+	}
+	pl.remove(id)
+	if pl.len() == 0 {
+		delete(oi.lists, key)
+		oi.vals.remove(key)
+	}
+}
+
+// bounds is a per-column range, merged from all of a query's predicates
+// on that column, with both ends encoded as ordKeys.
+type bounds struct {
+	lo, hi       string
+	hasLo, hasHi bool
+	loInc, hiInc bool
+	empty        bool // contradictory predicates, e.g. Gt(5).Lt(3)
+}
+
+// tightenLo narrows the lower bound.
+func (b *bounds) tightenLo(key string, inclusive bool) {
+	switch {
+	case !b.hasLo, key > b.lo:
+		b.lo, b.loInc, b.hasLo = key, inclusive, true
+	case key == b.lo:
+		b.loInc = b.loInc && inclusive
+	}
+	b.check()
+}
+
+// tightenHi narrows the upper bound.
+func (b *bounds) tightenHi(key string, inclusive bool) {
+	switch {
+	case !b.hasHi, key < b.hi:
+		b.hi, b.hiInc, b.hasHi = key, inclusive, true
+	case key == b.hi:
+		b.hiInc = b.hiInc && inclusive
+	}
+	b.check()
+}
+
+func (b *bounds) check() {
+	if b.hasLo && b.hasHi && (b.lo > b.hi || (b.lo == b.hi && !(b.loInc && b.hiInc))) {
+		b.empty = true
+	}
+}
+
+// slice binary-searches the value directory for the directory positions
+// covered by b, returned as a half-open [start, end) over vals.ids. The
+// slice may still contain stale value slots; callers skip them via the
+// live set.
+func (oi *orderedIndex) slice(b bounds) (start, end int) {
+	ids := oi.vals.ids
+	end = len(ids)
+	if b.hasLo {
+		start = sort.SearchStrings(ids, b.lo)
+		if !b.loInc && start < len(ids) && ids[start] == b.lo {
+			start++
+		}
+	}
+	if b.hasHi {
+		end = sort.SearchStrings(ids, b.hi)
+		if b.hiInc && end < len(ids) && ids[end] == b.hi {
+			end++
+		}
+	}
+	if end < start {
+		end = start
+	}
+	return start, end
+}
+
+// estimate sums the live id count of the value slots in [start, end),
+// giving the exact number of committed rows the range matches. It stops
+// counting once the sum exceeds cap, so comparing access paths never
+// costs more than the cheaper path would.
+func (oi *orderedIndex) estimate(start, end, cap int) int {
+	n := 0
+	for pos := start; pos < end; pos++ {
+		key := oi.vals.ids[pos]
+		if !oi.vals.contains(key) {
+			continue
+		}
+		n += oi.lists[key].len()
+		if n > cap {
+			return n
+		}
+	}
+	return n
+}
+
+// cursor builds an id-ordered cursor over every live value slot in
+// [start, end): a min-heap merge of the per-value posting lists. Rows
+// have exactly one value per column, so the lists are disjoint and the
+// merge never emits duplicates. All per-value cursors share one backing
+// array, keeping the setup at a constant allocation count however many
+// values the slice covers.
+func (oi *orderedIndex) cursor(start, end int) *rangeCursor {
+	store := make([]plCursor, 0, end-start)
+	for pos := start; pos < end; pos++ {
+		key := oi.vals.ids[pos]
+		if !oi.vals.contains(key) {
+			continue
+		}
+		c := plCursor{pl: oi.lists[key]}
+		if _, ok := c.peek(); ok {
+			store = append(store, c)
+		}
+	}
+	rc := &rangeCursor{h: make([]*plCursor, len(store))}
+	for i := range store {
+		rc.h[i] = &store[i]
+	}
+	for i := len(rc.h)/2 - 1; i >= 0; i-- {
+		rc.down(i)
+	}
+	return rc
+}
+
+// rangeCursor merges several sorted posting-list cursors into one
+// id-ordered stream, letting a range predicate drive the scan with the
+// same contract as a single posting list: ids come out ascending, so the
+// merge with pending writes and the Limit push-down keep working. It is
+// a classic binary min-heap keyed by each cursor's current id.
+type rangeCursor struct {
+	h []*plCursor
+}
+
+// peek returns the smallest current id across all lists.
+func (rc *rangeCursor) peek() (string, bool) {
+	if len(rc.h) == 0 {
+		return "", false
+	}
+	return rc.h[0].peek()
+}
+
+// next advances past the current smallest id.
+func (rc *rangeCursor) next() {
+	if len(rc.h) == 0 {
+		return
+	}
+	c := rc.h[0]
+	c.next()
+	if _, ok := c.peek(); !ok {
+		last := len(rc.h) - 1
+		rc.h[0] = rc.h[last]
+		rc.h = rc.h[:last]
+		if last == 0 {
+			return
+		}
+	}
+	rc.down(0)
+}
+
+// down restores the heap property from position i.
+func (rc *rangeCursor) down(i int) {
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < len(rc.h) && rc.peekAt(l) < rc.peekAt(min) {
+			min = l
+		}
+		if r < len(rc.h) && rc.peekAt(r) < rc.peekAt(min) {
+			min = r
+		}
+		if min == i {
+			return
+		}
+		rc.h[i], rc.h[min] = rc.h[min], rc.h[i]
+		i = min
+	}
+}
+
+func (rc *rangeCursor) peekAt(i int) string {
+	id, _ := rc.h[i].peek()
+	return id
+}
+
+// ordKey encodes a column value so that lexicographic order of the
+// encodings equals the natural order of the values. All values of an
+// ordered index share one column type, so no type prefix is needed.
+func ordKey(t ColType, v any) string {
+	switch t {
+	case TString:
+		return v.(string)
+	case TInt:
+		// Flip the sign bit: negatives sort below positives.
+		return hex16(uint64(v.(int64)) ^ (1 << 63))
+	case TFloat:
+		// IEEE 754 total order: flip all bits of negatives, the sign bit
+		// of positives. Negative zero normalises to +0 first — the two
+		// compare equal, so they must share one key.
+		f := v.(float64)
+		if f == 0 {
+			f = 0
+		}
+		bits := math.Float64bits(f)
+		if bits&(1<<63) != 0 {
+			bits = ^bits
+		} else {
+			bits |= 1 << 63
+		}
+		return hex16(bits)
+	case TBool:
+		if v.(bool) {
+			return "1"
+		}
+		return "0"
+	case TTime:
+		// Seconds since the epoch (ordered like TInt) followed by the
+		// sub-second nanoseconds. Unlike UnixNano this is defined for
+		// every representable time — the zero time and other pre-1678
+		// values sort correctly rather than wrapping around.
+		t := v.(time.Time)
+		return hex16(uint64(t.Unix())^(1<<63)) + hex8(uint32(t.Nanosecond()))
+	}
+	// Check() rejects Ordered on the remaining types (bytes).
+	panic("relstore: ordKey on unordered column type " + string(t))
+}
+
+// hex16 formats u as 16 zero-padded lowercase hex digits.
+func hex16(u uint64) string {
+	var buf [16]byte
+	s := strconv.AppendUint(buf[:0], u, 16)
+	if len(s) == 16 {
+		return string(s)
+	}
+	var out [16]byte
+	pad := 16 - len(s)
+	for i := 0; i < pad; i++ {
+		out[i] = '0'
+	}
+	copy(out[pad:], s)
+	return string(out[:])
+}
+
+// hex8 formats u as 8 zero-padded lowercase hex digits.
+func hex8(u uint32) string {
+	var buf [8]byte
+	s := strconv.AppendUint(buf[:0], uint64(u), 16)
+	var out [8]byte
+	pad := 8 - len(s)
+	for i := 0; i < pad; i++ {
+		out[i] = '0'
+	}
+	copy(out[pad:], s)
+	return string(out[:])
+}

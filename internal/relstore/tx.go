@@ -2,8 +2,10 @@ package relstore
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strconv"
+	"time"
 )
 
 // ErrNotFound is returned by Get when no row has the requested key.
@@ -188,10 +190,28 @@ type eqPredicate struct {
 	val any
 }
 
-// Query describes a Select: optional equality fast-path plus arbitrary
-// predicate filters.
+// rangeOp enumerates the ordered comparison operators.
+type rangeOp int
+
+const (
+	opLt rangeOp = iota // column < value
+	opLe                // column <= value
+	opGt                // column > value
+	opGe                // column >= value
+)
+
+// rangePred is one ordered comparison condition on a column.
+type rangePred struct {
+	col string
+	val any
+	op  rangeOp
+}
+
+// Query describes a Select: equality and range conditions (index-assisted
+// where the schema declares indexes) plus arbitrary predicate filters.
 type Query struct {
 	eq      []eqPredicate
+	ranges  []rangePred
 	filters []Predicate
 	limit   int
 }
@@ -202,6 +222,31 @@ func NewQuery() *Query { return &Query{} }
 // Eq adds an equality condition; indexed columns use the secondary index.
 func (q *Query) Eq(col string, val any) *Query {
 	q.eq = append(q.eq, eqPredicate{col, val})
+	return q
+}
+
+// Lt adds the condition col < v. On an Ordered column the planner can
+// drive the scan from the matching index slice instead of a full scan.
+func (q *Query) Lt(col string, v any) *Query {
+	q.ranges = append(q.ranges, rangePred{col, v, opLt})
+	return q
+}
+
+// Le adds the condition col <= v.
+func (q *Query) Le(col string, v any) *Query {
+	q.ranges = append(q.ranges, rangePred{col, v, opLe})
+	return q
+}
+
+// Gt adds the condition col > v.
+func (q *Query) Gt(col string, v any) *Query {
+	q.ranges = append(q.ranges, rangePred{col, v, opGt})
+	return q
+}
+
+// Ge adds the condition col >= v.
+func (q *Query) Ge(col string, v any) *Query {
+	q.ranges = append(q.ranges, rangePred{col, v, opGe})
 	return q
 }
 
@@ -285,15 +330,14 @@ func (tx *Tx) scan(tableName string, q *Query, fn func(Row) bool) error {
 		return q.limit <= 0 || matched < q.limit
 	}
 
-	cur := plCursor{pl: driver}
 	pi := 0
 	for {
-		cid, cok := cur.peek()
+		cid, cok := driver.peek()
 		// Skip committed ids that fail an indexed probe without paying
 		// for row resolution (matchesQuery would reject them anyway).
 		for cok && !inAll(probes, cid) {
-			cur.next()
-			cid, cok = cur.peek()
+			driver.next()
+			cid, cok = driver.peek()
 		}
 		pok := pi < len(pend)
 		switch {
@@ -303,7 +347,7 @@ func (tx *Tx) scan(tableName string, q *Query, fn func(Row) bool) error {
 			if !emit(cid) {
 				return nil
 			}
-			cur.next()
+			driver.next()
 		case pok && (!cok || pend[pi] < cid):
 			if !emit(pend[pi]) {
 				return nil
@@ -313,19 +357,33 @@ func (tx *Tx) scan(tableName string, q *Query, fn func(Row) bool) error {
 			if !emit(pend[pi]) {
 				return nil
 			}
-			cur.next()
+			driver.next()
 			pi++
 		}
 	}
 }
 
-// plan chooses the committed-row access path for q: the smallest
-// posting list among all indexed equality conditions drives the scan
-// and the remaining ones become O(1) membership probes. Without an
-// indexed condition the sorted primary-key list drives (full scan). A
-// condition no committed row satisfies yields a nil driver — only
-// pending writes can match then.
-func (t *table) plan(q *Query) (driver *postingList, probes []*postingList) {
+// idCursor streams committed row ids in ascending order: the access path
+// plan hands to scan. Implemented by *plCursor (a single posting list or
+// the primary-key list) and *rangeCursor (the id-ordered merge of an
+// ordered index's range slice).
+type idCursor interface {
+	peek() (string, bool)
+	next()
+}
+
+// plan chooses the committed-row access path for q. Candidates are the
+// posting list of each indexed equality condition and, for every Ordered
+// column with range predicates, the index slice covering the merged
+// interval (found by binary search over the sorted value directory). The
+// smallest candidate drives the scan; the remaining equality lists
+// become O(1) membership probes, and every condition is re-checked
+// against the resolved row by matchesQuery, so non-driving ranges cost
+// nothing extra. Without any indexed condition the sorted primary-key
+// list drives (full scan). A condition no committed row can satisfy — an
+// equality on an absent value, or a contradictory range — yields an
+// empty driver: only pending writes can match then.
+func (t *table) plan(q *Query) (driver idCursor, probes []*postingList) {
 	var lists []*postingList
 	for _, eq := range q.eq {
 		idx, ok := t.indexes[eq.col]
@@ -334,21 +392,82 @@ func (t *table) plan(q *Query) (driver *postingList, probes []*postingList) {
 		}
 		pl := idx[indexKey(eq.val)]
 		if pl == nil || pl.len() == 0 {
-			return nil, nil
+			return &plCursor{}, nil
 		}
 		lists = append(lists, pl)
 	}
-	if len(lists) == 0 {
-		return t.keys, nil
+	var rbounds map[string]*bounds
+	for _, r := range q.ranges {
+		oi := t.ordered[r.col]
+		if oi == nil {
+			continue // unindexed range: matchesQuery filters per row
+		}
+		col, _ := t.schema.column(r.col)
+		if !typeMatches(col.Type, r.val) {
+			continue // mistyped bound cannot drive; matchesQuery rejects
+		}
+		if rbounds == nil {
+			rbounds = make(map[string]*bounds)
+		}
+		b := rbounds[r.col]
+		if b == nil {
+			b = &bounds{}
+			rbounds[r.col] = b
+		}
+		key := ordKey(col.Type, r.val)
+		switch r.op {
+		case opLt:
+			b.tightenHi(key, false)
+		case opLe:
+			b.tightenHi(key, true)
+		case opGt:
+			b.tightenLo(key, false)
+		case opGe:
+			b.tightenLo(key, true)
+		}
 	}
-	smallest := 0
+	smallest := -1
 	for i, pl := range lists {
-		if pl.len() < lists[smallest].len() {
+		if smallest < 0 || pl.len() < lists[smallest].len() {
 			smallest = i
 		}
 	}
-	driver = lists[smallest]
-	return driver, append(lists[:smallest], lists[smallest+1:]...)
+	bestSize := int(^uint(0) >> 1) // MaxInt: full scan is the fallback
+	if smallest >= 0 {
+		bestSize = lists[smallest].len()
+	}
+	var bestIdx *orderedIndex
+	var bestStart, bestEnd int
+	for col, b := range rbounds {
+		if b.empty {
+			return &plCursor{}, nil
+		}
+		oi := t.ordered[col]
+		start, end := oi.slice(*b)
+		// A slice spanning half the value directory is no better than the
+		// primary-key scan it would replace — on a high-cardinality
+		// column that is about as many rows, plus a heap merge over all
+		// its per-value cursors. Leave such a wide range to matchesQuery;
+		// the width check is O(1), so deciding costs nothing.
+		if (end-start)*2 >= t.keys.len() {
+			continue
+		}
+		// The walk stops as soon as it exceeds the best candidate so far,
+		// so sizing a range never costs more than scanning the cheaper
+		// path would.
+		if n := oi.estimate(start, end, bestSize); n < bestSize {
+			bestSize = n
+			bestIdx, bestStart, bestEnd = oi, start, end
+		}
+	}
+	if bestIdx != nil {
+		// A range drives: all equality lists demote to membership probes.
+		return bestIdx.cursor(bestStart, bestEnd), lists
+	}
+	if smallest < 0 {
+		return &plCursor{pl: t.keys}, nil
+	}
+	return &plCursor{pl: lists[smallest]}, append(lists[:smallest], lists[smallest+1:]...)
 }
 
 // inAll reports whether id is live in every posting list.
@@ -378,12 +497,98 @@ func matchesQuery(row Row, q *Query) bool {
 			return false
 		}
 	}
+	for _, r := range q.ranges {
+		v, ok := row[r.col]
+		if !ok {
+			return false // absent (nullable) columns match no range
+		}
+		c, ok := compareValues(v, r.val)
+		if !ok {
+			return false
+		}
+		switch r.op {
+		case opLt:
+			ok = c < 0
+		case opLe:
+			ok = c <= 0
+		case opGt:
+			ok = c > 0
+		case opGe:
+			ok = c >= 0
+		}
+		if !ok {
+			return false
+		}
+	}
 	for _, f := range q.filters {
 		if !f(row) {
 			return false
 		}
 	}
 	return true
+}
+
+// compareValues orders two column values of the same supported type,
+// returning -1/0/+1 and whether the pair is comparable at all.
+func compareValues(a, b any) (int, bool) {
+	switch x := a.(type) {
+	case int64:
+		y, ok := b.(int64)
+		if !ok {
+			return 0, false
+		}
+		return cmpOrdered(x, y), true
+	case float64:
+		y, ok := b.(float64)
+		if !ok {
+			return 0, false
+		}
+		// NaN is incomparable (matches no range), keeping the full-scan
+		// filter consistent with the ordered index, which sorts NaN's bit
+		// pattern above every real number.
+		if math.IsNaN(x) || math.IsNaN(y) {
+			return 0, false
+		}
+		return cmpOrdered(x, y), true
+	case string:
+		y, ok := b.(string)
+		if !ok {
+			return 0, false
+		}
+		return cmpOrdered(x, y), true
+	case bool:
+		y, ok := b.(bool)
+		if !ok {
+			return 0, false
+		}
+		bx, by := 0, 0
+		if x {
+			bx = 1
+		}
+		if y {
+			by = 1
+		}
+		return cmpOrdered(bx, by), true
+	case time.Time:
+		y, ok := b.(time.Time)
+		if !ok {
+			return 0, false
+		}
+		return x.Compare(y), true
+	}
+	return 0, false
+}
+
+// cmpOrdered is three-way comparison for ordered primitives.
+func cmpOrdered[T int | int64 | float64 | string](a, b T) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
 }
 
 // valueEqual compares two column values of the supported types.

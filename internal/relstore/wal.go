@@ -183,8 +183,18 @@ func (db *DB) replayWAL() error {
 	}
 	for _, rec := range recs {
 		if rec.CreateTable != nil {
-			if _, ok := db.tables[rec.CreateTable.Name]; !ok {
-				db.tables[rec.CreateTable.Name] = newTable(*rec.CreateTable)
+			s := *rec.CreateTable
+			if t, ok := db.tables[s.Name]; ok {
+				// A CreateTable record for an existing table is a logged
+				// schema upgrade: rows written before this point used the
+				// old schema, rows after it may use the new columns. The
+				// log is trusted — compatibility was checked when the
+				// record was written.
+				if !schemaEqual(t.schema, s) {
+					db.tables[s.Name] = t.upgrade(s)
+				}
+			} else {
+				db.tables[s.Name] = newTable(s)
 			}
 			continue
 		}
