@@ -40,16 +40,19 @@ func main() {
 		extensions    = flag.String("extensions", "", "comma-separated extension repository directories")
 		watchdog      = flag.Duration("watchdog", 10*time.Second, "heartbeat watchdog interval")
 		hbTimeout     = flag.Duration("heartbeat-timeout", 60*time.Second, "running-job heartbeat timeout")
+		segmentBytes  = flag.Int64("wal-segment-bytes", 4<<20, "WAL segment rotation threshold in bytes")
+		compactEvery  = flag.Int("compact-every", 4096, "background compaction after this many commits (negative = never)")
 	)
 	flag.Parse()
 
-	if err := run(*addr, *dataDir, *agentToken, *adminName, *adminPassword, *extensions, *watchdog, *hbTimeout); err != nil {
+	storeOpts := &relstore.Options{SegmentBytes: *segmentBytes, CompactEvery: *compactEvery}
+	if err := run(*addr, *dataDir, *agentToken, *adminName, *adminPassword, *extensions, *watchdog, *hbTimeout, storeOpts); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(addr, dataDir, agentToken, adminName, adminPassword, extensions string, watchdog, hbTimeout time.Duration) error {
-	db, err := relstore.Open(dataDir, nil)
+func run(addr, dataDir, agentToken, adminName, adminPassword, extensions string, watchdog, hbTimeout time.Duration, storeOpts *relstore.Options) error {
+	db, err := relstore.Open(dataDir, storeOpts)
 	if err != nil {
 		return err
 	}
@@ -59,6 +62,9 @@ func run(addr, dataDir, agentToken, adminName, adminPassword, extensions string,
 	if err != nil {
 		return err
 	}
+	st := svc.Store().StorageStats()
+	log.Printf("store recovered: %d rows in %d tables, %d WAL segment(s), %d bytes of log",
+		st.Rows, st.Tables, st.WALSegments, st.WALSizeB)
 	svc.HeartbeatTimeout = hbTimeout
 	svc.StartWatchdog(context.Background(), watchdog)
 

@@ -1,0 +1,246 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"testing"
+
+	"chronos/internal/params"
+	"chronos/internal/relstore"
+)
+
+// TestAttemptBudgetUsesScalarColumnNotBlob proves failJob's budget
+// lookup never decodes the experiment JSON: the blob is replaced with
+// garbage that would fail any json.Unmarshal, and the budget (from the
+// scalar maxAttempts column) must still be honoured exactly.
+func TestAttemptBudgetUsesScalarColumnNotBlob(t *testing.T) {
+	svc, _ := newTestService(t)
+	_, _, depID, expID := registerDemo(t, svc)
+	svc.CreateEvaluation(expID)
+
+	// Sabotage the blob, keep the scalars: budget 2.
+	err := svc.store.db.Update(func(tx *relstore.Tx) error {
+		row, err := tx.Get(tableExperiments, expID)
+		if err != nil {
+			return err
+		}
+		row["maxAttempts"] = int64(2)
+		row["data"] = []byte("certainly not json")
+		return tx.Put(tableExperiments, row)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var jobID string
+	for attempt := 1; attempt <= 2; attempt++ {
+		j, ok, err := svc.ClaimJob(depID)
+		if err != nil || !ok {
+			t.Fatalf("claim attempt %d: %v %v", attempt, ok, err)
+		}
+		if jobID == "" {
+			jobID = j.ID
+		}
+		if err := svc.FailJob(j.ID, "boom"); err != nil {
+			t.Fatalf("fail attempt %d: %v", attempt, err)
+		}
+	}
+	got, _ := svc.GetJob(jobID)
+	if got.Status != StatusFailed {
+		t.Fatalf("after 2 attempts with budget 2: %s", got.Status)
+	}
+}
+
+// TestAttemptBudgetLegacyRowFallsBackToBlob: experiment rows persisted
+// before the maxAttempts column existed carry the budget only inside
+// their JSON blob; the lookup must decode it rather than silently use
+// the default.
+func TestAttemptBudgetLegacyRowFallsBackToBlob(t *testing.T) {
+	svc, _ := newTestService(t)
+	_, _, depID, expID := registerDemo(t, svc)
+	svc.CreateEvaluation(expID)
+
+	// Rewrite the row as a pre-upgrade store would have it: no
+	// maxAttempts column (nullable, so a row without it is valid), the
+	// budget of 1 only inside the blob.
+	err := svc.store.db.Update(func(tx *relstore.Tx) error {
+		e, err := svc.store.GetExperiment(tx, expID)
+		if err != nil {
+			return err
+		}
+		e.MaxAttempts = 1
+		data, err := json.Marshal(e)
+		if err != nil {
+			return err
+		}
+		return tx.Put(tableExperiments, relstore.Row{
+			"id": e.ID, "projectId": e.ProjectID, "systemId": e.SystemID, "data": data,
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	j, ok, err := svc.ClaimJob(depID)
+	if err != nil || !ok {
+		t.Fatalf("claim: %v %v", ok, err)
+	}
+	if err := svc.FailJob(j.ID, "boom"); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := svc.GetJob(j.ID)
+	if got.Status != StatusFailed {
+		t.Fatalf("budget 1 from legacy blob not honoured: %s", got.Status)
+	}
+}
+
+// TestAttemptBudgetBackfillOnOpen: reopening a store whose experiment
+// rows predate the maxAttempts column rewrites them once, so the budget
+// is a scalar lookup from then on.
+func TestAttemptBudgetBackfillOnOpen(t *testing.T) {
+	dir := t.TempDir()
+	db, err := relstore.Open(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := NewService(db, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, _, expID := registerDemo(t, svc)
+	// Strip the scalar column, as a pre-upgrade store would have it.
+	err = svc.store.db.Update(func(tx *relstore.Tx) error {
+		e, err := svc.store.GetExperiment(tx, expID)
+		if err != nil {
+			return err
+		}
+		e.MaxAttempts = 7
+		data, err := json.Marshal(e)
+		if err != nil {
+			return err
+		}
+		return tx.Put(tableExperiments, relstore.Row{
+			"id": e.ID, "projectId": e.ProjectID, "systemId": e.SystemID, "data": data,
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.Close()
+
+	db2, err := relstore.Open(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	svc2, err := NewService(db2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = svc2.store.db.View(func(tx *relstore.Tx) error {
+		v, err := tx.GetValue(tableExperiments, expID, "maxAttempts")
+		if err != nil {
+			return err
+		}
+		if v == nil {
+			t.Fatal("maxAttempts column not backfilled on open")
+		}
+		if v.(int64) != 7 {
+			t.Fatalf("backfilled budget = %v, want 7", v)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAttemptBudgetMissingEvaluationUsesDefault: a job whose evaluation
+// vanished (pruned project, say) falls back to the service default
+// instead of erroring.
+func TestAttemptBudgetMissingEvaluationUsesDefault(t *testing.T) {
+	svc, _ := newTestService(t)
+	_, _, depID, expID := registerDemo(t, svc)
+	svc.CreateEvaluation(expID)
+	j, ok, err := svc.ClaimJob(depID)
+	if err != nil || !ok {
+		t.Fatalf("claim: %v %v", ok, err)
+	}
+	err = svc.store.db.Update(func(tx *relstore.Tx) error {
+		return tx.Delete(tableEvaluations, j.EvaluationID)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.FailJob(j.ID, "boom"); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := svc.GetJob(j.ID)
+	// DefaultMaxAttempts is 3 and this was attempt 1, so it reschedules.
+	if got.Status != StatusScheduled {
+		t.Fatalf("default budget not applied: %s", got.Status)
+	}
+}
+
+// BenchmarkFailJob measures one failure-handling round (fail + budget
+// lookup + auto-reschedule) against experiments with small and large
+// settings blobs. The budget is a scalar-column projection, so ns/op
+// must stay flat in the blob size; the seed path decoded the full
+// settings per failure and scaled with the sweep width.
+func BenchmarkFailJob(b *testing.B) {
+	for _, variants := range []int{10, 5000} {
+		b.Run(fmt.Sprintf("settings=%d", variants), func(b *testing.B) {
+			svc, err := NewService(relstore.OpenMemory(), nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			u, _ := svc.CreateUser("bench", RoleAdmin)
+			p, _ := svc.CreateProject("bench", "", u.ID, nil)
+			defs := []params.Definition{
+				{Name: "idx", Type: params.TypeInterval, Min: 1, Max: 1 << 30, Default: params.Int(1)},
+			}
+			sys, _ := svc.RegisterSystem("sue", "", defs, nil)
+			dep, _ := svc.CreateDeployment(sys.ID, "d", "", "")
+			vals := make([]params.Value, variants)
+			for i := range vals {
+				vals[i] = params.Int(int64(i) + 1)
+			}
+			// Huge budget so the job auto-reschedules forever.
+			exp, err := svc.CreateExperiment(p.ID, sys.ID, "e", "",
+				map[string][]params.Value{"idx": vals}, 1<<30)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, _, err := svc.CreateEvaluation(exp.ID); err != nil {
+				b.Fatal(err)
+			}
+			j, ok, err := svc.ClaimJob(dep.ID)
+			if err != nil || !ok {
+				b.Fatalf("claim: %v %v", ok, err)
+			}
+			// rearm flips the job back to running without the claim path,
+			// so the loop isolates the failure-handling cost.
+			rearm := func() {
+				err := svc.store.db.Update(func(tx *relstore.Tx) error {
+					jj, err := svc.store.GetJob(tx, j.ID)
+					if err != nil {
+						return err
+					}
+					jj.Status = StatusRunning
+					return svc.store.PutJob(tx, jj)
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := svc.FailJob(j.ID, "bench"); err != nil {
+					b.Fatal(err)
+				}
+				rearm()
+			}
+		})
+	}
+}

@@ -346,12 +346,14 @@ func (s *Service) failJob(jobID, reason string, kind EventKind, guard func(*Job)
 		if err := s.putEvent(tx, jobID, kind, reason); err != nil {
 			return err
 		}
-		// Automatic recovery: re-schedule while attempts remain.
+		// Automatic recovery: re-schedule while attempts remain. The
+		// budget is a scalar-column projection (no JSON decoded); a
+		// vanished evaluation or experiment falls back to the default.
 		max := int64(s.DefaultMaxAttempts)
-		if ev, err := s.store.GetEvaluation(tx, j.EvaluationID); err == nil {
-			if exp, err := s.store.GetExperiment(tx, ev.ExperimentID); err == nil && exp.MaxAttempts > 0 {
-				max = int64(exp.MaxAttempts)
-			}
+		if budget, ok, err := s.store.AttemptBudget(tx, j.EvaluationID); err != nil {
+			return err
+		} else if ok && budget > 0 {
+			max = budget
 		}
 		if j.Attempts < max {
 			if err := s.transition(tx, j, StatusScheduled); err != nil {

@@ -59,6 +59,12 @@ func NewStore(db *relstore.DB) (*Store, error) {
 			{Name: "id", Type: relstore.TString},
 			{Name: "projectId", Type: relstore.TString, Indexed: true},
 			{Name: "systemId", Type: relstore.TString, Indexed: true},
+			// maxAttempts mirrors Experiment.MaxAttempts as a scalar so
+			// failJob reads the attempt budget without decoding the whole
+			// settings blob (which grows with the parameter sweep).
+			// Nullable so stores persisted before this column existed
+			// upgrade in place; such rows fall back to the JSON decode.
+			{Name: "maxAttempts", Type: relstore.TInt, Nullable: true},
 			{Name: "data", Type: relstore.TBytes},
 		}},
 		{Name: tableEvaluations, Key: "id", Columns: []relstore.Column{
@@ -108,7 +114,44 @@ func NewStore(db *relstore.DB) (*Store, error) {
 	if err := store.backfillHeartbeats(); err != nil {
 		return nil, err
 	}
+	if err := store.backfillAttemptBudgets(); err != nil {
+		return nil, err
+	}
 	return store, nil
+}
+
+// backfillAttemptBudgets rewrites experiment rows persisted before the
+// scalar maxAttempts column existed, so failJob's budget lookup never
+// has to fall back to decoding the settings blob. One pass over the
+// experiments table at open; up-to-date stores decode nothing.
+func (s *Store) backfillAttemptBudgets() error {
+	return s.db.Update(func(tx *relstore.Tx) error {
+		var fix []*Experiment
+		var derr error
+		err := tx.SelectFunc(tableExperiments, relstore.NewQuery(), func(row relstore.Row) bool {
+			if _, ok := row["maxAttempts"]; ok {
+				return true
+			}
+			var e Experiment
+			if derr = json.Unmarshal(row["data"].([]byte), &e); derr != nil {
+				return false
+			}
+			fix = append(fix, &e)
+			return true
+		})
+		if err != nil {
+			return err
+		}
+		if derr != nil {
+			return fmt.Errorf("core: decode experiment during attempt-budget backfill: %w", derr)
+		}
+		for _, e := range fix {
+			if err := s.PutExperiment(tx, e); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
 }
 
 // backfillHeartbeats rewrites running jobs persisted before the scalar
@@ -149,6 +192,12 @@ func (s *Store) backfillHeartbeats() error {
 
 // DB exposes the underlying store for transaction control.
 func (s *Store) DB() *relstore.DB { return s.db }
+
+// StorageStats reports the relstore-level counters — rows, live WAL
+// segments and bytes, completed compaction cycles and the last
+// background-compaction error — for operational surfaces (the control
+// daemon logs them; tests assert on them).
+func (s *Store) StorageStats() relstore.Stats { return s.db.Stats() }
 
 // putJSON marshals entity into the table's data column alongside the
 // scalar query columns.
@@ -280,8 +329,46 @@ func (s *Store) ListDeployments(tx *relstore.Tx, systemID string) ([]*Deployment
 
 // PutExperiment stores an experiment.
 func (s *Store) PutExperiment(tx *relstore.Tx, e *Experiment) error {
-	row := relstore.Row{"id": e.ID, "projectId": e.ProjectID, "systemId": e.SystemID}
+	row := relstore.Row{
+		"id": e.ID, "projectId": e.ProjectID, "systemId": e.SystemID,
+		"maxAttempts": int64(e.MaxAttempts),
+	}
 	return putJSON(tx, tableExperiments, row, e)
+}
+
+// AttemptBudget returns the attempt budget of the experiment behind the
+// given evaluation: the scalar maxAttempts column, reached through the
+// evaluation's scalar experimentId column — two key lookups, no JSON
+// decoded. This is failJob's hot path: every failure consults the
+// budget, and decoding the experiment's settings blob (which grows with
+// the parameter sweep) per failure made failure storms O(settings).
+// Rows persisted before the maxAttempts column existed fall back to
+// decoding the experiment JSON once. ok is false when the evaluation or
+// experiment is gone (caller applies its default).
+func (s *Store) AttemptBudget(tx *relstore.Tx, evaluationID string) (budget int64, ok bool, err error) {
+	expID, err := tx.GetValue(tableEvaluations, evaluationID, "experimentId")
+	if err != nil {
+		if err == relstore.ErrNotFound {
+			return 0, false, nil
+		}
+		return 0, false, err
+	}
+	v, err := tx.GetValue(tableExperiments, expID.(string), "maxAttempts")
+	if err != nil {
+		if err == relstore.ErrNotFound {
+			return 0, false, nil
+		}
+		return 0, false, err
+	}
+	if v == nil {
+		// Pre-upgrade row: the budget only lives inside the JSON blob.
+		var e Experiment
+		if err := getJSON(tx, tableExperiments, expID.(string), &e); err != nil {
+			return 0, false, err
+		}
+		return int64(e.MaxAttempts), true, nil
+	}
+	return v.(int64), true, nil
 }
 
 // GetExperiment loads an experiment by id.

@@ -29,9 +29,18 @@ const (
 type Options struct {
 	// Sync selects the WAL flush policy.
 	Sync SyncMode
-	// CompactEvery triggers automatic snapshot+truncate after this many
-	// committed transactions (0 = default 4096; negative = never).
+	// CompactEvery triggers a background snapshot+segment-delete cycle
+	// after this many committed transactions (0 = default 4096;
+	// negative = never).
 	CompactEvery int
+	// SegmentBytes rotates the active WAL segment once it grows past
+	// this size (0 = default 4 MiB). Compaction also rotates, so
+	// snapshots always happen at a segment boundary.
+	SegmentBytes int64
+	// fileHook, when set, wraps every segment file the writer opens.
+	// Test-only failpoint injection (crash simulation); not part of the
+	// public API.
+	fileHook func(walFile) walFile
 }
 
 // table is the in-memory state of one table.
@@ -54,7 +63,10 @@ type table struct {
 // Locking rules:
 //   - db.mu guards the in-memory tables: writes (commit apply) hold it
 //     exclusively, reads share it. It is never held across disk IO.
-//   - db.walMu serialises WAL file writes, compaction and close.
+//   - db.walMu serialises WAL segment writes, rotation and close. The
+//     condition variable walCond (on walMu) publishes durable-LSN
+//     progress to the background compactor.
+//   - db.snapMu serialises compaction cycles (background and manual).
 //   - group.mu only orders commit batches; it is held for O(1) sections.
 //
 // A committing Update applies its writes under db.mu, then releases the
@@ -70,18 +82,48 @@ type table struct {
 type DB struct {
 	dir  string
 	opts Options
+	// durable is set once at Open (false for OpenMemory) and never
+	// changes, so the commit path can ask "is there a WAL at all?"
+	// without touching walMu, where a group leader may be mid-fsync.
+	durable bool
 
 	mu     sync.RWMutex // guards tables
 	tables map[string]*table
 
-	walMu  sync.Mutex // serialises WAL writes and compaction
-	wal    *walWriter
-	walErr error // sticky WAL failure; guarded by walMu
+	walMu   sync.Mutex // serialises WAL writes, rotation and close
+	walCond *sync.Cond // on walMu; signals durLSN/walErr/closed changes
+	wal     *walWriter // active segment writer
+	walSeq  int64      // sequence number of the active segment
+	walErr  error      // sticky WAL failure; guarded by walMu
+	// durLSN counts records durably committed to the WAL; guarded by
+	// walMu, published via walCond. The compactor refuses to make a
+	// snapshot durable before every commit it contains reaches the log,
+	// so a failed (unacknowledged) WAL write can never leak into
+	// durable state through a snapshot.
+	durLSN int64
 	// commitCount is written under walMu but read lock-free by
 	// maybeCompact, so committers don't queue on walMu (where a group
 	// leader may be mid-fsync) just to learn no compaction is due.
 	commitCount atomic.Int64
 	closed      bool
+
+	// snapMu serialises compaction cycles; snapSeq (guarded by it) is
+	// the WALSeq of the durable snapshot.
+	snapMu  sync.Mutex
+	snapSeq int64
+
+	// lock is the cross-process store-directory lock, held from Open to
+	// Close.
+	lock *dirLock
+
+	// compacting gates the background compactor to one goroutine;
+	// compactWG lets Close wait for an in-flight cycle. compactions and
+	// compactErr feed Stats.
+	compacting   atomic.Bool
+	compactWG    sync.WaitGroup
+	compactions  atomic.Int64
+	compactErrMu sync.Mutex
+	compactErr   error
 
 	group groupCommitter
 }
@@ -94,6 +136,16 @@ type groupCommitter struct {
 	mu      sync.Mutex
 	cur     *walBatch // batch currently accumulating, nil if none
 	writing bool      // a leader is flushing batches
+	// enqueued counts records ever enqueued. Together with DB.durLSN it
+	// tells the compactor when a state clone is fully logged.
+	enqueued int64
+}
+
+// enqueuedLSN reports how many records have been enqueued so far.
+func (g *groupCommitter) enqueuedLSN() int64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.enqueued
 }
 
 // walBatch is one group of commit records flushed by a single WAL write.
@@ -111,52 +163,97 @@ func Open(dir string, opts *Options) (*DB, error) {
 	if opts.CompactEvery == 0 {
 		opts.CompactEvery = 4096
 	}
+	if opts.SegmentBytes == 0 {
+		opts.SegmentBytes = 4 << 20
+	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("relstore: create dir: %w", err)
+	}
+	lock, err := acquireDirLock(filepath.Join(dir, "store.lock"))
+	if err != nil {
+		return nil, err
 	}
 	db := &DB{
 		dir:    dir,
 		opts:   *opts,
 		tables: make(map[string]*table),
+		lock:   lock,
 	}
-	if err := db.loadSnapshot(); err != nil {
-		return nil, err
-	}
-	if err := db.replayWAL(); err != nil {
-		return nil, err
-	}
-	w, err := openWALWriter(db.walPath(), opts.Sync == SyncEveryCommit)
+	db.walCond = sync.NewCond(&db.walMu)
+	snapSeq, err := db.loadSnapshot()
 	if err != nil {
+		lock.release()
+		return nil, err
+	}
+	if err := db.migrateLegacyWAL(snapSeq); err != nil {
+		lock.release()
+		return nil, err
+	}
+	maxSeq, err := db.recoverSegments(snapSeq)
+	if err != nil {
+		lock.release()
+		return nil, err
+	}
+	// The active segment is always a fresh file above everything on
+	// disk; recovery never appends after existing content.
+	db.walSeq = maxSeq + 1
+	db.snapSeq = snapSeq
+	w, err := openSegment(filepath.Join(dir, segmentName(db.walSeq)), opts.Sync == SyncEveryCommit, opts.fileHook)
+	if err != nil {
+		lock.release()
 		return nil, err
 	}
 	db.wal = w
+	db.durable = true
 	return db, nil
 }
 
 // OpenMemory returns an ephemeral store without any disk persistence,
 // convenient for tests and examples.
 func OpenMemory() *DB {
-	return &DB{
+	db := &DB{
 		opts:   Options{CompactEvery: -1},
 		tables: make(map[string]*table),
 	}
+	db.walCond = sync.NewCond(&db.walMu)
+	return db
 }
 
-func (db *DB) walPath() string      { return filepath.Join(db.dir, "store.wal") }
 func (db *DB) snapshotPath() string { return filepath.Join(db.dir, "store.snapshot") }
 
-// Close flushes and closes the WAL. The DB must not be used afterwards.
+// Close flushes and closes the WAL and waits for any in-flight
+// background compaction cycle to wind down. The DB must not be used
+// afterwards. An active segment nothing was written to is removed, so
+// repeated open/close cycles don't accumulate empty segment files.
 func (db *DB) Close() error {
 	db.walMu.Lock()
-	defer db.walMu.Unlock()
 	if db.closed {
+		db.walMu.Unlock()
 		return nil
 	}
 	db.closed = true
+	var err error
+	var emptySeg string
 	if db.wal != nil {
-		return db.wal.Close()
+		err = db.wal.Close()
+		if err == nil && db.wal.size == 0 {
+			emptySeg = filepath.Join(db.dir, segmentName(db.walSeq))
+		}
 	}
-	return nil
+	db.walCond.Broadcast()
+	db.walMu.Unlock()
+	db.compactWG.Wait()
+	// A manual Compact() may still be mid-cycle (compactWG only covers
+	// background cycles): taking snapMu waits it out, so no snapshot
+	// rename or segment delete can land after Close returns and the
+	// directory lock below is released to a potential new owner.
+	db.snapMu.Lock()
+	db.snapMu.Unlock() //nolint:staticcheck // empty critical section is the barrier
+	if emptySeg != "" {
+		os.Remove(emptySeg)
+	}
+	db.lock.release()
+	return err
 }
 
 // CreateTable registers a table. Creating an existing table with an equal
@@ -185,7 +282,7 @@ func (db *DB) CreateTable(s Schema) error {
 		db.tables[s.Name] = newTable(s)
 	}
 	var batch *walBatch
-	if db.wal != nil {
+	if db.durable {
 		batch = db.enqueueCommit(walRecord{CreateTable: &s})
 	}
 	db.mu.Unlock()
@@ -195,7 +292,8 @@ func (db *DB) CreateTable(s Schema) error {
 			return err
 		}
 	}
-	return db.maybeCompact()
+	db.maybeCompact()
+	return nil
 }
 
 // Tables returns the names of all tables, sorted.
@@ -419,9 +517,11 @@ func (db *DB) Update(fn func(tx *Tx) error) error {
 			return err
 		}
 	}
-	// Compaction happens outside the table lock: writeSnapshot re-acquires
-	// it read-only, which would deadlock if still held here.
-	return db.maybeCompact()
+	// Compaction is a background cycle: the commit path only checks a
+	// counter and, when due, hands the work to a goroutine — it never
+	// waits on snapshot marshalling or segment deletion.
+	db.maybeCompact()
+	return nil
 }
 
 // View runs fn inside a read-only transaction.
@@ -441,7 +541,7 @@ func (db *DB) commitLocked(tx *Tx) *walBatch {
 	if len(tx.pendingOrder) == 0 && len(tx.seqs) == 0 {
 		return nil
 	}
-	durable := db.wal != nil
+	durable := db.durable
 	var rec walRecord
 	for _, pk := range tx.pendingOrder {
 		p := tx.pending[pk.table][pk.id]
@@ -491,6 +591,7 @@ func (db *DB) enqueueCommit(rec walRecord) *walBatch {
 	}
 	b := g.cur
 	b.recs = append(b.recs, rec)
+	g.enqueued++
 	g.mu.Unlock()
 	return b
 }
@@ -519,8 +620,10 @@ func (db *DB) awaitCommit(b *walBatch) error {
 	return b.err
 }
 
-// writeBatch appends a batch of records to the WAL with a single flush
-// (and fsync, in SyncEveryCommit mode) at the end.
+// writeBatch appends a batch of records to the active WAL segment with a
+// single flush (and fsync, in SyncEveryCommit mode) at the end, then
+// rotates the segment if it has grown past the threshold. Rotation is a
+// close+open — no snapshotting happens on the commit path.
 func (db *DB) writeBatch(recs []walRecord) error {
 	db.walMu.Lock()
 	defer db.walMu.Unlock()
@@ -532,78 +635,200 @@ func (db *DB) writeBatch(recs []walRecord) error {
 	}
 	for _, rec := range recs {
 		if err := db.wal.append(rec); err != nil {
-			db.walErr = err
+			db.poisonLocked(err)
 			return err
 		}
 	}
 	if err := db.wal.commit(); err != nil {
-		db.walErr = err
+		db.poisonLocked(err)
 		return err
 	}
+	db.durLSN += int64(len(recs))
 	db.commitCount.Add(int64(len(recs)))
+	db.walCond.Broadcast()
+	if db.wal.size >= db.opts.SegmentBytes {
+		// The batch is already durable, so a rotation failure poisons
+		// the store (no writer to append to any more) but still
+		// acknowledges this commit.
+		db.rotateLocked()
+	}
 	return nil
 }
 
-// maybeCompact runs a snapshot+truncate cycle once enough commits have
-// accumulated. Must be called without holding db.mu.
-func (db *DB) maybeCompact() error {
-	if db.wal == nil || db.opts.CompactEvery <= 0 {
-		return nil
+// poisonLocked records a sticky WAL failure. Caller holds walMu.
+func (db *DB) poisonLocked(err error) {
+	if db.walErr == nil {
+		db.walErr = err
 	}
-	// Lock-free pre-check: committers must not serialise on walMu (a
-	// group leader may be mid-fsync there) just to find nothing to do.
-	if db.commitCount.Load() < int64(db.opts.CompactEvery) {
-		return nil
-	}
-	db.walMu.Lock()
-	defer db.walMu.Unlock()
-	if db.commitCount.Load() < int64(db.opts.CompactEvery) {
-		return nil // another committer compacted first
-	}
-	if err := db.compactLocked(); err != nil {
+	db.walCond.Broadcast()
+}
+
+// rotateLocked seals the active segment and opens the next one. Caller
+// holds walMu. On failure the store is poisoned: without an intact
+// active segment no further write could become durable.
+func (db *DB) rotateLocked() error {
+	if err := db.wal.Close(); err != nil {
+		db.poisonLocked(err)
 		return err
 	}
-	db.commitCount.Store(0)
+	next, err := openSegment(filepath.Join(db.dir, segmentName(db.walSeq+1)), db.opts.Sync == SyncEveryCommit, db.opts.fileHook)
+	if err != nil {
+		db.poisonLocked(err)
+		return err
+	}
+	db.walSeq++
+	db.wal = next
 	return nil
 }
 
-// Compact writes a full snapshot and truncates the WAL. Safe to call at
-// any time; concurrent commits wait.
+// maybeCompact starts a background compaction cycle once enough commits
+// have accumulated. It never blocks the caller: the check is a lock-free
+// counter read and the cycle itself runs in its own goroutine (one at a
+// time). Must be called without holding db.mu.
+func (db *DB) maybeCompact() {
+	if !db.durable || db.opts.CompactEvery <= 0 {
+		return
+	}
+	if db.commitCount.Load() < int64(db.opts.CompactEvery) {
+		return
+	}
+	if !db.compacting.CompareAndSwap(false, true) {
+		return // a cycle is already running
+	}
+	db.compactWG.Add(1)
+	go func() {
+		defer db.compactWG.Done()
+		defer db.compacting.Store(false)
+		err := db.compactCycle()
+		db.compactErrMu.Lock()
+		db.compactErr = err
+		db.compactErrMu.Unlock()
+	}()
+}
+
+// Compact runs one full compaction cycle synchronously: rotate, write a
+// snapshot covering every sealed segment, delete them. Safe to call at
+// any time and concurrently with commits — only the rotation itself
+// briefly holds the WAL lock.
 func (db *DB) Compact() error {
-	if db.wal == nil {
+	if !db.durable {
 		return nil
 	}
-	db.walMu.Lock()
-	defer db.walMu.Unlock()
-	return db.compactLocked()
+	return db.compactCycle()
 }
 
-// compactLocked assumes walMu is held. It takes the table read lock to
-// produce a consistent snapshot. NB: callers on the Update path already
-// released db.mu; the snapshot helper re-acquires it read-only.
-func (db *DB) compactLocked() error {
-	// After a WAL write failure the in-memory state may contain a
-	// transaction whose Update returned an error. Snapshotting it (and
-	// truncating the log) would silently make that failed commit
-	// durable, so a poisoned store refuses to compact.
+// WaitCompaction blocks until no background compaction cycle is in
+// flight. Tests and orderly shutdowns use it to observe a settled store;
+// it does not trigger anything itself.
+func (db *DB) WaitCompaction() {
+	db.compactWG.Wait()
+}
+
+// compactCycle is one snapshot+delete round:
+//
+//  1. Rotate so every record so far lives in a sealed segment; the
+//     boundary is the sealed segment with the highest number. (Brief
+//     walMu hold — a file close+open.)
+//  2. Clone the table maps under a brief read lock, then encode and
+//     marshal the snapshot outside all locks. Commits proceed in
+//     parallel; replaying their segments over the snapshot is idempotent.
+//  3. Wait until every commit the clone contains is durably logged. If a
+//     WAL write fails in that window the cycle aborts: renaming the
+//     snapshot would otherwise make a failed, unacknowledged commit
+//     durable (and deleting segments would orphan acknowledged ones).
+//  4. Fsync + rename the snapshot (the commit point), then delete the
+//     sealed segments it covers.
+func (db *DB) compactCycle() error {
+	db.snapMu.Lock()
+	defer db.snapMu.Unlock()
+	// Re-arm the trigger up front: if this cycle fails (disk full, say),
+	// the next attempt comes after another CompactEvery commits rather
+	// than on every commit, which would force a rotation per commit
+	// exactly when the disk is struggling.
+	db.commitCount.Store(0)
+
+	db.walMu.Lock()
+	if db.closed {
+		db.walMu.Unlock()
+		return fmt.Errorf("relstore: store is closed")
+	}
 	if db.walErr != nil {
-		return fmt.Errorf("relstore: store failed a previous WAL write: %w", db.walErr)
+		err := db.walErr
+		db.walMu.Unlock()
+		// The in-memory state may contain a transaction whose Update
+		// returned an error. Snapshotting it (and deleting segments)
+		// would silently make that failed commit durable, so a poisoned
+		// store refuses to compact.
+		return fmt.Errorf("relstore: store failed a previous WAL write: %w", err)
 	}
-	if err := db.writeSnapshot(); err != nil {
+	if db.wal.size > 0 {
+		if err := db.rotateLocked(); err != nil {
+			db.walMu.Unlock()
+			return err
+		}
+	}
+	boundary := db.walSeq - 1
+	db.walMu.Unlock()
+
+	if boundary <= db.snapSeq {
+		return nil // nothing sealed since the last snapshot
+	}
+
+	clones, cloneLSN := db.cloneState()
+	data, err := encodeSnapshot(clones, boundary)
+	if err != nil {
 		return err
 	}
-	if err := db.wal.Reset(); err != nil {
+
+	db.walMu.Lock()
+	for db.walErr == nil && !db.closed && db.durLSN < cloneLSN {
+		db.walCond.Wait()
+	}
+	// Abort on close even when the clone is already durable: Close may
+	// release the cross-process lock the moment we return, and a
+	// snapshot rename racing a new owner of the directory could orphan
+	// that owner's segments.
+	ok := db.walErr == nil && !db.closed && db.durLSN >= cloneLSN
+	werr := db.walErr
+	db.walMu.Unlock()
+	if !ok {
+		if werr != nil {
+			return fmt.Errorf("relstore: store failed a previous WAL write: %w", werr)
+		}
+		return fmt.Errorf("relstore: store closed during compaction")
+	}
+
+	if err := db.writeSnapshotFile(data); err != nil {
 		return err
 	}
+	db.snapSeq = boundary
+	for seq := boundary; seq >= 1; seq-- {
+		path := filepath.Join(db.dir, segmentName(seq))
+		if err := os.Remove(path); err != nil {
+			if os.IsNotExist(err) {
+				break // older segments were deleted by earlier cycles
+			}
+			return err
+		}
+	}
+	db.compactions.Add(1)
 	return nil
 }
 
 // Stats reports store-level counters, mainly for tests and the UI footer.
 type Stats struct {
-	Tables    int `json:"tables"`
-	Rows      int `json:"rows"`
-	WALSizeB  int `json:"walSizeBytes"`
-	Snapshots int `json:"snapshots"`
+	Tables int `json:"tables"`
+	Rows   int `json:"rows"`
+	// WALSizeB is the total size of all live WAL segments; WALSegments
+	// counts them (including the active one).
+	WALSizeB    int `json:"walSizeBytes"`
+	WALSegments int `json:"walSegments"`
+	Snapshots   int `json:"snapshots"`
+	// Compactions counts completed snapshot+delete cycles since open;
+	// LastCompactErr carries the most recent background cycle failure
+	// ("" when the last cycle succeeded).
+	Compactions    int64  `json:"compactions"`
+	LastCompactErr string `json:"lastCompactErr,omitempty"`
 }
 
 // Stats returns current store statistics.
@@ -615,12 +840,23 @@ func (db *DB) Stats() Stats {
 	}
 	db.mu.RUnlock()
 	if db.dir != "" {
-		if fi, err := os.Stat(db.walPath()); err == nil {
-			st.WALSizeB = int(fi.Size())
+		if seqs, err := listSegments(db.dir); err == nil {
+			st.WALSegments = len(seqs)
+			for _, seq := range seqs {
+				if fi, err := os.Stat(filepath.Join(db.dir, segmentName(seq))); err == nil {
+					st.WALSizeB += int(fi.Size())
+				}
+			}
 		}
 		if _, err := os.Stat(db.snapshotPath()); err == nil {
 			st.Snapshots = 1
 		}
 	}
+	st.Compactions = db.compactions.Load()
+	db.compactErrMu.Lock()
+	if db.compactErr != nil {
+		st.LastCompactErr = db.compactErr.Error()
+	}
+	db.compactErrMu.Unlock()
 	return st
 }

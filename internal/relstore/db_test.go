@@ -364,7 +364,8 @@ func TestDurabilityAcrossCompaction(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	// Compaction must have produced a snapshot and kept the WAL short.
+	// Compaction runs in the background; wait for the cycle to finish.
+	db.WaitCompaction()
 	if st := db.Stats(); st.Snapshots != 1 {
 		t.Fatalf("expected snapshot after compaction, stats=%+v", st)
 	}
@@ -384,6 +385,16 @@ func TestDurabilityAcrossCompaction(t *testing.T) {
 	})
 }
 
+// lastSegmentPath returns the path of the highest-numbered WAL segment.
+func lastSegmentPath(t *testing.T, dir string) string {
+	t.Helper()
+	seqs, err := listSegments(dir)
+	if err != nil || len(seqs) == 0 {
+		t.Fatalf("no wal segments in %s (%v)", dir, err)
+	}
+	return filepath.Join(dir, segmentName(seqs[len(seqs)-1]))
+}
+
 func TestTornWALTailIsDiscarded(t *testing.T) {
 	dir := t.TempDir()
 	db, err := Open(dir, nil)
@@ -395,8 +406,9 @@ func TestTornWALTailIsDiscarded(t *testing.T) {
 	db.Update(func(tx *Tx) error { return tx.Insert("users", userRow("u2", "b", 2)) })
 	db.Close()
 
-	// Simulate a crash mid-append: chop bytes off the last record.
-	walPath := filepath.Join(dir, "store.wal")
+	// Simulate a crash mid-append: chop bytes off the last record of the
+	// newest segment.
+	walPath := lastSegmentPath(t, dir)
 	data, err := os.ReadFile(walPath)
 	if err != nil {
 		t.Fatal(err)
@@ -432,7 +444,7 @@ func TestCorruptWALChecksumDiscardsTail(t *testing.T) {
 	db.Update(func(tx *Tx) error { return tx.Insert("users", userRow("u1", "a", 1)) })
 	db.Close()
 
-	walPath := filepath.Join(dir, "store.wal")
+	walPath := lastSegmentPath(t, dir)
 	data, _ := os.ReadFile(walPath)
 	data[len(data)-1] ^= 0xFF // flip a payload byte of the last record
 	os.WriteFile(walPath, data, 0o644)

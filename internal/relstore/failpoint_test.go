@@ -1,0 +1,117 @@
+package relstore
+
+import (
+	"errors"
+	"sync"
+)
+
+// This file implements the crash-injection failpoint the recovery test
+// harness drives. A crashBudget is shared by every WAL segment file a
+// store opens (via Options.fileHook); once the budget's byte allowance
+// is exhausted, the write that crossed it is cut short — the prefix
+// reaches the file, the rest never does — and every later write, sync
+// and flush fails. From the store's perspective that is exactly what a
+// kernel shows a process that died mid-append: a torn frame at one
+// precise on-disk offset, then nothing. The harness sweeps the cut
+// offset across every frame boundary of a workload and asserts recovery
+// replays exactly the acknowledged commits.
+
+// errCrashed is the sticky failure a tripped crashBudget injects.
+var errCrashed = errors.New("relstore: simulated crash (failpoint budget exhausted)")
+
+// crashBudget is the shared byte allowance. The zero value is unusable;
+// create one with newCrashBudget.
+type crashBudget struct {
+	mu        sync.Mutex
+	remaining int64
+	tripped   bool
+}
+
+func newCrashBudget(bytes int64) *crashBudget {
+	return &crashBudget{remaining: bytes}
+}
+
+// hook returns an Options.fileHook wrapping every opened segment file in
+// a crashFile drawing from this budget.
+func (b *crashBudget) hook() func(walFile) walFile {
+	return func(f walFile) walFile { return &crashFile{f: f, budget: b} }
+}
+
+// take reserves up to n bytes, returning how many may still be written.
+// Once the allowance runs out the budget trips permanently.
+func (b *crashBudget) take(n int) (int, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.tripped {
+		return 0, false
+	}
+	if int64(n) <= b.remaining {
+		b.remaining -= int64(n)
+		return n, true
+	}
+	allowed := int(b.remaining)
+	b.remaining = 0
+	b.tripped = true
+	return allowed, false
+}
+
+// ok reports whether the budget has not tripped yet.
+func (b *crashBudget) ok() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return !b.tripped
+}
+
+// crashFile cuts writes after the shared budget is exhausted.
+type crashFile struct {
+	f      walFile
+	budget *crashBudget
+}
+
+func (c *crashFile) Write(p []byte) (int, error) {
+	allowed, ok := c.budget.take(len(p))
+	if allowed > 0 {
+		if n, err := c.f.Write(p[:allowed]); err != nil {
+			return n, err
+		}
+	}
+	if !ok {
+		return allowed, errCrashed
+	}
+	return allowed, nil
+}
+
+func (c *crashFile) Sync() error {
+	if !c.budget.ok() {
+		return errCrashed
+	}
+	return c.f.Sync()
+}
+
+// Close always closes the underlying file (the crash-test matrix opens
+// hundreds of stores; leaking a descriptor per simulated crash would
+// exhaust the limit) but still reports the crash once tripped.
+func (c *crashFile) Close() error {
+	err := c.f.Close()
+	if !c.budget.ok() {
+		return errCrashed
+	}
+	return err
+}
+
+// countingFile records how many bytes reach the underlying file. The
+// harness uses it on a clean pass to learn the on-disk offset of every
+// frame boundary, which become the crash matrix's cut points.
+type countingFile struct {
+	f walFile
+	n *int64 // shared across segments; guarded by walMu (single writer)
+}
+
+func (c *countingFile) Write(p []byte) (int, error) {
+	n, err := c.f.Write(p)
+	*c.n += int64(n)
+	return n, err
+}
+
+func (c *countingFile) Sync() error  { return c.f.Sync() }
+func (c *countingFile) Close() error { return c.f.Close() }

@@ -1,0 +1,15 @@
+//go:build !unix && !windows
+
+package relstore
+
+// dirLock is a no-op on platforms with neither flock nor LockFileEx.
+// There is NO cross-process exclusion here: opening the same store
+// directory from two processes concurrently is unsupported and can
+// corrupt the WAL (the second Open truncates the first's torn-looking
+// active tail and claims the store). Unix and Windows builds enforce
+// the exclusion with real kernel locks.
+type dirLock struct{}
+
+func acquireDirLock(path string) (*dirLock, error) { return &dirLock{}, nil }
+
+func (l *dirLock) release() {}

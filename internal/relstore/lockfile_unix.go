@@ -1,0 +1,43 @@
+//go:build unix
+
+package relstore
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// dirLock holds an advisory flock on the store directory's lock file so
+// two processes can never open the same store: the active segment is
+// opened O_EXCL with a number derived from a directory listing, so a
+// concurrent second Open would otherwise race the listing and truncate
+// or interleave the live process's acknowledged commits.
+type dirLock struct {
+	f *os.File
+}
+
+// acquireDirLock takes the exclusive lock, failing immediately (rather
+// than blocking) when another process holds it.
+func acquireDirLock(path string) (*dirLock, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("relstore: store is locked by another process: %w", err)
+	}
+	return &dirLock{f: f}, nil
+}
+
+// release drops the lock. The kernel also drops it if the process dies,
+// so a crashed store never needs manual unlocking.
+func (l *dirLock) release() {
+	if l == nil || l.f == nil {
+		return
+	}
+	syscall.Flock(int(l.f.Fd()), syscall.LOCK_UN)
+	l.f.Close()
+	l.f = nil
+}

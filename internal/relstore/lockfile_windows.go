@@ -1,0 +1,41 @@
+//go:build windows
+
+package relstore
+
+import (
+	"fmt"
+	"syscall"
+)
+
+// dirLock holds the store directory's lock file open with share mode 0
+// (no sharing), so a second process's open fails with a sharing
+// violation and two processes can never open the same store (see
+// lockfile_unix.go for the corruption a double-open would cause). The
+// kernel drops the handle when the process dies, so a crashed store
+// never needs manual unlocking.
+type dirLock struct {
+	h syscall.Handle
+}
+
+func acquireDirLock(path string) (*dirLock, error) {
+	p, err := syscall.UTF16PtrFromString(path)
+	if err != nil {
+		return nil, err
+	}
+	h, err := syscall.CreateFile(p,
+		syscall.GENERIC_READ|syscall.GENERIC_WRITE,
+		0, // no sharing: concurrent opens fail
+		nil, syscall.OPEN_ALWAYS, syscall.FILE_ATTRIBUTE_NORMAL, 0)
+	if err != nil {
+		return nil, fmt.Errorf("relstore: store is locked by another process: %w", err)
+	}
+	return &dirLock{h: h}, nil
+}
+
+func (l *dirLock) release() {
+	if l == nil || l.h == syscall.InvalidHandle || l.h == 0 {
+		return
+	}
+	syscall.CloseHandle(l.h)
+	l.h = syscall.InvalidHandle
+}

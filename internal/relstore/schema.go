@@ -8,9 +8,43 @@
 // CRUD over typed tables with secondary indexes and predicate scans.
 //
 // Durability follows the classic write-ahead log design: every committed
-// transaction is recorded in a WAL (length- and CRC-framed JSON records);
-// a snapshot plus WAL replay restores the state on open, tolerating a
-// torn final record from a crash.
+// transaction is recorded in a WAL of length- and CRC-framed JSON
+// records before it is acknowledged; a snapshot plus WAL replay restores
+// the state on open.
+//
+// # Segmented WAL and background compaction
+//
+// The log is a sequence of numbered segment files (wal-00000001.seg,
+// ...): the writer appends to the highest-numbered (active) segment and
+// rotates to a fresh file — a close+open, nothing more — once it grows
+// past Options.SegmentBytes. Sealed segments are immutable. Compaction
+// is a background cycle, never part of the commit path: it rotates so
+// the boundary falls between segments, shallow-clones the table maps
+// under a brief read lock, marshals the snapshot outside every lock,
+// waits until each commit the clone contains is durably logged, then
+// atomically installs the snapshot (recording the boundary segment
+// number in its walSeq field) and deletes only the sealed segments it
+// covers. Commits therefore never wait on snapshot serialisation or
+// truncation; they share the WAL lock only with the O(1) rotation.
+//
+// Recovery loads the snapshot, then replays segments walSeq+1..N in
+// order — the walSeq recorded in the snapshot makes the live-segment
+// set unambiguous without a separate manifest. A torn record (short
+// frame or checksum mismatch, the expected artefact of a crash
+// mid-append) is tolerated only at the tail of the highest-numbered
+// segment, where it is truncated away so later writes can never be
+// shadowed behind it; a torn record anywhere else, a gap in the segment
+// numbering, or a frame whose checksum holds but whose payload does not
+// decode, all mean acknowledged commits are unrecoverable and the store
+// refuses to open. Segments at or below walSeq are leftovers of a
+// compaction that crashed between the snapshot rename and the deletes;
+// they are removed on open. A WAL write failure is sticky: the store
+// poisons itself — further writes and compactions fail, since the
+// in-memory state diverged from the log and must never become durable —
+// and reopening recovers the last consistent logged state. The
+// crash-injection harness in crash_test.go cuts the log at every frame
+// boundary of a multi-segment workload and asserts recovery yields
+// exactly the acknowledged commits.
 //
 // # Query planner
 //
@@ -58,10 +92,11 @@
 // # Locking
 //
 // db.mu guards the tables (exclusive for apply, shared for reads);
-// walMu serialises WAL file writes, compaction and close; group.mu only
-// orders commit batches and is held for O(1) critical sections. Lock
-// order is db.mu -> group.mu, and walMu is only taken with neither or
-// just group-independent locks held.
+// walMu serialises WAL segment writes, rotation and close; snapMu
+// serialises compaction cycles; group.mu only orders commit batches and
+// is held for O(1) critical sections. Lock order is db.mu -> group.mu,
+// and walMu is only taken with neither or just group-independent locks
+// held.
 package relstore
 
 import (

@@ -63,6 +63,30 @@ func (tx *Tx) Get(tableName, id string) (Row, error) {
 	return row.Clone(), nil
 }
 
+// GetValue returns a single column of the row with the given key, or
+// ErrNotFound. Unlike Get it does not clone the row, so wide columns the
+// caller does not need (entity JSON blobs, say) cost nothing. The
+// returned value must be treated as read-only; callers that need a
+// mutable copy should use Get.
+func (tx *Tx) GetValue(tableName, id, col string) (any, error) {
+	t, err := tx.table(tableName)
+	if err != nil {
+		return nil, err
+	}
+	row := tx.effectiveRow(t, tableName, id)
+	if row == nil {
+		return nil, ErrNotFound
+	}
+	v, ok := row[col]
+	if !ok {
+		if _, ok := t.schema.column(col); !ok {
+			return nil, fmt.Errorf("relstore: table %q has no column %q", tableName, col)
+		}
+		return nil, nil // nullable column, absent in this row
+	}
+	return v, nil
+}
+
 // Exists reports whether a row with the given key exists.
 func (tx *Tx) Exists(tableName, id string) (bool, error) {
 	_, err := tx.Get(tableName, id)

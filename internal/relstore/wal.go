@@ -9,6 +9,8 @@ import (
 	"hash/crc32"
 	"io"
 	"os"
+	"path/filepath"
+	"sort"
 )
 
 // walOp codes.
@@ -34,26 +36,145 @@ type walRecord struct {
 	Ops         []walOp `json:"ops,omitempty"`
 }
 
-// walWriter appends framed records to the log file. Frame layout:
+// walFile is the file surface the segment writer appends through. It is
+// an interface so tests can interpose a failpoint wrapper (crashFile)
+// that cuts writes after a byte budget, simulating a crash at an exact
+// on-disk offset.
+type walFile interface {
+	io.Writer
+	Sync() error
+	Close() error
+}
+
+// The WAL is a sequence of numbered segment files, wal-00000001.seg,
+// wal-00000002.seg, ... The writer appends to the highest-numbered
+// (active) segment and rotates to a fresh one once the active segment
+// exceeds the configured size; sealed segments are immutable and are
+// deleted only by compaction, after a snapshot covering them is durable.
+//
+// Within a segment, records are framed as:
 //
 //	uint32 little-endian payload length
 //	uint32 little-endian CRC-32 (IEEE) of the payload
 //	payload (JSON)
 //
 // A torn final frame (short write during a crash) is detected by length
-// or checksum mismatch on replay and discarded.
-type walWriter struct {
-	f    *os.File
-	buf  *bufio.Writer
-	sync bool
+// or checksum mismatch on replay. It is tolerated — and truncated away —
+// only in the highest-numbered segment; anywhere else it is mid-sequence
+// corruption and the store refuses to open.
+const (
+	segmentPrefix = "wal-"
+	segmentSuffix = ".seg"
+)
+
+// segmentName renders the file name of segment seq.
+func segmentName(seq int64) string {
+	return fmt.Sprintf("%s%08d%s", segmentPrefix, seq, segmentSuffix)
 }
 
-func openWALWriter(path string, syncEveryCommit bool) (*walWriter, error) {
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
-	if err != nil {
-		return nil, fmt.Errorf("relstore: open wal: %w", err)
+// parseSegmentName extracts the sequence number from a segment file name.
+func parseSegmentName(name string) (int64, bool) {
+	var seq int64
+	if _, err := fmt.Sscanf(name, segmentPrefix+"%d"+segmentSuffix, &seq); err != nil {
+		return 0, false
 	}
-	return &walWriter{f: f, buf: bufio.NewWriterSize(f, 64<<10), sync: syncEveryCommit}, nil
+	if seq <= 0 || name != segmentName(seq) {
+		return 0, false
+	}
+	return seq, true
+}
+
+// listSegments returns the sequence numbers of all segment files in dir,
+// ascending.
+func listSegments(dir string) ([]int64, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var seqs []int64
+	for _, e := range entries {
+		if seq, ok := parseSegmentName(e.Name()); ok {
+			seqs = append(seqs, seq)
+		}
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	return seqs, nil
+}
+
+// walWriter appends framed records to the active segment file.
+type walWriter struct {
+	f    walFile
+	buf  *bufio.Writer
+	sync bool
+	// size counts the frame bytes appended to this segment, including
+	// bytes still sitting in the write buffer. It drives rotation.
+	size int64
+}
+
+// openSegment creates the segment file at path and returns a writer for
+// it. Segments are always created fresh (O_EXCL — an active segment
+// number is never reused, so a pre-existing file means another process
+// owns the store): recovery never appends after pre-existing content,
+// so a repaired torn tail can never shadow later writes. The parent
+// directory is fsynced so the new entry — and with it every commit
+// acknowledged into this segment — survives power loss. hook, when
+// non-nil, wraps the file (failpoint injection for crash tests).
+func openSegment(path string, syncEveryCommit bool, hook func(walFile) walFile) (*walWriter, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("relstore: open wal segment: %w", err)
+	}
+	if err := syncDir(filepath.Dir(path)); err != nil {
+		f.Close()
+		return nil, err
+	}
+	var wf walFile = f
+	if hook != nil {
+		wf = hook(wf)
+	}
+	return &walWriter{f: wf, buf: bufio.NewWriterSize(wf, 64<<10), sync: syncEveryCommit}, nil
+}
+
+// truncateAndSync shortens a file to size bytes and makes the new
+// length durable.
+func truncateAndSync(path string, size int64) error {
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return err
+	}
+	err = f.Truncate(size)
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// syncDir fsyncs a directory so renames, creations and deletions inside
+// it are durable. POSIX allows directory updates to be reordered past
+// file-data fsyncs; without this a freshly rotated segment full of
+// acknowledged commits could vanish on power loss, or a compaction's
+// segment deletes could persist while its snapshot rename does not.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// putFrameHeader renders the length+CRC header of one frame. The single
+// source of the frame layout: the writer, the reader's expectations and
+// the test corpus all derive from it.
+func putFrameHeader(hdr *[8]byte, payload []byte) {
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload))
 }
 
 // append frames one record into the write buffer. Nothing is durable
@@ -65,13 +186,15 @@ func (w *walWriter) append(rec walRecord) error {
 		return fmt.Errorf("relstore: marshal wal record: %w", err)
 	}
 	var hdr [8]byte
-	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
-	binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload))
+	putFrameHeader(&hdr, payload)
 	if _, err := w.buf.Write(hdr[:]); err != nil {
 		return err
 	}
-	_, err = w.buf.Write(payload)
-	return err
+	if _, err := w.buf.Write(payload); err != nil {
+		return err
+	}
+	w.size += int64(8 + len(payload))
+	return nil
 }
 
 // commit flushes buffered records to the file and, in sync mode, fsyncs
@@ -86,135 +209,231 @@ func (w *walWriter) commit() error {
 	return nil
 }
 
-// Reset truncates the log after a snapshot has been persisted.
-func (w *walWriter) Reset() error {
-	if err := w.buf.Flush(); err != nil {
-		return err
-	}
-	if err := w.f.Truncate(0); err != nil {
-		return err
-	}
-	if _, err := w.f.Seek(0, io.SeekStart); err != nil {
-		return err
-	}
-	w.buf.Reset(w.f)
-	return w.f.Sync()
-}
-
-// Close flushes and closes the file.
+// Close flushes, fsyncs and closes the segment. The file is closed even
+// when the flush or sync fails (crashed failpoint files, full disks), so
+// descriptors never leak across the crash-test matrix.
 func (w *walWriter) Close() error {
-	if err := w.buf.Flush(); err != nil {
-		return err
+	err := w.buf.Flush()
+	if err == nil {
+		err = w.f.Sync()
 	}
-	if err := w.f.Sync(); err != nil {
-		return err
+	if cerr := w.f.Close(); err == nil {
+		err = cerr
 	}
-	return w.f.Close()
+	return err
 }
 
-// errTornRecord marks a truncated or corrupt trailing record.
+// errTornRecord marks a truncated or checksum-corrupt record — the
+// expected artefact of a crash mid-append, tolerable at the tail of the
+// final segment only.
 var errTornRecord = errors.New("relstore: torn wal record")
 
-// readWAL parses all complete records from r, stopping silently at a torn
-// tail (the expected artefact of a crash mid-append).
-func readWAL(r io.Reader) ([]walRecord, error) {
+// readWAL parses records from r until EOF or the first damaged frame.
+// It returns the decoded records, the byte length of the valid prefix
+// they were read from, and the error that stopped the scan: nil on a
+// clean EOF at a frame boundary, errTornRecord (wrapped) on a short or
+// checksum-mismatched frame, or a decode error for a frame whose
+// checksum holds but whose payload is not a valid record (which cannot
+// be a torn-write artefact and is never silently dropped). No record
+// past the damage is ever returned.
+func readWAL(r io.Reader) ([]walRecord, int64, error) {
 	br := bufio.NewReaderSize(r, 64<<10)
 	var out []walRecord
+	var n int64
 	for {
-		rec, err := readOneRecord(br)
+		rec, size, err := readOneRecord(br)
 		if err == io.EOF {
-			return out, nil
-		}
-		if errors.Is(err, errTornRecord) {
-			// A torn tail means the final commit never acknowledged; all
-			// preceding records are intact.
-			return out, nil
+			return out, n, nil
 		}
 		if err != nil {
-			return nil, err
+			return out, n, err
 		}
 		out = append(out, rec)
+		n += size
 	}
 }
 
-func readOneRecord(br *bufio.Reader) (walRecord, error) {
+func readOneRecord(br *bufio.Reader) (walRecord, int64, error) {
 	var hdr [8]byte
 	if _, err := io.ReadFull(br, hdr[:]); err != nil {
 		if err == io.EOF {
-			return walRecord{}, io.EOF
+			return walRecord{}, 0, io.EOF
 		}
-		return walRecord{}, errTornRecord
+		return walRecord{}, 0, fmt.Errorf("%w: short header", errTornRecord)
 	}
 	length := binary.LittleEndian.Uint32(hdr[0:4])
 	sum := binary.LittleEndian.Uint32(hdr[4:8])
 	if length > 1<<30 {
-		return walRecord{}, errTornRecord
+		return walRecord{}, 0, fmt.Errorf("%w: absurd frame length %d", errTornRecord, length)
 	}
 	payload := make([]byte, length)
 	if _, err := io.ReadFull(br, payload); err != nil {
-		return walRecord{}, errTornRecord
+		return walRecord{}, 0, fmt.Errorf("%w: short payload", errTornRecord)
 	}
 	if crc32.ChecksumIEEE(payload) != sum {
-		return walRecord{}, errTornRecord
+		return walRecord{}, 0, fmt.Errorf("%w: checksum mismatch", errTornRecord)
 	}
 	var rec walRecord
 	if err := json.Unmarshal(payload, &rec); err != nil {
-		return walRecord{}, fmt.Errorf("relstore: decode wal record: %w", err)
+		return walRecord{}, 0, fmt.Errorf("relstore: decode wal record: %w", err)
 	}
-	return rec, nil
+	return rec, int64(8 + len(payload)), nil
 }
 
-// replayWAL applies all intact WAL records to the in-memory state.
-func (db *DB) replayWAL() error {
-	if db.dir == "" {
+// applyRecord installs one replayed record into the in-memory state.
+func (db *DB) applyRecord(rec walRecord) error {
+	if rec.CreateTable != nil {
+		s := *rec.CreateTable
+		if t, ok := db.tables[s.Name]; ok {
+			// A CreateTable record for an existing table is a logged
+			// schema upgrade: rows written before this point used the
+			// old schema, rows after it may use the new columns. The
+			// log is trusted — compatibility was checked when the
+			// record was written.
+			if !schemaEqual(t.schema, s) {
+				db.tables[s.Name] = t.upgrade(s)
+			}
+		} else {
+			db.tables[s.Name] = newTable(s)
+		}
 		return nil
 	}
-	f, err := os.Open(db.walPath())
+	for _, op := range rec.Ops {
+		t := db.tables[op.Table]
+		if t == nil {
+			return fmt.Errorf("relstore: wal references unknown table %q", op.Table)
+		}
+		if err := t.apply(op); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// migrateLegacyWAL converts a pre-segment store.wal into segment
+// snapSeq+1. The frame format is identical, so conversion is a rename;
+// a torn tail (legal in the old single-file layout) is truncated first
+// so the file is a well-formed sealed segment afterwards. Idempotent
+// across crashes: either the legacy file still exists and is converted
+// again, or the rename completed and the segment replays normally.
+func (db *DB) migrateLegacyWAL(snapSeq int64) error {
+	legacy := filepath.Join(db.dir, "store.wal")
+	f, err := os.OpenFile(legacy, os.O_RDWR, 0)
 	if err != nil {
 		if os.IsNotExist(err) {
 			return nil
 		}
 		return err
 	}
-	defer f.Close()
-	recs, err := readWAL(f)
-	if err != nil {
+	_, n, rerr := readWAL(f)
+	if rerr != nil && !errors.Is(rerr, errTornRecord) {
+		f.Close()
+		return fmt.Errorf("relstore: legacy wal: %w", rerr)
+	}
+	if err := f.Truncate(n); err != nil {
+		f.Close()
 		return err
 	}
-	for _, rec := range recs {
-		if rec.CreateTable != nil {
-			s := *rec.CreateTable
-			if t, ok := db.tables[s.Name]; ok {
-				// A CreateTable record for an existing table is a logged
-				// schema upgrade: rows written before this point used the
-				// old schema, rows after it may use the new columns. The
-				// log is trusted — compatibility was checked when the
-				// record was written.
-				if !schemaEqual(t.schema, s) {
-					db.tables[s.Name] = t.upgrade(s)
-				}
-			} else {
-				db.tables[s.Name] = newTable(s)
-			}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	target := filepath.Join(db.dir, segmentName(snapSeq+1))
+	if _, err := os.Stat(target); err == nil {
+		// A store that already has segment snapSeq+1 AND a legacy
+		// store.wal was run by a mixed set of binary versions; renaming
+		// over the segment would silently destroy its acknowledged
+		// commits. Refuse loudly instead — the operator must pick which
+		// history is the real one.
+		return fmt.Errorf("relstore: both a legacy store.wal and wal segment %d exist; refusing to overwrite (was an old binary run against this directory?)", snapSeq+1)
+	}
+	if err := os.Rename(legacy, target); err != nil {
+		return err
+	}
+	return syncDir(db.dir)
+}
+
+// recoverSegments replays every live segment in order and returns the
+// highest segment number seen (snapSeq when none). Segments at or below
+// snapSeq are stale leftovers of a compaction cycle that crashed between
+// the snapshot rename and the deletes; they are removed. The live set
+// must be contiguous starting at snapSeq+1 — a gap means a segment the
+// snapshot does not cover is missing, which is unrecoverable data loss,
+// so the store refuses to open. A torn tail is tolerated only in the
+// final segment and is truncated away so it can never shadow later
+// writes once new segments stack above it.
+func (db *DB) recoverSegments(snapSeq int64) (int64, error) {
+	seqs, err := listSegments(db.dir)
+	if err != nil {
+		return 0, err
+	}
+	live := seqs[:0]
+	for _, seq := range seqs {
+		if seq <= snapSeq {
+			// Covered by the snapshot; delete is best-effort (a survivor
+			// is ignored again on the next open).
+			os.Remove(filepath.Join(db.dir, segmentName(seq)))
 			continue
 		}
-		for _, op := range rec.Ops {
-			t := db.tables[op.Table]
-			if t == nil {
-				return fmt.Errorf("relstore: wal references unknown table %q", op.Table)
+		live = append(live, seq)
+	}
+	if len(live) == 0 {
+		return snapSeq, nil
+	}
+	if live[0] != snapSeq+1 {
+		return 0, fmt.Errorf("relstore: wal segment %d missing (snapshot covers through %d, oldest on disk is %d)",
+			snapSeq+1, snapSeq, live[0])
+	}
+	for i, seq := range live {
+		if i > 0 && seq != live[i-1]+1 {
+			return 0, fmt.Errorf("relstore: wal segment %d missing (gap before segment %d)", live[i-1]+1, seq)
+		}
+		path := filepath.Join(db.dir, segmentName(seq))
+		f, err := os.Open(path)
+		if err != nil {
+			return 0, err
+		}
+		recs, n, rerr := readWAL(f)
+		f.Close()
+		final := i == len(live)-1
+		switch {
+		case rerr == nil:
+			// Clean segment.
+		case errors.Is(rerr, errTornRecord) && final:
+			// The expected crash artefact: the last commit never
+			// acknowledged. Repair by truncating to the valid prefix so
+			// the segment is a well-formed sealed segment from now on —
+			// and fsync the repair: if it were lost to power failure
+			// after newer segments stack above this one, the returning
+			// garbage would read as mid-sequence corruption.
+			if err := truncateAndSync(path, n); err != nil {
+				return 0, err
 			}
-			if err := t.apply(op); err != nil {
-				return err
+		case errors.Is(rerr, errTornRecord):
+			return 0, fmt.Errorf("relstore: mid-sequence corruption in wal segment %d: %w", seq, rerr)
+		default:
+			return 0, fmt.Errorf("relstore: wal segment %d: %w", seq, rerr)
+		}
+		for _, rec := range recs {
+			if err := db.applyRecord(rec); err != nil {
+				return 0, err
 			}
 		}
 	}
-	return nil
+	return live[len(live)-1], nil
 }
 
 // snapshotFile is the JSON layout of a full store snapshot.
 type snapshotFile struct {
-	Version int             `json:"version"`
-	Tables  []snapshotTable `json:"tables"`
+	Version int `json:"version"`
+	// WALSeq is the highest WAL segment wholly covered by this snapshot:
+	// recovery loads the snapshot and replays only segments above it.
+	// This makes the live-segment set unambiguous without a manifest.
+	WALSeq int64           `json:"walSeq,omitempty"`
+	Tables []snapshotTable `json:"tables"`
 }
 
 type snapshotTable struct {
@@ -223,49 +442,105 @@ type snapshotTable struct {
 	Rows   map[string]map[string]any `json:"rows"`
 }
 
-// writeSnapshot persists the full state atomically (write temp + rename).
-// It takes the table read lock itself; callers must not hold db.mu.
-func (db *DB) writeSnapshot() error {
-	if db.dir == "" {
-		return nil
-	}
+// tableClone is a shallow, immutable copy of one table's state: the rows
+// map is copied (O(rows) pointer copies) but the Row values are shared —
+// safe because committed rows are never mutated in place (Put stores a
+// fresh clone; applyPut replaces the map entry).
+type tableClone struct {
+	schema Schema
+	seq    int64
+	rows   map[string]Row
+}
+
+// cloneState captures a consistent snapshot of the in-memory tables plus
+// the commit LSN it corresponds to. It holds the table read lock only
+// for the map copies — the expensive row encoding and JSON marshalling
+// happen outside every lock, so commits are never stalled behind
+// snapshot serialisation.
+func (db *DB) cloneState() ([]tableClone, int64) {
 	db.mu.RLock()
-	snap := snapshotFile{Version: 1}
+	clones := make([]tableClone, 0, len(db.tables))
 	for _, t := range db.tables {
-		st := snapshotTable{Schema: t.schema, Seq: t.seq, Rows: make(map[string]map[string]any, len(t.rows))}
+		rows := make(map[string]Row, len(t.rows))
 		for id, row := range t.rows {
-			st.Rows[id] = t.schema.encodeRow(row)
+			rows[id] = row
+		}
+		clones = append(clones, tableClone{schema: t.schema, seq: t.seq, rows: rows})
+	}
+	// All enqueues happen while db.mu is held exclusively, so under the
+	// read lock the enqueued-record count is exactly the set of commits
+	// this clone contains.
+	lsn := db.group.enqueuedLSN()
+	db.mu.RUnlock()
+	return clones, lsn
+}
+
+// encodeSnapshot renders clones into the on-disk snapshot layout. Pure
+// CPU work on immutable data; called without any lock held.
+func encodeSnapshot(clones []tableClone, walSeq int64) ([]byte, error) {
+	snap := snapshotFile{Version: 1, WALSeq: walSeq}
+	for _, c := range clones {
+		st := snapshotTable{Schema: c.schema, Seq: c.seq, Rows: make(map[string]map[string]any, len(c.rows))}
+		for id, row := range c.rows {
+			st.Rows[id] = c.schema.encodeRow(row)
 		}
 		snap.Tables = append(snap.Tables, st)
 	}
-	db.mu.RUnlock()
-
 	data, err := json.Marshal(&snap)
 	if err != nil {
-		return fmt.Errorf("relstore: marshal snapshot: %w", err)
+		return nil, fmt.Errorf("relstore: marshal snapshot: %w", err)
 	}
-	tmp := db.snapshotPath() + ".tmp"
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
-		return err
-	}
-	return os.Rename(tmp, db.snapshotPath())
+	return data, nil
 }
 
-// loadSnapshot restores the snapshot file if present.
-func (db *DB) loadSnapshot() error {
+// writeSnapshotFile persists data atomically (write temp + fsync +
+// rename) as the store's snapshot.
+func (db *DB) writeSnapshotFile(data []byte) error {
+	tmp := db.snapshotPath() + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	// The snapshot must be durable before any segment it covers is
+	// deleted, so the rename (the compaction commit point) is preceded
+	// by an fsync.
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, db.snapshotPath()); err != nil {
+		return err
+	}
+	// The rename must be durable before the caller deletes the segments
+	// this snapshot covers; otherwise power loss could persist the
+	// deletes but not the rename, leaving an old snapshot pointing at
+	// missing segments.
+	return syncDir(db.dir)
+}
+
+// loadSnapshot restores the snapshot file if present and returns the
+// highest WAL segment it covers (0 for fresh or legacy stores).
+func (db *DB) loadSnapshot() (int64, error) {
 	if db.dir == "" {
-		return nil
+		return 0, nil
 	}
 	data, err := os.ReadFile(db.snapshotPath())
 	if err != nil {
 		if os.IsNotExist(err) {
-			return nil
+			return 0, nil
 		}
-		return err
+		return 0, err
 	}
 	var snap snapshotFile
 	if err := json.Unmarshal(data, &snap); err != nil {
-		return fmt.Errorf("relstore: decode snapshot: %w", err)
+		return 0, fmt.Errorf("relstore: decode snapshot: %w", err)
 	}
 	for _, st := range snap.Tables {
 		t := newTable(st.Schema)
@@ -273,11 +548,11 @@ func (db *DB) loadSnapshot() error {
 		for id, enc := range st.Rows {
 			row, err := st.Schema.decodeRow(enc)
 			if err != nil {
-				return err
+				return 0, err
 			}
 			t.applyPut(id, row)
 		}
 		db.tables[st.Schema.Name] = t
 	}
-	return nil
+	return snap.WALSeq, nil
 }
