@@ -11,6 +11,13 @@
 // the named admin account is bootstrapped on first start; without them
 // the API is open (convenient for local demos, like the original
 // installation script's default).
+//
+// With -replicate-from set, the process runs as a read-only replication
+// follower instead: it bootstraps its store from the leader's snapshot,
+// replays and tails the leader's WAL over HTTP, and serves the viewer
+// (GET) REST endpoints and the web UI from the replica — scaling the
+// read path horizontally while all writes stay on the leader. Write
+// endpoints answer 503 with a read-only error.
 package main
 
 import (
@@ -26,6 +33,7 @@ import (
 	"chronos/internal/core"
 	"chronos/internal/extension"
 	"chronos/internal/relstore"
+	"chronos/internal/relstore/repl"
 	"chronos/internal/rest"
 	"chronos/internal/webui"
 )
@@ -42,16 +50,97 @@ func main() {
 		hbTimeout     = flag.Duration("heartbeat-timeout", 60*time.Second, "running-job heartbeat timeout")
 		segmentBytes  = flag.Int64("wal-segment-bytes", 4<<20, "WAL segment rotation threshold in bytes")
 		compactEvery  = flag.Int("compact-every", 4096, "background compaction after this many commits (negative = never)")
+		replicateFrom = flag.String("replicate-from", "", "leader base URL; run as a read-only replication follower")
+		replToken     = flag.String("repl-token", "", "replication token: required from followers on a leader's ship endpoints, presented to the leader by a follower")
+		sessionAuth   = flag.Bool("session-auth", false, "with -replicate-from: require sessions, validated against the credentials replicated from the leader")
 	)
 	flag.Parse()
 
+	if *replicateFrom != "" {
+		// Refuse leader-only flags loudly instead of silently ignoring
+		// them: a follower runs no auth bootstrap (sessions live on the
+		// leader), installs no extensions and runs no watchdog (both
+		// write), and never rotates on size (segment boundaries mirror
+		// the leader's).
+		incompatible := map[string]string{
+			"admin":             "account bootstrap writes to the store; use -session-auth to validate against replicated credentials",
+			"admin-password":    "account bootstrap writes to the store; use -session-auth to validate against replicated credentials",
+			"extensions":        "installing systems writes to the store",
+			"watchdog":          "job lifecycle management is the leader's job",
+			"heartbeat-timeout": "job lifecycle management is the leader's job",
+			"wal-segment-bytes": "follower segments mirror the leader's boundaries",
+		}
+		flag.Visit(func(fl *flag.Flag) {
+			if why, ok := incompatible[fl.Name]; ok {
+				log.Fatalf("-%s cannot be combined with -replicate-from: %s", fl.Name, why)
+			}
+		})
+		if err := runFollower(*addr, *dataDir, *replicateFrom, *agentToken, *replToken, *compactEvery, *sessionAuth); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if *sessionAuth {
+		log.Fatal("-session-auth only applies with -replicate-from; use -admin/-admin-password on a leader")
+	}
 	storeOpts := &relstore.Options{SegmentBytes: *segmentBytes, CompactEvery: *compactEvery}
-	if err := run(*addr, *dataDir, *agentToken, *adminName, *adminPassword, *extensions, *watchdog, *hbTimeout, storeOpts); err != nil {
+	if err := run(*addr, *dataDir, *agentToken, *replToken, *adminName, *adminPassword, *extensions, *watchdog, *hbTimeout, storeOpts); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(addr, dataDir, agentToken, adminName, adminPassword, extensions string, watchdog, hbTimeout time.Duration, storeOpts *relstore.Options) error {
+// runFollower runs the read-only replica: a repl.Follower keeps the
+// local store converging with the leader while the REST API and web UI
+// serve reads from it. No watchdog runs here — job lifecycle management
+// is the leader's job.
+func runFollower(addr, dataDir, leader, agentToken, replToken string, compactEvery int, sessionAuth bool) error {
+	f, err := repl.Start(repl.Config{
+		Dir:          dataDir,
+		Leader:       leader,
+		ReplToken:    replToken,
+		CompactEvery: compactEvery,
+	})
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+
+	svc := core.NewFollowerService(f.DB(), nil)
+	st := svc.Store().StorageStats()
+	log.Printf("replica recovered: %d rows in %d tables, resuming at segment %d offset %d",
+		st.Rows, st.Tables, st.WALSeq, st.AppliedBytes)
+
+	server := rest.NewServer(svc)
+	server.AgentToken = agentToken
+	server.ReplToken = replToken // replicas can be chained
+	server.Repl = f
+
+	if sessionAuth {
+		// Logins verify against the credentials replicated from the
+		// leader (auth.Login only reads); without this flag, a follower
+		// of an auth-enabled leader would serve all replicated data
+		// openly.
+		a, err := auth.New(f.DB(), svc, nil)
+		if err != nil {
+			return err
+		}
+		server.Auth = a
+		log.Printf("session auth enabled against replicated credentials")
+	}
+
+	ui, err := webui.New(svc)
+	if err != nil {
+		return err
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/api/", server.Handler())
+	mux.Handle("/", ui.Handler())
+
+	log.Printf("chronos-control follower listening on %s (replica of %s in %s)", addr, leader, dataDir)
+	return http.ListenAndServe(addr, mux)
+}
+
+func run(addr, dataDir, agentToken, replToken, adminName, adminPassword, extensions string, watchdog, hbTimeout time.Duration, storeOpts *relstore.Options) error {
 	db, err := relstore.Open(dataDir, storeOpts)
 	if err != nil {
 		return err
@@ -70,6 +159,7 @@ func run(addr, dataDir, agentToken, adminName, adminPassword, extensions string,
 
 	server := rest.NewServer(svc)
 	server.AgentToken = agentToken
+	server.ReplToken = replToken
 
 	if adminName != "" {
 		if adminPassword == "" {

@@ -13,6 +13,7 @@
 //	login <user> <password>
 //	users | projects | systems | deployments [systemID] | experiments [projectID]
 //	evaluate <experimentID>           schedule an evaluation
+//	status                            server storage + replication state
 //	status <evaluationID>             aggregate job states
 //	jobs <evaluationID>               job table
 //	job <jobID>                       job detail with timeline
@@ -150,8 +151,10 @@ func dispatch(c *client.Client, args []string) error {
 		}
 		fmt.Printf("evaluation %s scheduled with %d jobs\n", ev.ID, len(jobs))
 	case "status":
-		if err := need(1, "status <evaluationID>"); err != nil {
-			return err
+		// Without an argument: the server's storage and replication
+		// state. With an evaluation id: that evaluation's job states.
+		if len(rest) == 0 {
+			return serverStatus(c)
 		}
 		st, err := c.EvaluationStatus(rest[0])
 		if err != nil {
@@ -238,6 +241,34 @@ func dispatch(c *client.Client, args []string) error {
 		return demoSetup(c)
 	default:
 		return fmt.Errorf("unknown command %q", cmd)
+	}
+	return nil
+}
+
+// serverStatus prints the server's storage counters and, for followers,
+// replication progress.
+func serverStatus(c *client.Client) error {
+	st, err := c.ServerStatus()
+	if err != nil {
+		return err
+	}
+	s := st.Storage
+	fmt.Printf("%s (%s)\n", st.Service, st.Mode)
+	fmt.Printf("storage: %d tables, %d rows, %d WAL segment(s) (%d bytes, active segment %d), snapshot through segment %d, %d compaction(s)\n",
+		s.Tables, s.Rows, s.WALSegments, s.WALSizeB, s.WALSeq, s.SnapshotSeq, s.Compactions)
+	if s.LastCompactErr != "" {
+		fmt.Printf("last compaction error: %s\n", s.LastCompactErr)
+	}
+	if r := st.Repl; r != nil {
+		fmt.Printf("replicating from %s: applied segment %d offset %d; leader at segment %d offset %d (lag: %d segment(s)",
+			r.Leader, r.AppliedSeq, r.AppliedBytes, r.LeaderSeq, r.LeaderBytes, r.LagSegments)
+		if r.LagBytes >= 0 {
+			fmt.Printf(", %d byte(s)", r.LagBytes)
+		}
+		fmt.Printf("); %d bootstrap(s)\n", r.Bootstraps)
+		if r.LastError != "" {
+			fmt.Printf("last replication error: %s\n", r.LastError)
+		}
 	}
 	return nil
 }

@@ -142,8 +142,12 @@ func TestDispatchErrors(t *testing.T) {
 	if err := dispatch(c, []string{"teleport"}); err == nil {
 		t.Fatal("unknown command accepted")
 	}
-	if err := dispatch(c, []string{"status"}); err == nil || !strings.Contains(err.Error(), "usage:") {
+	if err := dispatch(c, []string{"evaluate"}); err == nil || !strings.Contains(err.Error(), "usage:") {
 		t.Fatalf("missing arg: %v", err)
+	}
+	// status without an argument is the server-status command now.
+	if err := dispatch(c, []string{"status"}); err != nil {
+		t.Fatalf("server status: %v", err)
 	}
 	if err := dispatch(c, []string{"job", "job-000000404"}); err == nil {
 		t.Fatal("ghost job accepted")

@@ -7,6 +7,7 @@ package api
 import (
 	"chronos/internal/core"
 	"chronos/internal/params"
+	"chronos/internal/relstore"
 )
 
 // PingResponse reports the API version and server identity.
@@ -138,4 +139,44 @@ type FailRequest struct {
 type BatchUpdateRequest struct {
 	Percent *int64 `json:"percent,omitempty"`
 	Log     string `json:"log,omitempty"`
+}
+
+// ServerStatusResponse reports the control server's storage and
+// replication state (GET /api/{v}/status): storage-level counters for
+// any server, plus replication progress when the server is a read-only
+// follower.
+type ServerStatusResponse struct {
+	Service string `json:"service"`
+	// Mode is "leader" (accepts writes, ships its WAL) or "follower"
+	// (read-only, replicating from Repl.Leader).
+	Mode    string         `json:"mode"`
+	Storage relstore.Stats `json:"storage"`
+	Repl    *ReplStatus    `json:"repl,omitempty"`
+}
+
+// ReplStatus is a follower's view of its replication progress.
+type ReplStatus struct {
+	// Leader is the base URL replication ships from.
+	Leader string `json:"leader"`
+	// AppliedSeq/AppliedBytes is the locally durable, applied position:
+	// segment number and byte offset within it (mirroring the leader's
+	// numbering).
+	AppliedSeq   int64 `json:"appliedSeq"`
+	AppliedBytes int64 `json:"appliedBytes"`
+	// LeaderSeq/LeaderBytes is the leader's durable tip as of the last
+	// contact.
+	LeaderSeq   int64 `json:"leaderSeq"`
+	LeaderBytes int64 `json:"leaderBytes"`
+	// LagSegments counts whole segments the follower is behind; LagBytes
+	// refines it to bytes when both sides are in the same segment (-1
+	// when they are not, since sealed segment sizes are not known here).
+	LagSegments int64 `json:"lagSegments"`
+	LagBytes    int64 `json:"lagBytes"`
+	// Bootstraps counts snapshot re-bootstraps (1 for the initial one of
+	// a fresh replica; more mean the leader compacted past this follower
+	// or shipped history diverged).
+	Bootstraps int64 `json:"bootstraps"`
+	// LastError surfaces the most recent replication error ("" while
+	// healthy); the follower keeps retrying on its own.
+	LastError string `json:"lastError,omitempty"`
 }

@@ -60,7 +60,10 @@ type Session struct {
 }
 
 // New creates an Authenticator backed by the same database as the
-// service. clock may be nil for wall time.
+// service. clock may be nil for wall time. On a read-only replication
+// follower the table creation is skipped — the credentials table (and
+// its rows) replicate from the leader, so Login and Validate work there
+// unchanged while SetPassword fails with the store's read-only error.
 func New(db *relstore.DB, svc *core.Service, clock func() time.Time) (*Authenticator, error) {
 	err := db.CreateTable(relstore.Schema{
 		Name: credentialsTable,
@@ -71,7 +74,7 @@ func New(db *relstore.DB, svc *core.Service, clock func() time.Time) (*Authentic
 			{Name: "hash", Type: relstore.TBytes},
 		},
 	})
-	if err != nil {
+	if err != nil && !errors.Is(err, relstore.ErrReadOnly) {
 		return nil, err
 	}
 	if clock == nil {

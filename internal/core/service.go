@@ -55,6 +55,24 @@ func NewService(db *relstore.DB, clock func() time.Time) (*Service, error) {
 	}, nil
 }
 
+// NewFollowerService builds a Service over a read-only replication
+// follower store. Unlike NewService it creates no tables and runs no
+// backfills — schema and rows arrive through WAL shipping, so until the
+// leader's table creations have replicated, reads of a missing table
+// fail cleanly. Every mutating method fails with relstore.ErrReadOnly;
+// writes belong on the leader.
+func NewFollowerService(db *relstore.DB, clock func() time.Time) *Service {
+	if clock == nil {
+		clock = time.Now
+	}
+	return &Service{
+		store:              &Store{db: db},
+		clock:              clock,
+		HeartbeatTimeout:   30 * time.Second,
+		DefaultMaxAttempts: 3,
+	}
+}
+
 // Store exposes the persistence layer (used by the archive exporter).
 func (s *Service) Store() *Store { return s.store }
 

@@ -1,6 +1,7 @@
 package relstore
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -9,6 +10,13 @@ import (
 	"sync"
 	"sync/atomic"
 )
+
+// ErrReadOnly is returned by every local mutation on a store opened in
+// follower mode (Options.Follower): the only way state enters a follower
+// is FollowerApply, fed by WAL frames shipped from the leader. Callers
+// that may run against either role test with errors.Is and redirect the
+// write to the leader.
+var ErrReadOnly = errors.New("relstore: store is open in read-only follower mode")
 
 // SyncMode controls when the WAL is flushed to stable storage.
 type SyncMode int
@@ -37,6 +45,16 @@ type Options struct {
 	// this size (0 = default 4 MiB). Compaction also rotates, so
 	// snapshots always happen at a segment boundary.
 	SegmentBytes int64
+	// Follower opens the store in read-only replication mode: local
+	// writes (Update, CreateTable) fail with ErrReadOnly and state is
+	// mutated only through FollowerApply, which ingests WAL frames
+	// shipped from a leader. A follower mirrors the leader's segment
+	// numbering byte for byte, so it never rotates on size — segment
+	// boundaries are dictated by the leader via FollowerAdvanceSegment —
+	// and its background compaction snapshots sealed segments without
+	// rotating. The directory is still exclusively locked: two followers
+	// must not share a replica directory.
+	Follower bool
 	// fileHook, when set, wraps every segment file the writer opens.
 	// Test-only failpoint injection (crash simulation); not part of the
 	// public API.
@@ -95,6 +113,11 @@ type DB struct {
 	wal     *walWriter // active segment writer
 	walSeq  int64      // sequence number of the active segment
 	walErr  error      // sticky WAL failure; guarded by walMu
+	// walNotify is closed and replaced whenever the durable WAL state
+	// advances (new durable bytes, rotation, poisoning, close). The
+	// replication ship handler long-polls it to stream the active
+	// segment's tail to followers without busy-waiting. Guarded by walMu.
+	walNotify chan struct{}
 	// durLSN counts records durably committed to the WAL; guarded by
 	// walMu, published via walCond. The compactor refuses to make a
 	// snapshot durable before every commit it contains reaches the log,
@@ -107,14 +130,21 @@ type DB struct {
 	commitCount atomic.Int64
 	closed      bool
 
-	// snapMu serialises compaction cycles; snapSeq (guarded by it) is
-	// the WALSeq of the durable snapshot.
+	// snapMu serialises compaction cycles (and follower re-initialisation,
+	// which must exclude them); snapSeq is the WALSeq of the durable
+	// snapshot — written only under snapMu, but atomic so Stats and the
+	// ship handler read it without queueing behind a running cycle.
 	snapMu  sync.Mutex
-	snapSeq int64
+	snapSeq atomic.Int64
 
 	// lock is the cross-process store-directory lock, held from Open to
 	// Close.
 	lock *dirLock
+
+	// openReset records the recovery error that made a follower-mode
+	// Open wipe the replica directory and start empty (nil otherwise).
+	// Set once at Open; read via OpenReset.
+	openReset error
 
 	// compacting gates the background compactor to one goroutine;
 	// compactWG lets Close wait for an in-flight cycle. compactions and
@@ -180,25 +210,55 @@ func Open(dir string, opts *Options) (*DB, error) {
 		lock:   lock,
 	}
 	db.walCond = sync.NewCond(&db.walMu)
+	db.walNotify = make(chan struct{})
 	snapSeq, err := db.loadSnapshot()
+	if err == nil && !opts.Follower {
+		// A replica directory is only ever written by this code; there is
+		// no legacy single-file layout to migrate.
+		err = db.migrateLegacyWAL(snapSeq)
+	}
+	var maxSeq int64
+	if err == nil {
+		maxSeq, err = db.recoverSegments(snapSeq)
+	}
 	if err != nil {
-		lock.release()
-		return nil, err
+		// A leader's history is precious: refuse to open. A replica's is
+		// a copy by definition, and unrecoverable state here has a known
+		// cause — a crash after durably mirroring shipped frames the
+		// local state cannot apply (divergent leader history), or mid
+		// re-bootstrap — so a follower resets to empty instead of
+		// bricking; the replication orchestrator re-bootstraps it from
+		// the leader's snapshot.
+		if !opts.Follower {
+			lock.release()
+			return nil, err
+		}
+		if rerr := db.resetReplicaDir(); rerr != nil {
+			lock.release()
+			return nil, errors.Join(err, rerr)
+		}
+		db.openReset = err
+		snapSeq, maxSeq = 0, 0
 	}
-	if err := db.migrateLegacyWAL(snapSeq); err != nil {
-		lock.release()
-		return nil, err
+	db.snapSeq.Store(snapSeq)
+	var w *walWriter
+	if opts.Follower && maxSeq > snapSeq {
+		// The newest local segment mirrors a leader segment that may
+		// still be growing: reopen it for append at its valid length
+		// (recovery already truncated any torn tail) so replication
+		// resumes exactly at the last durable byte. A leader never does
+		// this — its recovery starts a fresh segment above everything on
+		// disk — but a follower's bytes are a verbatim copy of the
+		// leader's, so appending after existing content cannot shadow
+		// anything.
+		db.walSeq = maxSeq
+		w, err = openSegmentAppend(filepath.Join(dir, segmentName(maxSeq)), opts.Sync == SyncEveryCommit, opts.fileHook)
+	} else {
+		// The active segment is always a fresh file above everything on
+		// disk; recovery never appends after existing content.
+		db.walSeq = maxSeq + 1
+		w, err = openSegment(filepath.Join(dir, segmentName(db.walSeq)), opts.Sync == SyncEveryCommit, opts.fileHook)
 	}
-	maxSeq, err := db.recoverSegments(snapSeq)
-	if err != nil {
-		lock.release()
-		return nil, err
-	}
-	// The active segment is always a fresh file above everything on
-	// disk; recovery never appends after existing content.
-	db.walSeq = maxSeq + 1
-	db.snapSeq = snapSeq
-	w, err := openSegment(filepath.Join(dir, segmentName(db.walSeq)), opts.Sync == SyncEveryCommit, opts.fileHook)
 	if err != nil {
 		lock.release()
 		return nil, err
@@ -216,6 +276,7 @@ func OpenMemory() *DB {
 		tables: make(map[string]*table),
 	}
 	db.walCond = sync.NewCond(&db.walMu)
+	db.walNotify = make(chan struct{})
 	return db
 }
 
@@ -241,6 +302,7 @@ func (db *DB) Close() error {
 		}
 	}
 	db.walCond.Broadcast()
+	db.bumpWALNotifyLocked()
 	db.walMu.Unlock()
 	db.compactWG.Wait()
 	// A manual Compact() may still be mid-cycle (compactWG only covers
@@ -264,6 +326,9 @@ func (db *DB) Close() error {
 // schema change fails. Table creations and upgrades are durable via the
 // WAL and ordered with commits that use the new table.
 func (db *DB) CreateTable(s Schema) error {
+	if db.opts.Follower {
+		return ErrReadOnly
+	}
 	if err := s.Check(); err != nil {
 		return err
 	}
@@ -504,6 +569,9 @@ func (t *table) apply(op walOp) error {
 // the commit is durable per the configured SyncMode; the fsync may be
 // shared with other transactions committing concurrently (group commit).
 func (db *DB) Update(fn func(tx *Tx) error) error {
+	if db.opts.Follower {
+		return ErrReadOnly
+	}
 	db.mu.Lock()
 	tx := &Tx{db: db, writable: true, pending: make(map[string]map[string]*pendingRow), seqs: make(map[string]int64)}
 	if err := fn(tx); err != nil {
@@ -646,6 +714,7 @@ func (db *DB) writeBatch(recs []walRecord) error {
 	db.durLSN += int64(len(recs))
 	db.commitCount.Add(int64(len(recs)))
 	db.walCond.Broadcast()
+	db.bumpWALNotifyLocked()
 	if db.wal.size >= db.opts.SegmentBytes {
 		// The batch is already durable, so a rotation failure poisons
 		// the store (no writer to append to any more) but still
@@ -661,6 +730,15 @@ func (db *DB) poisonLocked(err error) {
 		db.walErr = err
 	}
 	db.walCond.Broadcast()
+	db.bumpWALNotifyLocked()
+}
+
+// bumpWALNotifyLocked wakes everyone long-polling for WAL progress
+// (replication ship handlers) by closing the current notification
+// channel and installing a fresh one. Caller holds walMu.
+func (db *DB) bumpWALNotifyLocked() {
+	close(db.walNotify)
+	db.walNotify = make(chan struct{})
 }
 
 // rotateLocked seals the active segment and opens the next one. Caller
@@ -678,6 +756,7 @@ func (db *DB) rotateLocked() error {
 	}
 	db.walSeq++
 	db.wal = next
+	db.bumpWALNotifyLocked()
 	return nil
 }
 
@@ -761,7 +840,10 @@ func (db *DB) compactCycle() error {
 		// store refuses to compact.
 		return fmt.Errorf("relstore: store failed a previous WAL write: %w", err)
 	}
-	if db.wal.size > 0 {
+	if !db.opts.Follower && db.wal.size > 0 {
+		// Followers never rotate: their segment numbering mirrors the
+		// leader's, so local compaction covers only the segments the
+		// leader has already sealed.
 		if err := db.rotateLocked(); err != nil {
 			db.walMu.Unlock()
 			return err
@@ -770,13 +852,19 @@ func (db *DB) compactCycle() error {
 	boundary := db.walSeq - 1
 	db.walMu.Unlock()
 
-	if boundary <= db.snapSeq {
+	if boundary <= db.snapSeq.Load() {
 		return nil // nothing sealed since the last snapshot
 	}
 
+	// Stream the snapshot into the temp file right away — encoding
+	// overlaps the durability wait below, and memory stays O(one encoded
+	// row) instead of the whole marshalled store. The rename (the commit
+	// point) still happens only after every cloned commit is durably
+	// logged.
 	clones, cloneLSN := db.cloneState()
-	data, err := encodeSnapshot(clones, boundary)
-	if err != nil {
+	tmp := db.snapshotPath() + ".tmp"
+	if err := writeSnapshotTmp(tmp, clones, boundary); err != nil {
+		os.Remove(tmp)
 		return err
 	}
 
@@ -792,16 +880,18 @@ func (db *DB) compactCycle() error {
 	werr := db.walErr
 	db.walMu.Unlock()
 	if !ok {
+		os.Remove(tmp)
 		if werr != nil {
 			return fmt.Errorf("relstore: store failed a previous WAL write: %w", werr)
 		}
 		return fmt.Errorf("relstore: store closed during compaction")
 	}
 
-	if err := db.writeSnapshotFile(data); err != nil {
+	if err := db.commitSnapshotTmp(tmp); err != nil {
+		os.Remove(tmp)
 		return err
 	}
-	db.snapSeq = boundary
+	db.snapSeq.Store(boundary)
 	for seq := boundary; seq >= 1; seq-- {
 		path := filepath.Join(db.dir, segmentName(seq))
 		if err := os.Remove(path); err != nil {
@@ -824,6 +914,16 @@ type Stats struct {
 	WALSizeB    int `json:"walSizeBytes"`
 	WALSegments int `json:"walSegments"`
 	Snapshots   int `json:"snapshots"`
+	// WALSeq is the active segment's sequence number; SnapshotSeq the
+	// highest segment wholly covered by the durable snapshot. Together
+	// they name the replication boundary a follower can bootstrap from.
+	WALSeq      int64 `json:"walSeq"`
+	SnapshotSeq int64 `json:"snapshotSeq"`
+	// Follower reports read-only replication mode; AppliedBytes is then
+	// the durable, applied byte offset within segment WALSeq — the
+	// position the follower resumes shipping from.
+	Follower     bool  `json:"follower,omitempty"`
+	AppliedBytes int64 `json:"appliedBytes,omitempty"`
 	// Compactions counts completed snapshot+delete cycles since open;
 	// LastCompactErr carries the most recent background cycle failure
 	// ("" when the last cycle succeeded).
@@ -851,6 +951,18 @@ func (db *DB) Stats() Stats {
 		if _, err := os.Stat(db.snapshotPath()); err == nil {
 			st.Snapshots = 1
 		}
+	}
+	if db.durable {
+		db.walMu.Lock()
+		st.WALSeq = db.walSeq
+		if db.opts.Follower {
+			st.Follower = true
+			if db.wal != nil {
+				st.AppliedBytes = db.wal.size
+			}
+		}
+		db.walMu.Unlock()
+		st.SnapshotSeq = db.snapSeq.Load()
 	}
 	st.Compactions = db.compactions.Load()
 	db.compactErrMu.Lock()

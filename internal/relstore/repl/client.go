@@ -1,0 +1,151 @@
+package repl
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"chronos/internal/httputil"
+	"chronos/internal/relstore"
+)
+
+// Sentinel errors the ship client maps HTTP statuses onto.
+var (
+	// ErrSegmentGone means the leader compacted the requested segment
+	// (or the requested offset diverges from its history): the follower
+	// must re-bootstrap from the snapshot.
+	ErrSegmentGone = errors.New("repl: segment no longer shippable on the leader")
+	// ErrNoSnapshot means the leader has never compacted; a
+	// bootstrapping follower starts empty at segment 1.
+	ErrNoSnapshot = errors.New("repl: leader has no snapshot")
+)
+
+// Client speaks the ship protocol against a leader's REST endpoint.
+type Client struct {
+	base    string // leader base URL, e.g. http://leader:8080
+	version string // API version path element, e.g. "v2"
+	// replToken authenticates via the dedicated replication token, the
+	// follower credential. (The leader's ship gate also accepts an
+	// admin session, but that path serves operators with curl, not this
+	// client.)
+	replToken string
+	hc        *http.Client
+}
+
+// NewClient builds a ship client. version defaults to "v2" when empty.
+func NewClient(base, version, replToken string, hc *http.Client) *Client {
+	if version == "" {
+		version = "v2"
+	}
+	if hc == nil {
+		// No overall client timeout: WAL tails long-poll. Liveness comes
+		// from the per-request wait budget the server honours.
+		hc = &http.Client{}
+	}
+	return &Client{base: base, version: version, replToken: replToken, hc: hc}
+}
+
+func (c *Client) url(suffix string) string {
+	return c.base + "/api/" + c.version + "/repl/" + suffix
+}
+
+func (c *Client) get(ctx context.Context, url string) (*http.Response, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, err
+	}
+	if c.replToken != "" {
+		req.Header.Set(HeaderReplToken, c.replToken)
+	}
+	return c.hc.Do(req)
+}
+
+// Status fetches the leader's current ship position.
+func (c *Client) Status(ctx context.Context) (relstore.ShipPosition, error) {
+	var pos relstore.ShipPosition
+	resp, err := c.get(ctx, c.url("status"))
+	if err != nil {
+		return pos, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return pos, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return pos, fmt.Errorf("repl: leader status: HTTP %d: %s", resp.StatusCode, body)
+	}
+	return pos, httputil.ReadEnvelope(body, &pos)
+}
+
+// Snapshot opens a stream of the leader's latest snapshot. The caller
+// must Close it. ErrNoSnapshot means the leader has never compacted.
+func (c *Client) Snapshot(ctx context.Context) (io.ReadCloser, error) {
+	resp, err := c.get(ctx, c.url("snapshot"))
+	if err != nil {
+		return nil, err
+	}
+	switch resp.StatusCode {
+	case http.StatusOK:
+		return resp.Body, nil
+	case http.StatusNotFound:
+		resp.Body.Close()
+		return nil, ErrNoSnapshot
+	default:
+		resp.Body.Close()
+		return nil, fmt.Errorf("repl: leader snapshot: HTTP %d", resp.StatusCode)
+	}
+}
+
+// WALChunk is one TailWAL response: raw frame bytes starting at the
+// requested offset, plus where the served range ends and whether the
+// segment is sealed. A follower advances to the next segment only when
+// the segment is sealed AND its durable position has reached End — never
+// on the body length alone, which a truncating transport could shorten.
+type WALChunk struct {
+	Data   []byte
+	End    int64 // offset the served range runs to (sealed: segment size)
+	Sealed bool
+}
+
+// TailWAL fetches raw frame bytes of segment seq starting at offset
+// from, long-polling up to wait when the follower is at the leader's
+// tip. A zero-value chunk means the wait budget expired with no
+// progress — simply call again.
+func (c *Client) TailWAL(ctx context.Context, seq, from int64, wait time.Duration) (WALChunk, error) {
+	url := c.url("wal/" + strconv.FormatInt(seq, 10) +
+		"?from=" + strconv.FormatInt(from, 10) +
+		"&wait=" + strconv.FormatInt(wait.Milliseconds(), 10))
+	resp, err := c.get(ctx, url)
+	if err != nil {
+		return WALChunk{}, err
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+		chunk := WALChunk{Sealed: resp.Header.Get(HeaderSealed) == "1"}
+		chunk.End, err = strconv.ParseInt(resp.Header.Get(HeaderEnd), 10, 64)
+		if err != nil {
+			return WALChunk{}, fmt.Errorf("repl: leader wal: bad %s header", HeaderEnd)
+		}
+		// A truncated read still returns the prefix: the follower
+		// applies whole frames from it and re-requests the rest, so a
+		// flaky transport degrades to smaller chunks, never to damage.
+		chunk.Data, err = io.ReadAll(resp.Body)
+		if err != nil && len(chunk.Data) == 0 {
+			return WALChunk{}, err
+		}
+		return chunk, nil
+	case http.StatusNoContent:
+		return WALChunk{}, nil
+	case http.StatusGone:
+		return WALChunk{}, ErrSegmentGone
+	default:
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4<<10))
+		return WALChunk{}, fmt.Errorf("repl: leader wal: HTTP %d: %s", resp.StatusCode, body)
+	}
+}

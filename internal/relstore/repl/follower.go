@@ -1,0 +1,340 @@
+package repl
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"net/http"
+	"sync"
+	"time"
+
+	"chronos/internal/api"
+	"chronos/internal/relstore"
+)
+
+// Config tunes a Follower.
+type Config struct {
+	// Dir is the replica's local store directory (its own WAL mirror —
+	// never the leader's directory).
+	Dir string
+	// Leader is the leader's base URL, e.g. http://leader:8080.
+	Leader string
+	// APIVersion selects the leader API version path ("v2" when empty).
+	APIVersion string
+	// ReplToken authenticates against the leader's ship endpoints.
+	// Empty works only against a leader with no auth at all.
+	ReplToken string
+	// PollWait is the long-poll budget per tail request (10s when zero).
+	PollWait time.Duration
+	// RetryEvery paces reconnects after transport errors (1s when zero).
+	RetryEvery time.Duration
+	// CompactEvery configures local compaction of the replica's own WAL
+	// mirror, same semantics as relstore.Options.CompactEvery (0 =
+	// default, negative = never). Local compaction keeps a long-lived
+	// replica's disk bounded without any leader involvement.
+	CompactEvery int
+	// HTTPClient overrides the transport (tests); nil uses a default.
+	HTTPClient *http.Client
+	// Logger receives replication progress lines; nil uses the default
+	// logger.
+	Logger *log.Logger
+}
+
+// Follower replicates a leader's store into a local read-only replica
+// and keeps it converging. Start it with Start; read through DB().
+type Follower struct {
+	cfg    Config
+	db     *relstore.DB
+	client *Client
+	log    *log.Logger
+
+	cancel context.CancelFunc
+	done   chan struct{}
+
+	mu         sync.Mutex
+	leaderTip  relstore.ShipPosition // as of the last successful contact
+	tipKnown   bool
+	bootstraps int64
+	lastErr    error
+
+	// Torn-frame strike tracking (touched only by the run goroutine): a
+	// frame that keeps failing its CRC at the same offset is not a
+	// transient transport hiccup but divergence (a leader restored from
+	// older data) or rot — escalated to a re-bootstrap.
+	tornSeq, tornOff int64
+	tornStrikes      int
+}
+
+// tornStrikeLimit is how many consecutive zero-progress torn frames at
+// one offset the follower retries before falling back to a snapshot
+// re-bootstrap.
+const tornStrikeLimit = 5
+
+// Start opens (or creates) the replica store in cfg.Dir in follower mode
+// and launches the replication loop. The returned Follower's DB serves
+// reads immediately — from whatever state the replica already holds —
+// while the loop catches up with the leader in the background.
+func Start(cfg Config) (*Follower, error) {
+	if cfg.Dir == "" || cfg.Leader == "" {
+		return nil, errors.New("repl: Config needs Dir and Leader")
+	}
+	if cfg.PollWait <= 0 {
+		cfg.PollWait = 10 * time.Second
+	}
+	if cfg.RetryEvery <= 0 {
+		cfg.RetryEvery = time.Second
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = log.Default()
+	}
+	db, err := relstore.Open(cfg.Dir, &relstore.Options{Follower: true, CompactEvery: cfg.CompactEvery})
+	if err != nil {
+		return nil, err
+	}
+	if rerr := db.OpenReset(); rerr != nil {
+		// E.g. a crash while mirroring divergent leader history: the
+		// replica was unrecoverable and was wiped; the loop below
+		// re-bootstraps it from the leader's snapshot.
+		cfg.Logger.Printf("repl: replica %s was unrecoverable and was reset (%v); re-bootstrapping", cfg.Dir, rerr)
+	}
+	f := &Follower{
+		cfg:    cfg,
+		db:     db,
+		client: NewClient(cfg.Leader, cfg.APIVersion, cfg.ReplToken, cfg.HTTPClient),
+		log:    cfg.Logger,
+		done:   make(chan struct{}),
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	f.cancel = cancel
+	go f.run(ctx)
+	return f, nil
+}
+
+// DB returns the read-only replica store. Local writes on it fail with
+// relstore.ErrReadOnly.
+func (f *Follower) DB() *relstore.DB { return f.db }
+
+// Close stops the replication loop and closes the replica store.
+func (f *Follower) Close() error {
+	f.cancel()
+	<-f.done
+	return f.db.Close()
+}
+
+// Status reports the follower's replication progress.
+func (f *Follower) Status() api.ReplStatus {
+	seq, off := f.db.FollowerPosition()
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	st := api.ReplStatus{
+		Leader:       f.cfg.Leader,
+		AppliedSeq:   seq,
+		AppliedBytes: off,
+		Bootstraps:   f.bootstraps,
+		LagBytes:     -1,
+	}
+	if f.lastErr != nil {
+		st.LastError = f.lastErr.Error()
+	}
+	if f.tipKnown {
+		st.LeaderSeq = f.leaderTip.WALSeq
+		st.LeaderBytes = f.leaderTip.Durable
+		st.LagSegments = max(f.leaderTip.WALSeq-seq, 0)
+		if f.leaderTip.WALSeq == seq {
+			st.LagBytes = max(f.leaderTip.Durable-off, 0)
+		}
+	}
+	return st
+}
+
+// run is the replication loop: converge, and on any error back off and
+// reconverge, until the context ends.
+func (f *Follower) run(ctx context.Context) {
+	defer close(f.done)
+	for ctx.Err() == nil {
+		err := f.replicate(ctx)
+		if err == nil || ctx.Err() != nil {
+			return
+		}
+		f.setErr(err)
+		f.log.Printf("repl: follower: %v (retrying in %v)", err, f.cfg.RetryEvery)
+		select {
+		case <-time.After(f.cfg.RetryEvery):
+		case <-ctx.Done():
+		}
+	}
+}
+
+// replicate brings the replica to the leader's tip and keeps tailing.
+// It returns nil only when ctx ends.
+func (f *Follower) replicate(ctx context.Context) error {
+	// One status round-trip up front: if the leader's snapshot has moved
+	// past our position — a fresh replica, or one the leader compacted
+	// out from under — segments we need are gone, so bootstrap from the
+	// snapshot instead of discovering it through a 410 per segment.
+	tip, err := f.client.Status(ctx)
+	if err != nil {
+		return fmt.Errorf("leader status: %w", err)
+	}
+	f.setTip(tip)
+	if seq, _ := f.db.FollowerPosition(); seq <= tip.SnapshotSeq {
+		if err := f.bootstrap(ctx); err != nil {
+			return err
+		}
+	}
+
+	for ctx.Err() == nil {
+		seq, off := f.db.FollowerPosition()
+		chunk, err := f.client.TailWAL(ctx, seq, off, f.cfg.PollWait)
+		if errors.Is(err, ErrSegmentGone) {
+			// The leader compacted our position away (or our history
+			// diverged from its): start over from its snapshot.
+			if err := f.bootstrap(ctx); err != nil {
+				return err
+			}
+			continue
+		}
+		if err != nil {
+			return fmt.Errorf("tail segment %d: %w", seq, err)
+		}
+		f.observeTip(seq, chunk)
+		if len(chunk.Data) > 0 {
+			n, aerr := f.db.FollowerApply(chunk.Data)
+			if aerr != nil {
+				if relstore.IsTornFrame(aerr) {
+					// A frame cut mid-byte (short response, flipped bits
+					// — anything the CRC rejects): whole frames before
+					// the damage are applied and durable, so re-request
+					// from the advanced position. Zero progress means
+					// the damage sits at our exact offset; surface it
+					// and let run() pace the retries — and once it
+					// repeats at the same offset, stop retrying what
+					// will never parse (divergent or rotted leader
+					// bytes) and re-bootstrap instead.
+					if n > 0 {
+						f.tornStrikes = 0
+						continue
+					}
+					if seq == f.tornSeq && off == f.tornOff {
+						f.tornStrikes++
+					} else {
+						f.tornSeq, f.tornOff, f.tornStrikes = seq, off, 1
+					}
+					if f.tornStrikes >= tornStrikeLimit {
+						f.tornStrikes = 0
+						f.setErr(fmt.Errorf("segment %d offset %d: persistent corruption: %w", seq, off, aerr))
+						if err := f.bootstrap(ctx); err != nil {
+							return err
+						}
+						continue
+					}
+					return fmt.Errorf("segment %d offset %d: %w", seq, off, aerr)
+				}
+				// Well-framed but unappliable history: the replica is
+				// poisoned and only a fresh bootstrap recovers.
+				f.setErr(fmt.Errorf("apply segment %d: %w", seq, aerr))
+				if err := f.bootstrap(ctx); err != nil {
+					return err
+				}
+				continue
+			}
+			_, off = f.db.FollowerPosition()
+		}
+		// A full clean round — data applied, or an idle poll — means the
+		// pipeline is healthy; clear any stale error from Status.
+		f.setErr(nil)
+		if chunk.Sealed && off >= chunk.End {
+			// Advance only once every byte of the sealed segment is
+			// durable locally — a truncated response body cannot skip
+			// frames because End comes from the protocol header, not
+			// from the body length.
+			if err := f.db.FollowerAdvanceSegment(); err != nil {
+				return fmt.Errorf("advance past segment %d: %w", seq, err)
+			}
+		}
+	}
+	return nil
+}
+
+// bootstrap wipes the replica and restores it from the leader's current
+// snapshot (or to empty when the leader has never compacted).
+func (f *Follower) bootstrap(ctx context.Context) error {
+	rc, err := f.client.Snapshot(ctx)
+	if err != nil && !errors.Is(err, ErrNoSnapshot) {
+		return fmt.Errorf("fetch snapshot: %w", err)
+	}
+	if rc != nil {
+		defer rc.Close()
+		if err := f.db.FollowerReinit(rc); err != nil {
+			return fmt.Errorf("restore snapshot: %w", err)
+		}
+	} else {
+		if err := f.db.FollowerReinit(nil); err != nil {
+			return fmt.Errorf("reset replica: %w", err)
+		}
+	}
+	f.mu.Lock()
+	f.bootstraps++
+	n := f.bootstraps
+	f.lastErr = nil // a fresh bootstrap is a recovery
+	f.mu.Unlock()
+	seq, _ := f.db.FollowerPosition()
+	f.log.Printf("repl: follower bootstrapped from %s (bootstrap #%d, resuming at segment %d)", f.cfg.Leader, n, seq)
+	return nil
+}
+
+func (f *Follower) setTip(tip relstore.ShipPosition) {
+	f.mu.Lock()
+	f.leaderTip = tip
+	f.tipKnown = true
+	f.mu.Unlock()
+}
+
+// observeTip refreshes the leader-tip estimate from a tail response, so
+// Status keeps reporting real lag during steady tailing (the status
+// round-trip only happens when replication (re)starts). A sealed
+// response proves the leader is at least on the next segment; an active
+// one names its durable end exactly.
+func (f *Follower) observeTip(seq int64, chunk WALChunk) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if chunk.Sealed {
+		if seq+1 > f.leaderTip.WALSeq {
+			f.leaderTip.WALSeq = seq + 1
+			f.leaderTip.Durable = 0
+		}
+		return
+	}
+	if seq > f.leaderTip.WALSeq || (seq == f.leaderTip.WALSeq && chunk.End > f.leaderTip.Durable) {
+		f.leaderTip.WALSeq = seq
+		f.leaderTip.Durable = chunk.End
+	}
+}
+
+func (f *Follower) setErr(err error) {
+	f.mu.Lock()
+	f.lastErr = err
+	f.mu.Unlock()
+}
+
+// WaitCaughtUp blocks until the replica's applied position reaches the
+// leader's durable tip as observed when the position is polled — the
+// convergence barrier tests, benches and orderly role switches use. It
+// returns the first error from ctx.
+func (f *Follower) WaitCaughtUp(ctx context.Context) error {
+	for {
+		tip, err := f.client.Status(ctx)
+		if err == nil {
+			seq, off := f.db.FollowerPosition()
+			if seq > tip.WALSeq || (seq == tip.WALSeq && off >= tip.Durable) {
+				return nil
+			}
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+}

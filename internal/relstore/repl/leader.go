@@ -1,0 +1,294 @@
+// Package repl implements WAL-shipping replication for relstore: a
+// leader exposes its immutable sealed segments, its active segment's
+// durable tail (long-poll) and its latest snapshot over HTTP; followers
+// bootstrap from the snapshot, replay the sealed segments with the
+// ordinary recovery reader and then tail the active segment, applying
+// frames only once they are durable on the leader. All writes stay on
+// the leader; followers serve the read path.
+//
+// The protocol leans entirely on invariants PR 3 established: sealed
+// segments never change (so they are plain file serving), the snapshot
+// names the segment boundary it covers (so a follower knows exactly
+// which segment to fetch next), and only durably committed bytes are
+// shipped (so a follower can never observe state the leader could lose
+// in a crash — assuming the leader runs with SyncEveryCommit, the
+// default). Every shipped frame is CRC-framed; a follower validates
+// each frame before applying it and re-requests from its last durable
+// offset after any truncation or corruption, so an arbitrarily
+// misbehaving transport can delay replication but never corrupt a
+// replica.
+//
+// Consistency contract (mechanically checked by this package's tests,
+// in the spirit of online transactional isolation checking): every
+// commit acknowledged on the leader becomes visible on every follower
+// in commit order — a follower's state always equals a prefix of the
+// leader's history, with no lost and no invented commits, across
+// follower restarts and across leader compactions that force a snapshot
+// re-bootstrap.
+package repl
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"os"
+	"strconv"
+	"time"
+
+	"chronos/internal/httputil"
+	"chronos/internal/relstore"
+)
+
+// Protocol headers. The WAL endpoint serves raw frame bytes; metadata
+// travels in headers so the body stays a verbatim segment slice.
+const (
+	// HeaderSealed is "1" when the served segment is sealed: once the
+	// follower has consumed the response it should advance to the next
+	// segment.
+	HeaderSealed = "X-Chronos-Wal-Sealed"
+	// HeaderEnd is the byte offset this response runs to — for a sealed
+	// segment, its total size. A follower advances to the next segment
+	// only once its durable position reaches a sealed segment's end, so
+	// a truncated response body can never make it skip frames.
+	HeaderEnd = "X-Chronos-Wal-End"
+	// HeaderReplToken carries the dedicated replication credential.
+	// Deliberately not the agent token: shipping exposes the whole
+	// store, which the job-execution endpoints never do.
+	HeaderReplToken = "X-Chronos-Repl-Token"
+)
+
+// DefaultMaxWait caps how long a WAL tail request may long-poll before
+// returning 204 No Content.
+const DefaultMaxWait = 25 * time.Second
+
+// DefaultCoalesce is how long a tail request lingers after being woken
+// by new durable bytes before serving them. Waking per commit would
+// cost the pair one ship round-trip and one follower fsync per commit;
+// a few milliseconds of coalescing batch a burst of commits into one
+// chunk, keeping an attached follower nearly free for the leader's
+// commit path at the price of that much extra replication lag.
+const DefaultCoalesce = 2 * time.Millisecond
+
+// DefaultMaxChunkBytes caps one WAL response's byte range, bounding the
+// follower's per-chunk buffering (it reads each response fully before
+// applying) regardless of how large segments are configured. The
+// protocol is range-based, so a capped response simply makes the
+// follower come back for the rest.
+const DefaultMaxChunkBytes = 4 << 20
+
+// Handler serves the leader side of the ship protocol. It is mounted by
+// internal/rest under /api/{v}/repl/ behind the replication-token /
+// admin-session gate; the methods themselves carry no auth.
+type Handler struct {
+	db *relstore.DB
+	// MaxWait caps the long-poll duration (DefaultMaxWait when zero).
+	MaxWait time.Duration
+	// Coalesce overrides the post-wake batching delay (DefaultCoalesce
+	// when zero, negative to disable).
+	Coalesce time.Duration
+	// MaxChunkBytes overrides the per-response range cap
+	// (DefaultMaxChunkBytes when zero).
+	MaxChunkBytes int64
+}
+
+// NewHandler builds the ship handler over a store.
+func NewHandler(db *relstore.DB) *Handler { return &Handler{db: db} }
+
+// Status responds with the leader's current ship position as JSON.
+func (h *Handler) Status(w http.ResponseWriter, r *http.Request) {
+	pos, _, err := h.db.ShipPosition()
+	if err != nil {
+		httputil.WriteError(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	httputil.WriteJSON(w, http.StatusOK, pos)
+}
+
+// Snapshot streams the leader's latest durable snapshot file. 404 means
+// the leader has never compacted: the follower starts empty at segment 1
+// — every segment since birth is still live.
+func (h *Handler) Snapshot(w http.ResponseWriter, r *http.Request) {
+	f, err := os.Open(h.db.SnapshotFilePath())
+	if err != nil {
+		if os.IsNotExist(err) {
+			httputil.WriteError(w, http.StatusNotFound, errors.New("repl: leader has no snapshot yet"))
+			return
+		}
+		httputil.WriteError(w, http.StatusInternalServerError, err)
+		return
+	}
+	defer f.Close()
+	// The snapshot is replaced atomically by rename; this open
+	// descriptor keeps serving one consistent version even if compaction
+	// installs a newer one mid-stream.
+	w.Header().Set("Content-Type", "application/octet-stream")
+	if fi, err := f.Stat(); err == nil {
+		w.Header().Set("Content-Length", strconv.FormatInt(fi.Size(), 10))
+	}
+	io.Copy(w, f)
+}
+
+// WAL serves raw frame bytes of segment {seq} starting at query
+// parameter from. Sealed segments are served to EOF with HeaderSealed
+// set; the active segment is served up to the durable boundary,
+// long-polling (query parameter wait, in milliseconds, capped by
+// MaxWait) when the follower is already at the tip. 410 Gone means the
+// segment — or the requested offset — is no longer shippable and the
+// follower must re-bootstrap from the snapshot.
+func (h *Handler) WAL(w http.ResponseWriter, r *http.Request) {
+	seq, err := strconv.ParseInt(r.PathValue("seq"), 10, 64)
+	if err != nil || seq <= 0 {
+		httputil.WriteError(w, http.StatusBadRequest, errors.New("repl: bad segment number"))
+		return
+	}
+	from, err := strconv.ParseInt(r.URL.Query().Get("from"), 10, 64)
+	if err != nil || from < 0 {
+		httputil.WriteError(w, http.StatusBadRequest, errors.New("repl: bad from offset"))
+		return
+	}
+	maxWait := h.MaxWait
+	if maxWait <= 0 {
+		maxWait = DefaultMaxWait
+	}
+	wait := time.Duration(0)
+	if ms, err := strconv.ParseInt(r.URL.Query().Get("wait"), 10, 64); err == nil && ms > 0 {
+		wait = min(time.Duration(ms)*time.Millisecond, maxWait)
+	}
+	deadline := time.Now().Add(wait)
+
+	for {
+		pos, notify, err := h.db.ShipPosition()
+		if err != nil {
+			httputil.WriteError(w, http.StatusServiceUnavailable, err)
+			return
+		}
+		if seq <= pos.SnapshotSeq {
+			h.gone(w)
+			return
+		}
+		if seq > pos.WALSeq {
+			// The follower is ahead of the leader's history (a leader
+			// restored from older data, say). An honest follower can
+			// never get here — a segment is reported sealed only when
+			// WALSeq is already past it — so only a re-bootstrap
+			// reconverges.
+			h.gone(w)
+			return
+		}
+		sealed := seq < pos.WALSeq
+		end := pos.Durable
+		if sealed {
+			fi, err := os.Stat(h.db.SegmentPath(seq))
+			if err != nil {
+				if os.IsNotExist(err) {
+					// Compacted away between the position read and here.
+					h.gone(w)
+					return
+				}
+				httputil.WriteError(w, http.StatusInternalServerError, err)
+				return
+			}
+			end = fi.Size()
+		}
+		if from > end {
+			// Follower claims bytes the leader never durably wrote:
+			// divergent history.
+			h.gone(w)
+			return
+		}
+		if from < end || sealed {
+			h.serveRange(w, seq, from, end, sealed)
+			return
+		}
+		// Caught up on the active segment: long-poll for progress.
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			w.WriteHeader(http.StatusNoContent)
+			return
+		}
+		t := time.NewTimer(remaining)
+		select {
+		case <-notify:
+			t.Stop()
+			// Woken by fresh durable bytes: linger briefly so a burst of
+			// commits ships as one chunk (one response, one follower
+			// fsync) instead of one per commit.
+			coalesce := h.Coalesce
+			if coalesce == 0 {
+				coalesce = DefaultCoalesce
+			}
+			if coalesce > 0 {
+				ct := time.NewTimer(coalesce)
+				select {
+				case <-ct.C:
+				case <-r.Context().Done():
+					ct.Stop()
+					return
+				}
+			}
+		case <-t.C:
+		case <-r.Context().Done():
+			t.Stop()
+			return
+		}
+		t.Stop()
+	}
+}
+
+// gone rejects the request with 410, telling the follower to
+// re-bootstrap from the snapshot endpoint.
+func (h *Handler) gone(w http.ResponseWriter) {
+	httputil.WriteError(w, http.StatusGone, errors.New("repl: segment no longer shippable; bootstrap from the snapshot"))
+}
+
+// serveRange streams segment bytes [from, end) with the protocol
+// headers, capping the range at MaxChunkBytes — but never below one
+// whole frame, or a frame larger than the cap could never be delivered
+// and the follower would re-request the same offset forever. A capped
+// response clears the sealed flag so the follower never advances past
+// bytes it has not received; a sealed segment at from == end yields an
+// empty 200 whose sealed header still tells the follower to advance.
+func (h *Handler) serveRange(w http.ResponseWriter, seq, from, end int64, sealed bool) {
+	f, err := os.Open(h.db.SegmentPath(seq))
+	if err != nil {
+		if os.IsNotExist(err) {
+			h.gone(w)
+			return
+		}
+		httputil.WriteError(w, http.StatusInternalServerError, err)
+		return
+	}
+	defer f.Close()
+	maxChunk := h.MaxChunkBytes
+	if maxChunk <= 0 {
+		maxChunk = DefaultMaxChunkBytes
+	}
+	if end-from > maxChunk {
+		trueEnd := end
+		end = from + maxChunk
+		// The first frame's header names its length; extend a too-tight
+		// cap to that frame's boundary so every response carries at
+		// least one complete frame.
+		var hdr [relstore.FrameHeaderSize]byte
+		if _, err := f.ReadAt(hdr[:], from); err == nil {
+			if fe := from + relstore.FrameSize(hdr[:]); fe > end && fe <= trueEnd {
+				end = fe
+			}
+		}
+		if end < trueEnd {
+			sealed = false
+		}
+	}
+	if _, err := f.Seek(from, io.SeekStart); err != nil {
+		httputil.WriteError(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", strconv.FormatInt(end-from, 10))
+	w.Header().Set(HeaderEnd, strconv.FormatInt(end, 10))
+	if sealed {
+		w.Header().Set(HeaderSealed, "1")
+	}
+	w.WriteHeader(http.StatusOK)
+	io.CopyN(w, f, end-from)
+}

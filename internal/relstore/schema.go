@@ -77,6 +77,28 @@
 // re-indexed in place and the upgrade is logged, so applications can add
 // columns across versions without migrating data by hand.
 //
+// # Follower mode (WAL-shipping replication)
+//
+// A store opened with Options.Follower is a read-only replica: Update
+// and CreateTable fail with ErrReadOnly, and state enters only through
+// FollowerApply, which ingests raw WAL frames shipped from a leader.
+// The replica's directory is a byte-for-byte mirror of the leader's
+// log: shipped frames are made durable locally first and applied to the
+// in-memory tables second (the order recovery replays, so a crash
+// between the two is harmless), segment numbering and byte offsets
+// match the leader's exactly, and FollowerAdvanceSegment mirrors the
+// leader's segment boundaries. A follower therefore restarts like any
+// store — recover, then resume shipping from FollowerPosition — and
+// compacts locally without rotating, so its disk stays bounded without
+// leader involvement. When the leader has compacted the follower's
+// position away, FollowerReinit wipes the replica and re-bootstraps it
+// from a shipped snapshot while the *DB keeps serving reads. The leader
+// side needs no mode at all: sealed segments are immutable files,
+// ShipPosition bounds the active segment's shippable bytes to the
+// durably committed prefix, and the snapshot names the boundary it
+// covers. The HTTP ship protocol over this surface lives in
+// internal/relstore/repl.
+//
 // # Commit path and group commit
 //
 // DB.Update applies buffered writes to the in-memory tables under the

@@ -135,6 +135,29 @@ func openSegment(path string, syncEveryCommit bool, hook func(walFile) walFile) 
 	return &walWriter{f: wf, buf: bufio.NewWriterSize(wf, 64<<10), sync: syncEveryCommit}, nil
 }
 
+// openSegmentAppend reopens an existing segment for append at its
+// current length. Only follower stores use it: their newest local
+// segment mirrors a leader segment that may still be growing, so
+// replication must resume appending after the locally durable prefix
+// (already repaired to a frame boundary by recovery) rather than start a
+// fresh file.
+func openSegmentAppend(path string, syncEveryCommit bool, hook func(walFile) walFile) (*walWriter, error) {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("relstore: reopen wal segment: %w", err)
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("relstore: stat wal segment: %w", err)
+	}
+	var wf walFile = f
+	if hook != nil {
+		wf = hook(wf)
+	}
+	return &walWriter{f: wf, buf: bufio.NewWriterSize(wf, 64<<10), sync: syncEveryCommit, size: fi.Size()}, nil
+}
+
 // truncateAndSync shortens a file to size bytes and makes the new
 // length durable.
 func truncateAndSync(path string, size int64) error {
@@ -169,12 +192,23 @@ func syncDir(dir string) error {
 	return err
 }
 
+// FrameHeaderSize is the byte length of a WAL frame header.
+const FrameHeaderSize = 8
+
 // putFrameHeader renders the length+CRC header of one frame. The single
-// source of the frame layout: the writer, the reader's expectations and
-// the test corpus all derive from it.
-func putFrameHeader(hdr *[8]byte, payload []byte) {
+// source of the frame layout: the writer, the reader's expectations,
+// FrameSize and the test corpus all derive from it.
+func putFrameHeader(hdr *[FrameHeaderSize]byte, payload []byte) {
 	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
 	binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload))
+}
+
+// FrameSize returns the total on-disk size (header + payload) of the
+// frame whose header bytes are hdr — the inverse of putFrameHeader's
+// length field, exported so the replication ship handler can align
+// chunk boundaries to frames without re-implementing the layout.
+func FrameSize(hdr []byte) int64 {
+	return FrameHeaderSize + int64(binary.LittleEndian.Uint32(hdr[0:4]))
 }
 
 // append frames one record into the write buffer. Nothing is durable
@@ -194,6 +228,18 @@ func (w *walWriter) append(rec walRecord) error {
 		return err
 	}
 	w.size += int64(8 + len(payload))
+	return nil
+}
+
+// appendRaw copies pre-framed bytes into the write buffer. The
+// follower-apply path uses it to mirror shipped leader frames verbatim
+// (they are CRC-validated before this is called), keeping local byte
+// offsets identical to the leader's.
+func (w *walWriter) appendRaw(b []byte) error {
+	if _, err := w.buf.Write(b); err != nil {
+		return err
+	}
+	w.size += int64(len(b))
 	return nil
 }
 
@@ -475,33 +521,63 @@ func (db *DB) cloneState() ([]tableClone, int64) {
 	return clones, lsn
 }
 
-// encodeSnapshot renders clones into the on-disk snapshot layout. Pure
-// CPU work on immutable data; called without any lock held.
-func encodeSnapshot(clones []tableClone, walSeq int64) ([]byte, error) {
-	snap := snapshotFile{Version: 1, WALSeq: walSeq}
-	for _, c := range clones {
-		st := snapshotTable{Schema: c.schema, Seq: c.seq, Rows: make(map[string]map[string]any, len(c.rows))}
-		for id, row := range c.rows {
-			st.Rows[id] = c.schema.encodeRow(row)
+// writeSnapshot streams clones to w in the snapshotFile JSON layout.
+// Unlike a whole-store json.Marshal, memory stays O(one encoded row):
+// the structural JSON is emitted by hand and each row is marshalled
+// individually into the buffered writer. The same encoder backs both
+// compaction and snapshot shipping to followers. Pure CPU work on
+// immutable data; called without any lock held.
+func writeSnapshot(w io.Writer, clones []tableClone, walSeq int64) error {
+	bw := bufio.NewWriterSize(w, 64<<10)
+	// bufio latches the first write error and re-surfaces it on every
+	// later call, so error checking can ride on the marshal steps and
+	// the final Flush.
+	fmt.Fprintf(bw, `{"version":1,"walSeq":%d,"tables":[`, walSeq)
+	for i, c := range clones {
+		if i > 0 {
+			bw.WriteByte(',')
 		}
-		snap.Tables = append(snap.Tables, st)
+		schema, err := json.Marshal(c.schema)
+		if err != nil {
+			return fmt.Errorf("relstore: marshal snapshot schema: %w", err)
+		}
+		fmt.Fprintf(bw, `{"schema":%s,"seq":%d,"rows":{`, schema, c.seq)
+		first := true
+		for id, row := range c.rows {
+			key, err := json.Marshal(id)
+			if err != nil {
+				return fmt.Errorf("relstore: marshal snapshot key: %w", err)
+			}
+			enc, err := json.Marshal(c.schema.encodeRow(row))
+			if err != nil {
+				return fmt.Errorf("relstore: marshal snapshot row: %w", err)
+			}
+			if !first {
+				bw.WriteByte(',')
+			}
+			first = false
+			bw.Write(key)
+			bw.WriteByte(':')
+			bw.Write(enc)
+		}
+		bw.WriteString("}}")
 	}
-	data, err := json.Marshal(&snap)
-	if err != nil {
-		return nil, fmt.Errorf("relstore: marshal snapshot: %w", err)
+	bw.WriteString("]}")
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("relstore: write snapshot: %w", err)
 	}
-	return data, nil
+	return nil
 }
 
-// writeSnapshotFile persists data atomically (write temp + fsync +
-// rename) as the store's snapshot.
-func (db *DB) writeSnapshotFile(data []byte) error {
-	tmp := db.snapshotPath() + ".tmp"
-	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+// writeSnapshotTmp streams the snapshot for clones into path and fsyncs
+// it. The caller installs it with commitSnapshotTmp once every commit
+// the clones contain is durably logged.
+func writeSnapshotTmp(path string, clones []tableClone, walSeq int64) error {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
 	if err != nil {
 		return err
 	}
-	if _, err := f.Write(data); err != nil {
+	if err := writeSnapshot(f, clones, walSeq); err != nil {
 		f.Close()
 		return err
 	}
@@ -512,9 +588,12 @@ func (db *DB) writeSnapshotFile(data []byte) error {
 		f.Close()
 		return err
 	}
-	if err := f.Close(); err != nil {
-		return err
-	}
+	return f.Close()
+}
+
+// commitSnapshotTmp atomically installs a fully written, fsynced temp
+// snapshot as the store's snapshot.
+func (db *DB) commitSnapshotTmp(tmp string) error {
 	if err := os.Rename(tmp, db.snapshotPath()); err != nil {
 		return err
 	}
@@ -525,22 +604,22 @@ func (db *DB) writeSnapshotFile(data []byte) error {
 	return syncDir(db.dir)
 }
 
-// loadSnapshot restores the snapshot file if present and returns the
-// highest WAL segment it covers (0 for fresh or legacy stores).
-func (db *DB) loadSnapshot() (int64, error) {
-	if db.dir == "" {
-		return 0, nil
-	}
-	data, err := os.ReadFile(db.snapshotPath())
+// readSnapshotFile parses the snapshot at path into a fresh table set
+// and returns it with the highest WAL segment it covers. A missing file
+// yields an empty table set and seq 0 (fresh or legacy store).
+func readSnapshotFile(path string) (map[string]*table, int64, error) {
+	tables := make(map[string]*table)
+	f, err := os.Open(path)
 	if err != nil {
 		if os.IsNotExist(err) {
-			return 0, nil
+			return tables, 0, nil
 		}
-		return 0, err
+		return nil, 0, err
 	}
+	defer f.Close()
 	var snap snapshotFile
-	if err := json.Unmarshal(data, &snap); err != nil {
-		return 0, fmt.Errorf("relstore: decode snapshot: %w", err)
+	if err := json.NewDecoder(f).Decode(&snap); err != nil {
+		return nil, 0, fmt.Errorf("relstore: decode snapshot: %w", err)
 	}
 	for _, st := range snap.Tables {
 		t := newTable(st.Schema)
@@ -548,11 +627,25 @@ func (db *DB) loadSnapshot() (int64, error) {
 		for id, enc := range st.Rows {
 			row, err := st.Schema.decodeRow(enc)
 			if err != nil {
-				return 0, err
+				return nil, 0, err
 			}
 			t.applyPut(id, row)
 		}
-		db.tables[st.Schema.Name] = t
+		tables[st.Schema.Name] = t
 	}
-	return snap.WALSeq, nil
+	return tables, snap.WALSeq, nil
+}
+
+// loadSnapshot restores the snapshot file if present and returns the
+// highest WAL segment it covers (0 for fresh or legacy stores).
+func (db *DB) loadSnapshot() (int64, error) {
+	if db.dir == "" {
+		return 0, nil
+	}
+	tables, seq, err := readSnapshotFile(db.snapshotPath())
+	if err != nil {
+		return 0, err
+	}
+	db.tables = tables
+	return seq, nil
 }

@@ -21,6 +21,8 @@ import (
 	"chronos/internal/auth"
 	"chronos/internal/core"
 	"chronos/internal/httputil"
+	"chronos/internal/relstore"
+	"chronos/internal/relstore/repl"
 )
 
 // APIVersions lists the versions this server speaks, newest last.
@@ -34,10 +36,26 @@ type Server struct {
 	// AgentToken, when non-empty, is required from agents in the
 	// X-Chronos-Agent-Token header on job execution endpoints.
 	AgentToken string
+	// ReplToken, when non-empty, admits replication followers to the
+	// WAL-shipping endpoints via the X-Chronos-Repl-Token header. It is
+	// deliberately separate from AgentToken: shipping exposes the whole
+	// store byte-for-byte — including the credentials table — which job
+	// execution endpoints never do.
+	ReplToken string
 	// Logger receives the access log; nil uses the default logger.
 	Logger *log.Logger
+	// Repl, when non-nil, marks this server a read-only replication
+	// follower and supplies its progress for GET /api/{v}/status.
+	// Leaders leave it nil.
+	Repl ReplStatusProvider
 
 	mux *http.ServeMux
+}
+
+// ReplStatusProvider reports replication progress; satisfied by
+// *repl.Follower.
+type ReplStatusProvider interface {
+	Status() api.ReplStatus
 }
 
 // NewServer builds the HTTP handler around the service.
@@ -54,9 +72,18 @@ func (s *Server) Handler() http.Handler {
 
 // routes wires both API versions onto the mux.
 func (s *Server) routes() {
+	ship := repl.NewHandler(s.svc.Store().DB())
 	for _, v := range APIVersions {
 		p := "/api/" + v
 		s.mux.HandleFunc("GET "+p+"/ping", s.handlePing(v))
+		s.mux.HandleFunc("GET "+p+"/status", s.viewer(s.handleStatus))
+
+		// WAL shipping (replication followers). Works on leaders and on
+		// followers alike — a follower's segments mirror the leader's,
+		// so replicas can be chained.
+		s.mux.HandleFunc("GET "+p+"/repl/status", s.ship(ship.Status))
+		s.mux.HandleFunc("GET "+p+"/repl/snapshot", s.ship(ship.Snapshot))
+		s.mux.HandleFunc("GET "+p+"/repl/wal/{seq}", s.ship(ship.WAL))
 
 		// Session management.
 		s.mux.HandleFunc("POST "+p+"/login", s.handleLogin)
@@ -166,6 +193,33 @@ func (s *Server) agent(h http.HandlerFunc) http.HandlerFunc {
 	}
 }
 
+// ship guards the WAL-shipping endpoints. Shipping streams the whole
+// store byte-for-byte — including the auth credentials table, which no
+// viewer- or agent-facing endpoint exposes — so the gate is strict: the
+// dedicated replication token, or an admin session. Only on a server
+// with no auth mechanism at all (no repl token, no agent token, no
+// session auth — the open local-demo configuration) is shipping open
+// like everything else.
+func (s *Server) ship(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if s.ReplToken == "" && s.AgentToken == "" && s.Auth == nil {
+			h(w, r)
+			return
+		}
+		if s.ReplToken != "" && r.Header.Get(repl.HeaderReplToken) == s.ReplToken {
+			h(w, r)
+			return
+		}
+		if s.Auth != nil {
+			if sess, err := s.session(r); err == nil && auth.Authorize(sess, core.RoleAdmin) == nil {
+				h(w, r)
+				return
+			}
+		}
+		httputil.WriteError(w, http.StatusUnauthorized, errors.New("rest: replication requires the replication token or an admin session"))
+	}
+}
+
 // fail maps service errors onto HTTP status codes.
 func fail(w http.ResponseWriter, err error) {
 	switch {
@@ -174,6 +228,11 @@ func fail(w http.ResponseWriter, err error) {
 	case errors.Is(err, core.ErrInvalidTransition), errors.Is(err, core.ErrArchived),
 		errors.Is(err, core.ErrInactiveDeployment):
 		httputil.WriteError(w, http.StatusConflict, err)
+	case errors.Is(err, relstore.ErrReadOnly):
+		// This server is a replication follower: writes belong on the
+		// leader. 503 tells well-behaved clients to go there rather
+		// than retry here.
+		httputil.WriteError(w, http.StatusServiceUnavailable, err)
 	default:
 		httputil.WriteError(w, http.StatusBadRequest, err)
 	}
@@ -190,6 +249,23 @@ func (s *Server) handlePing(version string) http.HandlerFunc {
 			Service: "chronos-control", Version: version, Versions: APIVersions,
 		})
 	}
+}
+
+// handleStatus reports storage-level counters (segments, walSeq,
+// snapshot boundary, compactions) plus replication progress when this
+// server is a follower.
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	resp := api.ServerStatusResponse{
+		Service: "chronos-control",
+		Mode:    "leader",
+		Storage: s.svc.Store().StorageStats(),
+	}
+	if s.Repl != nil {
+		rs := s.Repl.Status()
+		resp.Mode = "follower"
+		resp.Repl = &rs
+	}
+	httputil.WriteJSON(w, http.StatusOK, resp)
 }
 
 // LoginRequest and LoginResponse are re-exported wire types.

@@ -111,6 +111,14 @@ func (c *Client) Ping() (api.PingResponse, error) {
 	return out, err
 }
 
+// ServerStatus returns the server's storage counters and, when it is a
+// replication follower, its replication progress.
+func (c *Client) ServerStatus() (api.ServerStatusResponse, error) {
+	var out api.ServerStatusResponse
+	err := c.do(http.MethodGet, "/status", nil, &out)
+	return out, err
+}
+
 // Login opens a session and installs its token on the client.
 func (c *Client) Login(user, password string) error {
 	var out api.LoginResponse
