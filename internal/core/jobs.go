@@ -424,10 +424,14 @@ func (s *Service) GetJobResult(jobID string) (*Result, error) {
 }
 
 // EvaluationStatusOf aggregates job states for the evaluation overview
-// (paper Fig. 3b).
+// (paper Fig. 3b). It reads under a ViewTables snapshot so the counts
+// are one consistent cut across the evaluations and jobs tables: a
+// plain View takes one table read lock per operation (read-committed),
+// which could tally a job set from a moment after the evaluation row it
+// just validated.
 func (s *Service) EvaluationStatusOf(evaluationID string) (EvaluationStatus, error) {
 	st := EvaluationStatus{EvaluationID: evaluationID}
-	err := s.store.db.View(func(tx *relstore.Tx) error {
+	err := s.store.db.ViewTables(func(tx *relstore.Tx) error {
 		if _, err := s.store.GetEvaluation(tx, evaluationID); err != nil {
 			return mapNotFound(err)
 		}
@@ -456,7 +460,7 @@ func (s *Service) EvaluationStatusOf(evaluationID string) (EvaluationStatus, err
 			st.Progress = float64(progress) / float64(st.Total)
 		}
 		return nil
-	})
+	}, tableEvaluations, tableJobs)
 	return st, err
 }
 

@@ -63,6 +63,14 @@ type Options struct {
 
 // table is the in-memory state of one table.
 type table struct {
+	// mu guards every field below. Readers share it, the commit apply
+	// phase and schema upgrades hold it exclusively. Per-table locks are
+	// what lets transactions on disjoint tables proceed on different
+	// cores; the multi-lock protocol (canonical sorted-name acquisition
+	// order) lives in tx.go. A *table pointer is stable for the lifetime
+	// of the DB — upgrades mutate the table in place, tables are never
+	// dropped — so holding t.mu is always sufficient to touch t.
+	mu     sync.RWMutex
 	schema Schema
 	rows   map[string]Row // key -> row
 	// keys lists the primary keys in sorted order so full scans iterate
@@ -78,25 +86,33 @@ type table struct {
 // DB is an embedded, durable, transactional table store. All methods are
 // safe for concurrent use.
 //
-// Locking rules:
-//   - db.mu guards the in-memory tables: writes (commit apply) hold it
-//     exclusively, reads share it. It is never held across disk IO.
+// Locking rules (the full hierarchy is documented in the package doc):
+//   - db.tablesMu guards only the tables map — which *table pointers
+//     exist. It is read-locked for the instant of a name lookup and
+//     write-locked only to register a new table or to swap the whole
+//     table set (follower re-initialisation). An exclusive holder never
+//     acquires a table lock, so lookups stay O(1) waits.
+//   - Each table carries its own RWMutex guarding its rows and indexes.
+//     Transactions lock only the tables they touch; multi-table
+//     acquisition follows a canonical sorted-name order (see tx.go), so
+//     writers on disjoint tables run on different cores and the lock
+//     graph is cycle-free.
 //   - db.walMu serialises WAL segment writes, rotation and close. The
 //     condition variable walCond (on walMu) publishes durable-LSN
 //     progress to the background compactor.
 //   - db.snapMu serialises compaction cycles (background and manual).
 //   - group.mu only orders commit batches; it is held for O(1) sections.
 //
-// A committing Update applies its writes under db.mu, then releases the
-// lock and waits for the group committer to make the batch durable (one
-// WAL write + fsync may cover many concurrent commits). Update does not
-// return success before its record is on stable storage, but concurrent
-// readers may observe a commit slightly before it is durable — the same
-// contract as group commit in classic databases. A WAL write failure is
-// sticky: the in-memory state is ahead of the log at that point, so the
-// store poisons itself — all further writes and compactions fail (the
-// divergent state can never become durable) and reopening the store
-// recovers the last consistent logged state.
+// A committing Update applies its writes under the written tables' locks,
+// then releases them and waits for the group committer to make the batch
+// durable (one WAL write + fsync may cover many concurrent commits).
+// Update does not return success before its record is on stable storage,
+// but concurrent readers may observe a commit slightly before it is
+// durable — the same contract as group commit in classic databases. A WAL
+// write failure is sticky: the in-memory state is ahead of the log at
+// that point, so the store poisons itself — all further writes and
+// compactions fail (the divergent state can never become durable) and
+// reopening the store recovers the last consistent logged state.
 type DB struct {
 	dir  string
 	opts Options
@@ -105,8 +121,8 @@ type DB struct {
 	// without touching walMu, where a group leader may be mid-fsync.
 	durable bool
 
-	mu     sync.RWMutex // guards tables
-	tables map[string]*table
+	tablesMu sync.RWMutex // guards the tables map (not table contents)
+	tables   map[string]*table
 
 	walMu   sync.Mutex // serialises WAL writes, rotation and close
 	walCond *sync.Cond // on walMu; signals durLSN/walErr/closed changes
@@ -145,6 +161,15 @@ type DB struct {
 	// Open wipe the replica directory and start empty (nil otherwise).
 	// Set once at Open; read via OpenReset.
 	openReset error
+
+	// appliedSeq/appliedOff name the follower position whose records are
+	// applied to the in-memory tables, guarded by walMu. FollowerApply
+	// makes shipped bytes durable first and applies them second, so the
+	// durable position (wal.size — where shipping resumes) can briefly
+	// run ahead of this one; convergence barriers must wait on the
+	// applied position or they would declare a replica caught up while
+	// its reads still serve older state.
+	appliedSeq, appliedOff int64
 
 	// compacting gates the background compactor to one goroutine;
 	// compactWG lets Close wait for an in-flight cycle. compactions and
@@ -265,6 +290,9 @@ func Open(dir string, opts *Options) (*DB, error) {
 	}
 	db.wal = w
 	db.durable = true
+	// Recovery replayed every durable byte, so the applied position
+	// starts equal to the durable one.
+	db.appliedSeq, db.appliedOff = db.walSeq, w.size
 	return db, nil
 }
 
@@ -324,7 +352,11 @@ func (db *DB) Close() error {
 // schemaUpgradable) is migrated in place, so applications can grow their
 // schemas across versions without losing persisted data; any other
 // schema change fails. Table creations and upgrades are durable via the
-// WAL and ordered with commits that use the new table.
+// WAL and ordered with commits that use the new table: a brand-new table
+// is registered (and its record enqueued) under the exclusive tables-map
+// lock, an upgrade rebuilds in place (and enqueues) under the table's own
+// write lock, so in both cases any commit touching the table must order
+// its WAL record after this one.
 func (db *DB) CreateTable(s Schema) error {
 	if db.opts.Follower {
 		return ErrReadOnly
@@ -332,25 +364,41 @@ func (db *DB) CreateTable(s Schema) error {
 	if err := s.Check(); err != nil {
 		return err
 	}
-	db.mu.Lock()
-	if existing, ok := db.tables[s.Name]; ok {
+	var batch *walBatch
+	for {
+		db.tablesMu.RLock()
+		existing := db.tables[s.Name]
+		db.tablesMu.RUnlock()
+		if existing == nil {
+			db.tablesMu.Lock()
+			if _, raced := db.tables[s.Name]; raced {
+				// Lost a creation race; retry as a no-op/upgrade check.
+				db.tablesMu.Unlock()
+				continue
+			}
+			db.tables[s.Name] = newTable(s)
+			if db.durable {
+				batch = db.enqueueCommit(walRecord{CreateTable: &s})
+			}
+			db.tablesMu.Unlock()
+			break
+		}
+		existing.mu.Lock()
 		if schemaEqual(existing.schema, s) {
-			db.mu.Unlock()
+			existing.mu.Unlock()
 			return nil
 		}
 		if !schemaUpgradable(existing.schema, s) {
-			db.mu.Unlock()
+			existing.mu.Unlock()
 			return fmt.Errorf("relstore: table %q already exists with an incompatible schema", s.Name)
 		}
-		db.tables[s.Name] = existing.upgrade(s)
-	} else {
-		db.tables[s.Name] = newTable(s)
+		existing.upgradeLocked(s)
+		if db.durable {
+			batch = db.enqueueCommit(walRecord{CreateTable: &s})
+		}
+		existing.mu.Unlock()
+		break
 	}
-	var batch *walBatch
-	if db.durable {
-		batch = db.enqueueCommit(walRecord{CreateTable: &s})
-	}
-	db.mu.Unlock()
 
 	if batch != nil {
 		if err := db.awaitCommit(batch); err != nil {
@@ -361,28 +409,56 @@ func (db *DB) CreateTable(s Schema) error {
 	return nil
 }
 
-// Tables returns the names of all tables, sorted.
+// Tables returns the names of all tables, sorted. It touches only the
+// tables-map lock, never a table's own lock, so it cannot queue behind a
+// running commit apply.
 func (db *DB) Tables() []string {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
+	db.tablesMu.RLock()
 	names := make([]string, 0, len(db.tables))
 	for n := range db.tables {
 		names = append(names, n)
 	}
+	db.tablesMu.RUnlock()
 	sort.Strings(names)
 	return names
 }
 
+// ErrUnknownTable is wrapped by every operation that names a table the
+// store does not have. Callers racing table creation — a follower's
+// readers before the CreateTable record ships, say — test with
+// errors.Is and retry.
+var ErrUnknownTable = errors.New("relstore: unknown table")
+
+// lookupTable resolves a table name to its stable *table pointer. The
+// tables-map lock is held only for the map read; the caller locks the
+// table itself as its access requires.
+func (db *DB) lookupTable(name string) (*table, error) {
+	db.tablesMu.RLock()
+	t := db.tables[name]
+	db.tablesMu.RUnlock()
+	if t == nil {
+		return nil, fmt.Errorf("%w %q", ErrUnknownTable, name)
+	}
+	return t, nil
+}
+
 func newTable(s Schema) *table {
 	t := &table{
-		schema:  s,
-		rows:    make(map[string]Row),
-		keys:    newPostingList(),
-		indexes: make(map[string]map[string]*postingList),
-		ordered: make(map[string]*orderedIndex),
+		schema: s,
+		rows:   make(map[string]Row),
+		keys:   newPostingList(),
 	}
-	for _, c := range s.Columns {
-		if c.Name == s.Key {
+	t.initIndexes()
+	return t
+}
+
+// initIndexes builds empty secondary-index containers for the current
+// schema. Caller holds the write lock (or owns the table exclusively).
+func (t *table) initIndexes() {
+	t.indexes = make(map[string]map[string]*postingList)
+	t.ordered = make(map[string]*orderedIndex)
+	for _, c := range t.schema.Columns {
+		if c.Name == t.schema.Key {
 			continue
 		}
 		if c.Indexed {
@@ -392,26 +468,28 @@ func newTable(s Schema) *table {
 			t.ordered[c.Name] = newOrderedIndex()
 		}
 	}
-	return t
 }
 
-// upgrade rebuilds the table under a compatible replacement schema: the
-// rows (and key list) carry over untouched, the secondary indexes are
-// rebuilt from scratch so added Indexed/Ordered flags take effect.
-// Iterating ids in key order keeps every per-value posting-list insert an
-// append, so the rebuild is linear in the table size.
-func (t *table) upgrade(s Schema) *table {
-	nt := newTable(s)
-	nt.rows = t.rows
-	nt.keys = t.keys
-	nt.seq = t.seq
-	cur := plCursor{pl: nt.keys}
+// upgradeLocked rebuilds the table in place under a compatible
+// replacement schema: the rows (and key list) carry over untouched, the
+// secondary indexes are rebuilt from scratch so added Indexed/Ordered
+// flags take effect. Iterating ids in key order keeps every per-value
+// posting-list insert an append, so the rebuild is linear in the table
+// size. The rebuild mutates the table rather than replacing it because
+// *table pointers must stay stable: concurrent transactions hold them
+// through the per-table locks, and a swapped-out copy sharing the row
+// maps would put the same data under two different mutexes. Caller holds
+// the table's write lock.
+func (t *table) upgradeLocked(s Schema) {
+	t.schema = s
+	t.initIndexes()
+	cur := plCursor{pl: t.keys}
 	for {
 		id, ok := cur.peek()
 		if !ok {
-			return nt
+			return
 		}
-		nt.addToIndexes(id, nt.rows[id])
+		t.addToIndexes(id, t.rows[id])
 		cur.next()
 	}
 }
@@ -568,44 +646,140 @@ func (t *table) apply(op walOp) error {
 // buffered writes are committed atomically. Update returns only after
 // the commit is durable per the configured SyncMode; the fsync may be
 // shared with other transactions committing concurrently (group commit).
+//
+// The transaction write-locks each table on first touch (reads included)
+// and holds the locks through the commit apply, so Update callbacks are
+// fully serialisable with respect to every table they touch — two
+// transactions conflict only when their table sets overlap, and
+// transactions on disjoint tables run in parallel. To keep the lock
+// graph acyclic the transaction may need to restart: when it touches a
+// table that sorts before one it already holds and that table is
+// contended, every lock is dropped and fn runs again with the full set
+// pre-acquired in sorted order. fn must therefore be safe to re-run —
+// buffer all effects in the Tx (or in variables reset at the top of fn)
+// and keep side effects out, the same contract as any retrying
+// transaction closure.
 func (db *DB) Update(fn func(tx *Tx) error) error {
 	if db.opts.Follower {
 		return ErrReadOnly
 	}
-	db.mu.Lock()
-	tx := &Tx{db: db, writable: true, pending: make(map[string]map[string]*pendingRow), seqs: make(map[string]int64)}
-	if err := fn(tx); err != nil {
-		db.mu.Unlock()
-		return err
-	}
-	batch := db.commitLocked(tx)
-	db.mu.Unlock()
-	if batch != nil {
-		if err := db.awaitCommit(batch); err != nil {
+	var needed map[string]bool
+	for restarts := 0; ; restarts++ {
+		if restarts > maxTxRestarts {
+			return fmt.Errorf("relstore: transaction restarted %d times without converging on a lock set", restarts)
+		}
+		batch, retry, err := db.updateAttempt(fn, &needed)
+		if retry {
+			continue
+		}
+		if err != nil {
 			return err
 		}
+		if batch != nil {
+			if err := db.awaitCommit(batch); err != nil {
+				return err
+			}
+		}
+		// Compaction is a background cycle: the commit path only checks a
+		// counter and, when due, hands the work to a goroutine — it never
+		// waits on snapshot marshalling or segment deletion.
+		db.maybeCompact()
+		return nil
 	}
-	// Compaction is a background cycle: the commit path only checks a
-	// counter and, when due, hands the work to a goroutine — it never
-	// waits on snapshot marshalling or segment deletion.
-	db.maybeCompact()
-	return nil
 }
 
-// View runs fn inside a read-only transaction.
+// maxTxRestarts bounds the Update restart loop. Each restart adds at
+// least one table to the pre-acquired set, so a transaction can restart
+// at most once per table it touches; this cap only guards against a
+// pathological fn that touches fresh tables without bound.
+const maxTxRestarts = 1000
+
+// updateAttempt runs one iteration of the Update restart loop: acquire
+// the lock set learned so far, run fn, apply and enqueue on success.
+// The locks are released before returning (releaseLocks is idempotent
+// and deferred so a panicking fn cannot strand a table lock).
+func (db *DB) updateAttempt(fn func(tx *Tx) error, needed *map[string]bool) (batch *walBatch, retry bool, err error) {
+	tx := &Tx{db: db, writable: true, pending: make(map[string]map[string]*pendingRow), seqs: make(map[string]int64), needed: *needed}
+	defer tx.releaseLocks()
+	if err := tx.prelock(); err != nil {
+		return nil, false, err
+	}
+	err = fn(tx)
+	if tx.restart {
+		// A contended out-of-order acquisition voided this attempt; fn's
+		// error (if any) is from operating on the voided transaction.
+		*needed = tx.needed
+		return nil, true, nil
+	}
+	if err != nil {
+		return nil, false, err
+	}
+	return db.commitApply(tx), false, nil
+}
+
+// View runs fn inside a read-only transaction. Each operation takes only
+// its target table's read lock for the duration of that operation, so
+// reads never queue behind writers of unrelated tables. Every single
+// operation observes a consistent committed state of its table — a
+// multi-table commit becomes visible in one step because the committer
+// holds all its write locks through the apply — but two successive
+// operations may observe different commits (read-committed). Callers
+// that need one consistent cut across several tables (or across several
+// reads of one table) use ViewTables.
 func (db *DB) View(fn func(tx *Tx) error) error {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
 	tx := &Tx{db: db}
+	defer tx.releaseLocks()
 	return fn(tx)
 }
 
-// commitLocked applies the transaction's buffered writes to the
-// in-memory tables directly from their typed form (no encode/decode
-// round-trip) and, for durable stores, enqueues the WAL record. Caller
-// holds db.mu exclusively; the returned batch — nil for memory stores
-// and empty transactions — must be awaited after releasing it.
-func (db *DB) commitLocked(tx *Tx) *walBatch {
+// ViewTables runs fn inside a read-only transaction that holds the read
+// locks of all the named tables for fn's whole duration, acquired in
+// sorted-name order (the same canonical order writers use, so the lock
+// graph stays acyclic). Every operation on a declared table observes the
+// same consistent cut: a commit spanning several of the tables is either
+// fully visible or not at all. Operations on undeclared tables fail.
+func (db *DB) ViewTables(fn func(tx *Tx) error, tables ...string) error {
+	tx := &Tx{db: db, declared: make(map[string]*table, len(tables))}
+	defer tx.releaseLocks()
+	sorted := append([]string(nil), tables...)
+	sort.Strings(sorted)
+	// Resolve every pointer under one tables-map read lock, so the set
+	// comes from a single store generation: a follower re-initialisation
+	// swaps the whole map, and per-name lookups could otherwise mix
+	// tables from before and after the swap into one "snapshot".
+	db.tablesMu.RLock()
+	for i, name := range sorted {
+		if i > 0 && name == sorted[i-1] {
+			continue
+		}
+		t := db.tables[name]
+		if t == nil {
+			db.tablesMu.RUnlock()
+			return fmt.Errorf("%w %q", ErrUnknownTable, name)
+		}
+		tx.declared[name] = t
+	}
+	db.tablesMu.RUnlock()
+	for i, name := range sorted {
+		if i > 0 && name == sorted[i-1] {
+			continue
+		}
+		t := tx.declared[name]
+		t.mu.RLock()
+		tx.heldOrder = append(tx.heldOrder, t)
+	}
+	return fn(tx)
+}
+
+// commitApply applies the transaction's buffered writes to the in-memory
+// tables directly from their typed form (no encode/decode round-trip)
+// and, for durable stores, enqueues the WAL record. The caller (Update)
+// still holds the write lock of every table the transaction touched —
+// the enqueue must happen before those locks are released so that WAL
+// order agrees with apply order on every table two transactions share.
+// The returned batch — nil for memory stores and empty transactions —
+// must be awaited after the locks are released.
+func (db *DB) commitApply(tx *Tx) *walBatch {
 	if len(tx.pendingOrder) == 0 && len(tx.seqs) == 0 {
 		return nil
 	}
@@ -613,7 +787,7 @@ func (db *DB) commitLocked(tx *Tx) *walBatch {
 	var rec walRecord
 	for _, pk := range tx.pendingOrder {
 		p := tx.pending[pk.table][pk.id]
-		t := db.tables[pk.table]
+		t := tx.held[pk.table] // write-locked since the tx first touched it
 		if p.row == nil {
 			t.applyDelete(pk.id)
 			if durable {
@@ -636,7 +810,7 @@ func (db *DB) commitLocked(tx *Tx) *walBatch {
 	sort.Strings(tables)
 	for _, tbl := range tables {
 		n := tx.seqs[tbl]
-		if t := db.tables[tbl]; t != nil && n > t.seq {
+		if t := tx.held[tbl]; t != nil && n > t.seq {
 			t.seq = n
 		}
 		if durable {
@@ -650,7 +824,10 @@ func (db *DB) commitLocked(tx *Tx) *walBatch {
 }
 
 // enqueueCommit appends rec to the currently accumulating batch. Callers
-// hold db.mu, so batch order always equals apply order.
+// hold the write locks of every table rec touches (or the exclusive
+// tables-map lock, for new-table records), so for any two records that
+// share a table, batch order equals apply order — and records on
+// disjoint tables commute under replay, so their relative order is free.
 func (db *DB) enqueueCommit(rec walRecord) *walBatch {
 	g := &db.group
 	g.mu.Lock()
@@ -920,8 +1097,9 @@ type Stats struct {
 	WALSeq      int64 `json:"walSeq"`
 	SnapshotSeq int64 `json:"snapshotSeq"`
 	// Follower reports read-only replication mode; AppliedBytes is then
-	// the durable, applied byte offset within segment WALSeq — the
-	// position the follower resumes shipping from.
+	// the locally durable byte offset within segment WALSeq — the
+	// position the follower resumes shipping from. (It can run a beat
+	// ahead of what reads observe: see FollowerAppliedPosition.)
 	Follower     bool  `json:"follower,omitempty"`
 	AppliedBytes int64 `json:"appliedBytes,omitempty"`
 	// Compactions counts completed snapshot+delete cycles since open;
@@ -931,14 +1109,24 @@ type Stats struct {
 	LastCompactErr string `json:"lastCompactErr,omitempty"`
 }
 
-// Stats returns current store statistics.
+// Stats returns current store statistics. Row counts are collected one
+// table at a time under that table's read lock — never more than one
+// lock at once — so Stats can contend with a commit on a single table
+// for at most the length of its apply phase and never queues behind
+// commits to unrelated tables.
 func (db *DB) Stats() Stats {
-	db.mu.RLock()
-	st := Stats{Tables: len(db.tables)}
+	db.tablesMu.RLock()
+	tabs := make([]*table, 0, len(db.tables))
 	for _, t := range db.tables {
-		st.Rows += len(t.rows)
+		tabs = append(tabs, t)
 	}
-	db.mu.RUnlock()
+	db.tablesMu.RUnlock()
+	st := Stats{Tables: len(tabs)}
+	for _, t := range tabs {
+		t.mu.RLock()
+		st.Rows += len(t.rows)
+		t.mu.RUnlock()
+	}
 	if db.dir != "" {
 		if seqs, err := listSegments(db.dir); err == nil {
 			st.WALSegments = len(seqs)

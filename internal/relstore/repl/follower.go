@@ -122,9 +122,12 @@ func (f *Follower) Close() error {
 	return f.db.Close()
 }
 
-// Status reports the follower's replication progress.
+// Status reports the follower's replication progress. The applied
+// position is what reads on the replica actually observe; it can trail
+// the locally durable bytes while a shipped chunk is still being
+// applied.
 func (f *Follower) Status() api.ReplStatus {
-	seq, off := f.db.FollowerPosition()
+	seq, off := f.db.FollowerAppliedPosition()
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	st := api.ReplStatus{
@@ -321,12 +324,15 @@ func (f *Follower) setErr(err error) {
 // WaitCaughtUp blocks until the replica's applied position reaches the
 // leader's durable tip as observed when the position is polled — the
 // convergence barrier tests, benches and orderly role switches use. It
-// returns the first error from ctx.
+// compares the applied position, not the locally durable one: shipped
+// bytes are durable before they are applied, and a barrier that returned
+// in that window would let the caller read state older than the tip it
+// was promised. It returns the first error from ctx.
 func (f *Follower) WaitCaughtUp(ctx context.Context) error {
 	for {
 		tip, err := f.client.Status(ctx)
 		if err == nil {
-			seq, off := f.db.FollowerPosition()
+			seq, off := f.db.FollowerAppliedPosition()
 			if seq > tip.WALSeq || (seq == tip.WALSeq && off >= tip.Durable) {
 				return nil
 			}

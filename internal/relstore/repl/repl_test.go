@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"chronos/internal/relstore"
+	"chronos/internal/relstore/isocheck"
 )
 
 // ---- harness ----
@@ -167,7 +168,9 @@ func assertConverged(t *testing.T, l *testLeader, f *Follower) {
 	waitConverged(t, f)
 	got, want := dump(t, f.DB()), dump(t, l.DB())
 	if !reflect.DeepEqual(got, want) {
-		t.Fatalf("follower state diverged:\n got: %v\nwant: %v", got, want)
+		pos, _, perr := l.DB().ShipPosition()
+		t.Fatalf("follower state diverged:\nfollower: %+v\nleader: %+v (%v)\n got: %v\nwant: %v",
+			f.Status(), pos, perr, got, want)
 	}
 }
 
@@ -260,6 +263,36 @@ func TestConvergenceUnderLoad(t *testing.T) {
 	}
 	put(t, l.DB(), "kv", "final", 1)
 	assertConverged(t, l, f)
+}
+
+// TestFollowerIsolation points the mechanical isolation checker's
+// readers at a live follower while its writers drive the leader through
+// segment rotations and compaction cycles: every replicated transaction
+// must become visible atomically across its whole table set (snapshot
+// readers over the writer's tables), per-table visibility must never
+// move backwards or run ahead of started commits, and no rolled-back
+// write may ever appear — the same contract the leader store passes in
+// internal/relstore/isocheck, with only the replication-lag relaxation
+// of the lower visibility bound. After convergence the follower must
+// hold the leader's exact final state, lost-update counters included.
+func TestFollowerIsolation(t *testing.T) {
+	l := startLeader(t, &relstore.Options{SegmentBytes: 8 << 10, CompactEvery: 128}, nil)
+	f := startFollower(t, l, "")
+
+	opt := isocheck.Options{
+		Tables: 4, Writers: 4, Readers: 3, Ops: 120, Span: 2,
+		Snapshot: true, ReadDB: f.DB(), Follower: true,
+	}
+	if err := isocheck.Run(l.DB(), opt); err != nil {
+		t.Fatal(err)
+	}
+	assertConverged(t, l, f)
+	if err := isocheck.FinalCheck(l.DB(), opt); err != nil {
+		t.Fatalf("leader final state: %v", err)
+	}
+	if err := isocheck.FinalCheck(f.DB(), opt); err != nil {
+		t.Fatalf("follower final state: %v", err)
+	}
 }
 
 // TestFollowerRestartResumes stops a follower mid-replication and

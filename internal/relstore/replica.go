@@ -92,7 +92,10 @@ func IsTornFrame(err error) bool { return errors.Is(err, errTornRecord) }
 
 // FollowerPosition reports where replication must resume: the follower's
 // active segment (mirroring the leader's numbering) and the number of
-// locally durable bytes it holds of it.
+// locally durable bytes it holds of it. Durable bytes may briefly run
+// ahead of what is applied in memory (FollowerApply persists first,
+// applies second — the order recovery replays); use
+// FollowerAppliedPosition for read-visibility barriers.
 func (db *DB) FollowerPosition() (seq, offset int64) {
 	db.walMu.Lock()
 	defer db.walMu.Unlock()
@@ -102,6 +105,18 @@ func (db *DB) FollowerPosition() (seq, offset int64) {
 		return db.walSeq, 0
 	}
 	return db.walSeq, db.wal.size
+}
+
+// FollowerAppliedPosition reports the newest position whose records are
+// applied to the in-memory tables — the position reads actually observe.
+// It trails FollowerPosition while a shipped chunk is durable locally
+// but still being applied (or can never be applied: a poisoned replica's
+// applied position stays put until a re-bootstrap). Convergence barriers
+// compare this, not the durable position, against the leader's tip.
+func (db *DB) FollowerAppliedPosition() (seq, offset int64) {
+	db.walMu.Lock()
+	defer db.walMu.Unlock()
+	return db.appliedSeq, db.appliedOff
 }
 
 // FollowerApply ingests a chunk of raw WAL frame bytes shipped from the
@@ -155,14 +170,27 @@ func (db *DB) FollowerApply(data []byte) (int64, error) {
 		db.commitCount.Add(int64(len(recs)))
 		db.walCond.Broadcast()
 		db.bumpWALNotifyLocked()
+		durSeq, durOff := db.walSeq, db.wal.size
 		db.walMu.Unlock()
 
-		db.mu.Lock()
+		// Each record applies under the write locks of exactly the tables
+		// it touches (canonical order), so concurrent readers observe
+		// every replicated transaction atomically — and never queue
+		// behind applies to tables they are not reading.
 		var aerr error
 		for _, rec := range recs {
-			if aerr = db.applyRecord(rec); aerr != nil {
+			if aerr = db.applyRecordSynced(rec); aerr != nil {
 				break
 			}
+		}
+		if aerr == nil {
+			db.walMu.Lock()
+			// Guard against a FollowerReinit that swapped the state out
+			// while this chunk was applying: its position supersedes ours.
+			if db.walSeq == durSeq && durOff > db.appliedOff {
+				db.appliedSeq, db.appliedOff = durSeq, durOff
+			}
+			db.walMu.Unlock()
 		}
 		if aerr == nil {
 			// Keep the group-committer ledger in step with the applied
@@ -173,7 +201,6 @@ func (db *DB) FollowerApply(data []byte) (int64, error) {
 			g.enqueued += int64(len(recs))
 			g.mu.Unlock()
 		}
-		db.mu.Unlock()
 		if aerr != nil {
 			db.walMu.Lock()
 			db.poisonLocked(aerr)
@@ -206,7 +233,13 @@ func (db *DB) FollowerAdvanceSegment() error {
 	if db.wal == nil {
 		return errors.New("relstore: store is re-initialising")
 	}
-	return db.rotateLocked()
+	if err := db.rotateLocked(); err != nil {
+		return err
+	}
+	// Advance is called only once every byte of the sealed segment is
+	// applied, so the applied position moves to the fresh segment's start.
+	db.appliedSeq, db.appliedOff = db.walSeq, 0
+	return nil
 }
 
 // FollowerReinit discards the follower's entire local state — in-memory
@@ -298,17 +331,22 @@ func (db *DB) FollowerReinit(snapshot io.Reader) error {
 		return db.reinitFailed(err)
 	}
 
-	db.mu.Lock()
+	// Swap the whole table set under the exclusive tables-map lock. A
+	// reader mid-transaction may still hold old *table pointers (and
+	// their locks); that is safe — the old tables are immutable from now
+	// on — and its next lookup observes the new state.
+	db.tablesMu.Lock()
 	db.tables = tables
 	g := &db.group
 	g.mu.Lock()
 	g.enqueued = 0
 	g.mu.Unlock()
-	db.mu.Unlock()
+	db.tablesMu.Unlock()
 
 	db.walMu.Lock()
 	db.wal = w
 	db.walSeq = snapSeq + 1
+	db.appliedSeq, db.appliedOff = snapSeq+1, 0
 	db.durLSN = 0
 	db.commitCount.Store(0)
 	db.snapSeq.Store(snapSeq)

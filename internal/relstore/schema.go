@@ -102,23 +102,69 @@
 // # Commit path and group commit
 //
 // DB.Update applies buffered writes to the in-memory tables under the
-// exclusive table lock (db.mu), then releases the lock and waits for the
-// group committer to make the WAL record durable. Concurrent committers
-// batch into a single WAL write and fsync: the first waiter becomes the
-// leader and flushes every record that queued up behind the previous
-// fsync. Update never acknowledges a commit before it is on stable
-// storage (in SyncEveryCommit mode), but readers may observe a commit
-// slightly before its fsync completes — the standard group-commit
-// contract. No disk IO ever happens while db.mu is held.
+// write locks of exactly the tables the transaction touched, then
+// releases them and waits for the group committer to make the WAL
+// record durable. Concurrent committers batch into a single WAL write
+// and fsync: the first waiter becomes the leader and flushes every
+// record that queued up behind the previous fsync. Update never
+// acknowledges a commit before it is on stable storage (in
+// SyncEveryCommit mode), but readers may observe a commit slightly
+// before its fsync completes — the standard group-commit contract. No
+// disk IO ever happens while a table lock is held.
 //
-// # Locking
+// # Lock hierarchy
 //
-// db.mu guards the tables (exclusive for apply, shared for reads);
-// walMu serialises WAL segment writes, rotation and close; snapMu
-// serialises compaction cycles; group.mu only orders commit batches and
-// is held for O(1) critical sections. Lock order is db.mu -> group.mu,
-// and walMu is only taken with neither or just group-independent locks
-// held.
+// The store is sharded by table so transactions on disjoint tables run
+// on different cores. The locks, what each protects, and the order they
+// may be acquired in:
+//
+//   - tablesMu (RWMutex) guards the tables map itself — which *table
+//     pointers exist. Read-locked for the instant of a name lookup
+//     (and across cloneState/ViewTables pointer resolution, so a set of
+//     lookups comes from one store generation); write-locked only to
+//     register a new table or to swap the whole map (follower
+//     re-initialisation). An exclusive holder never acquires a table
+//     lock. *table pointers are stable for the DB's lifetime — schema
+//     upgrades rebuild in place, tables are never dropped — so a
+//     resolved pointer plus its own lock is always sufficient.
+//   - table.mu (RWMutex, one per table) guards that table's rows,
+//     indexes, schema and sequence. Shared for reads, exclusive for the
+//     commit apply, schema upgrades and follower applies.
+//   - group.mu orders commit batches; O(1) critical sections, acquired
+//     with table locks (or exclusive tablesMu) held — never the other
+//     way round.
+//   - walMu serialises WAL segment writes, rotation and close; taken
+//     only with no table lock held (commit IO happens after the table
+//     locks are released). walCond (on walMu) publishes durable-LSN
+//     progress to the compactor.
+//   - snapMu serialises compaction cycles and follower
+//     re-initialisation.
+//
+// Multi-table acquisition follows one canonical order: sorted table
+// name. A writable transaction (Update) write-locks each table on first
+// touch — reads included, which is what makes Update callbacks fully
+// serialisable per table (no lost updates) — and holds its locks
+// through the commit apply and WAL enqueue, so WAL order agrees with
+// apply order on every table two transactions share. Blocking is only
+// allowed on a name sorting after every held name (a waits-for cycle
+// would then need an infinite ascending chain); acquiring a smaller
+// name is a TryLock, and on contention the transaction drops
+// everything and restarts with the full set pre-acquired in order —
+// Update callbacks must therefore be safe to re-run, the usual
+// retrying-closure contract. Restarts are bounded: each one grows the
+// pre-acquired set.
+//
+// Readers pick their consistency. DB.View takes one read lock per
+// operation: each operation sees a consistent committed state of its
+// table (multi-table commits apply under all their locks at once, so
+// none is ever observed half-applied), successive operations are
+// read-committed. DB.ViewTables read-locks a declared table set in
+// canonical order for the whole callback: one consistent cut across
+// all of them. The isolation contract — no dirty or ghost reads,
+// per-table commit-order visibility, cross-table atomicity at commit
+// points, writer serialisability — is verified mechanically under the
+// race detector by internal/relstore/isocheck, on leader stores and
+// against live follower replicas.
 package relstore
 
 import (

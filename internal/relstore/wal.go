@@ -326,7 +326,9 @@ func readOneRecord(br *bufio.Reader) (walRecord, int64, error) {
 	return rec, int64(8 + len(payload)), nil
 }
 
-// applyRecord installs one replayed record into the in-memory state.
+// applyRecord installs one replayed record into the in-memory state
+// without taking any locks: only Open-time recovery may use it, while
+// the DB is still unpublished and single-threaded.
 func (db *DB) applyRecord(rec walRecord) error {
 	if rec.CreateTable != nil {
 		s := *rec.CreateTable
@@ -337,7 +339,7 @@ func (db *DB) applyRecord(rec walRecord) error {
 			// log is trusted — compatibility was checked when the
 			// record was written.
 			if !schemaEqual(t.schema, s) {
-				db.tables[s.Name] = t.upgrade(s)
+				t.upgradeLocked(s)
 			}
 		} else {
 			db.tables[s.Name] = newTable(s)
@@ -354,6 +356,79 @@ func (db *DB) applyRecord(rec walRecord) error {
 		}
 	}
 	return nil
+}
+
+// applyRecordSynced installs one shipped record on a live follower,
+// taking the same locks a leader-side commit would: a new table
+// registers under the exclusive tables-map lock, everything else applies
+// under the write locks of the record's tables, acquired in canonical
+// sorted-name order. Concurrent readers therefore observe each
+// replicated transaction atomically, exactly as they would on the
+// leader.
+func (db *DB) applyRecordSynced(rec walRecord) error {
+	if rec.CreateTable != nil {
+		s := *rec.CreateTable
+		db.tablesMu.RLock()
+		t := db.tables[s.Name]
+		db.tablesMu.RUnlock()
+		if t == nil {
+			db.tablesMu.Lock()
+			if _, raced := db.tables[s.Name]; !raced {
+				db.tables[s.Name] = newTable(s)
+			}
+			db.tablesMu.Unlock()
+			return nil
+		}
+		t.mu.Lock()
+		if !schemaEqual(t.schema, s) {
+			t.upgradeLocked(s)
+		}
+		t.mu.Unlock()
+		return nil
+	}
+	names := make([]string, 0, 4)
+	for _, op := range rec.Ops {
+		found := false
+		for _, n := range names {
+			if n == op.Table {
+				found = true
+				break
+			}
+		}
+		if !found {
+			names = append(names, op.Table)
+		}
+	}
+	sort.Strings(names)
+	tabs := make([]*table, len(names))
+	for i, name := range names {
+		t, err := db.lookupTable(name)
+		if err != nil {
+			for j := 0; j < i; j++ {
+				tabs[j].mu.Unlock()
+			}
+			return fmt.Errorf("relstore: wal references unknown table %q", name)
+		}
+		t.mu.Lock()
+		tabs[i] = t
+	}
+	var err error
+	for _, op := range rec.Ops {
+		var t *table
+		for i, n := range names {
+			if n == op.Table {
+				t = tabs[i]
+				break
+			}
+		}
+		if err = t.apply(op); err != nil {
+			break
+		}
+	}
+	for i := len(tabs) - 1; i >= 0; i-- {
+		tabs[i].mu.Unlock()
+	}
+	return err
 }
 
 // migrateLegacyWAL converts a pre-segment store.wal into segment
@@ -498,26 +573,56 @@ type tableClone struct {
 	rows   map[string]Row
 }
 
-// cloneState captures a consistent snapshot of the in-memory tables plus
-// the commit LSN it corresponds to. It holds the table read lock only
-// for the map copies — the expensive row encoding and JSON marshalling
-// happen outside every lock, so commits are never stalled behind
-// snapshot serialisation.
+// cloneState captures a snapshot of the in-memory tables plus a commit
+// LSN that covers everything the clone contains. It resolves the table
+// set under one tables-map read lock, releases it, then read-locks
+// every table at once in the canonical sorted-name order writers use.
+// The map lock MUST be dropped before the table locks are taken: a
+// transaction holding a table lock looks names up via tablesMu.RLock,
+// and Go's RWMutex parks new readers behind a pending writer, so
+// holding tablesMu.RLock here while waiting on a table lock could close
+// a cycle through a pending CreateTable (clone waits on the table's
+// writer, the writer's lookup parks behind the pending tablesMu.Lock,
+// the pending writer waits for this reader to drain).
+//
+// Dropping the map lock early is sound for compaction's invariants. The
+// caller rotated before cloning, so any commit in a sealed segment
+// (which the snapshot must contain, because those segments get deleted)
+// was applied — and its table registered — strictly before this
+// function ran; tables created later can only have records in the
+// active segment, which survives and replays idempotently over the
+// snapshot. And because every commit enqueues its record while still
+// holding all its tables' write locks, any commit visible in the clone
+// (read under all table read locks at once) has already enqueued — so
+// reading the LSN after every lock is held counts it, and no
+// multi-table commit is ever seen half-applied.
 func (db *DB) cloneState() ([]tableClone, int64) {
-	db.mu.RLock()
-	clones := make([]tableClone, 0, len(db.tables))
-	for _, t := range db.tables {
+	db.tablesMu.RLock()
+	names := make([]string, 0, len(db.tables))
+	for name := range db.tables {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	tabs := make([]*table, len(names))
+	for i, name := range names {
+		tabs[i] = db.tables[name]
+	}
+	db.tablesMu.RUnlock()
+	for _, t := range tabs {
+		t.mu.RLock()
+	}
+	lsn := db.group.enqueuedLSN()
+	clones := make([]tableClone, 0, len(tabs))
+	for _, t := range tabs {
 		rows := make(map[string]Row, len(t.rows))
 		for id, row := range t.rows {
 			rows[id] = row
 		}
 		clones = append(clones, tableClone{schema: t.schema, seq: t.seq, rows: rows})
 	}
-	// All enqueues happen while db.mu is held exclusively, so under the
-	// read lock the enqueued-record count is exactly the set of commits
-	// this clone contains.
-	lsn := db.group.enqueuedLSN()
-	db.mu.RUnlock()
+	for i := len(tabs) - 1; i >= 0; i-- {
+		tabs[i].mu.RUnlock()
+	}
 	return clones, lsn
 }
 
