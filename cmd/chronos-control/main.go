@@ -53,6 +53,8 @@ func main() {
 		replicateFrom = flag.String("replicate-from", "", "leader base URL; run as a read-only replication follower")
 		replToken     = flag.String("repl-token", "", "replication token: required from followers on a leader's ship endpoints, presented to the leader by a follower")
 		sessionAuth   = flag.Bool("session-auth", false, "with -replicate-from: require sessions, validated against the credentials replicated from the leader")
+		maxStaleness  = flag.Duration("max-staleness", 0, "with -replicate-from: bounded-staleness budget; reads degrade to 503 when the replica cannot prove it is this fresh (0 = unbounded)")
+		readAfterWait = flag.Duration("read-after-wait", 0, "with -replicate-from: how long a read carrying an X-Chronos-Read-After token waits for the replica to catch up before answering 503 (0 = 5s default)")
 	)
 	flag.Parse()
 
@@ -75,13 +77,16 @@ func main() {
 				log.Fatalf("-%s cannot be combined with -replicate-from: %s", fl.Name, why)
 			}
 		})
-		if err := runFollower(*addr, *dataDir, *replicateFrom, *agentToken, *replToken, *compactEvery, *sessionAuth); err != nil {
+		if err := runFollower(*addr, *dataDir, *replicateFrom, *agentToken, *replToken, *compactEvery, *sessionAuth, *maxStaleness, *readAfterWait); err != nil {
 			log.Fatal(err)
 		}
 		return
 	}
 	if *sessionAuth {
 		log.Fatal("-session-auth only applies with -replicate-from; use -admin/-admin-password on a leader")
+	}
+	if *maxStaleness != 0 || *readAfterWait != 0 {
+		log.Fatal("-max-staleness and -read-after-wait only apply with -replicate-from: a leader is never stale")
 	}
 	storeOpts := &relstore.Options{SegmentBytes: *segmentBytes, CompactEvery: *compactEvery}
 	if err := run(*addr, *dataDir, *agentToken, *replToken, *adminName, *adminPassword, *extensions, *watchdog, *hbTimeout, storeOpts); err != nil {
@@ -93,13 +98,21 @@ func main() {
 // local store converging with the leader while the REST API and web UI
 // serve reads from it. No watchdog runs here — job lifecycle management
 // is the leader's job.
-func runFollower(addr, dataDir, leader, agentToken, replToken string, compactEvery int, sessionAuth bool) error {
-	f, err := repl.Start(repl.Config{
+func runFollower(addr, dataDir, leader, agentToken, replToken string, compactEvery int, sessionAuth bool, maxStaleness, readAfterWait time.Duration) error {
+	cfg := repl.Config{
 		Dir:          dataDir,
 		Leader:       leader,
 		ReplToken:    replToken,
 		CompactEvery: compactEvery,
-	})
+	}
+	if maxStaleness > 0 {
+		// Freshness is proven each time a tail poll returns; on an idle
+		// leader that is once per PollWait, during which staleness grows.
+		// Keep the poll cadence comfortably inside the budget, or an idle
+		// system would read as degraded despite being fully caught up.
+		cfg.PollWait = maxStaleness / 2
+	}
+	f, err := repl.Start(cfg)
 	if err != nil {
 		return err
 	}
@@ -114,6 +127,11 @@ func runFollower(addr, dataDir, leader, agentToken, replToken string, compactEve
 	server.AgentToken = agentToken
 	server.ReplToken = replToken // replicas can be chained
 	server.Repl = f
+	server.MaxStaleness = maxStaleness
+	server.ReadAfterWait = readAfterWait
+	if maxStaleness > 0 {
+		log.Printf("bounded staleness: reads degrade to 503 beyond %v of unproven freshness", maxStaleness)
+	}
 
 	if sessionAuth {
 		// Logins verify against the credentials replicated from the

@@ -28,6 +28,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"chronos/internal/core"
 	"chronos/internal/mongoagent"
@@ -263,14 +264,59 @@ func serverStatus(c *client.Client) error {
 		fmt.Printf("replicating from %s: applied segment %d offset %d; leader at segment %d offset %d (lag: %d segment(s)",
 			r.Leader, r.AppliedSeq, r.AppliedBytes, r.LeaderSeq, r.LeaderBytes, r.LagSegments)
 		if r.LagBytes >= 0 {
-			fmt.Printf(", %d byte(s)", r.LagBytes)
+			fmt.Printf(", %s", humanBytes(r.LagBytes))
 		}
 		fmt.Printf("); %d bootstrap(s)\n", r.Bootstraps)
+		fmt.Printf("staleness: %s", humanStaleness(r.StalenessMs))
+		if r.MaxStalenessMs > 0 {
+			fmt.Printf(" (budget %s)", humanDuration(time.Duration(r.MaxStalenessMs)*time.Millisecond))
+		}
+		if r.Degraded {
+			fmt.Printf(" — DEGRADED, reads answer 503 until the replica proves itself fresh")
+		}
+		fmt.Println()
+		if r.StoreID != "" {
+			fmt.Printf("verified against leader generation %s (epoch %d)\n", r.StoreID, r.Epoch)
+		}
 		if r.LastError != "" {
 			fmt.Printf("last replication error: %s\n", r.LastError)
 		}
 	}
 	return nil
+}
+
+// humanStaleness renders the staleness report in human units.
+func humanStaleness(ms int64) string {
+	if ms < 0 {
+		return "never caught up yet"
+	}
+	return humanDuration(time.Duration(ms) * time.Millisecond)
+}
+
+// humanDuration rounds a duration to a readable precision.
+func humanDuration(d time.Duration) string {
+	switch {
+	case d >= time.Minute:
+		return d.Round(time.Second).String()
+	case d >= time.Second:
+		return d.Round(100 * time.Millisecond).String()
+	default:
+		return d.Round(time.Millisecond).String()
+	}
+}
+
+// humanBytes renders a byte count in human units.
+func humanBytes(n int64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.1f GiB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1f MiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1f KiB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%d B", n)
+	}
 }
 
 // demoSetup registers the paper's demo workflow and prints the ids to

@@ -5,10 +5,83 @@
 package api
 
 import (
+	"fmt"
+	"strconv"
+	"strings"
+
 	"chronos/internal/core"
 	"chronos/internal/params"
 	"chronos/internal/relstore"
 )
+
+// Session-consistency headers. Every successful data response carries
+// the serving store's commit position as a session token; a client that
+// threads its newest token into follower reads gets read-your-writes and
+// monotonic reads without giving up the scaled read path.
+const (
+	// HeaderCommitPosition is set on successful data responses: the
+	// position (and generation) the serving store had reached, as a
+	// CommitToken string. On a leader that position covers the request's
+	// own write; on a follower it is the applied position the response
+	// was served from.
+	HeaderCommitPosition = "X-Chronos-Commit-Position"
+	// HeaderReadAfter carries a CommitToken on follower reads: do not
+	// answer from state older than this position. The follower waits
+	// (bounded) for its applied position to reach it; 503 + Retry-After
+	// means "not there yet, retry or fall back to the leader", 412 means
+	// the token's generation can never be satisfied here (a pre-restart
+	// epoch or a foreign store) and only the leader can serve it.
+	HeaderReadAfter = "X-Chronos-Read-After"
+)
+
+// CommitToken is a session token: a WAL commit position made portable.
+// StoreID and Epoch pin the generation (history identity) the position
+// is relative to — positions from different generations are never
+// compared, they fail closed instead (see relstore's generation.go).
+type CommitToken struct {
+	StoreID string `json:"storeId"`
+	Epoch   int64  `json:"epoch"`
+	Seq     int64  `json:"seq"`
+	Off     int64  `json:"off"`
+}
+
+// String renders the wire form, "storeID:epoch:seq:off".
+func (t CommitToken) String() string {
+	return t.StoreID + ":" + strconv.FormatInt(t.Epoch, 10) + ":" +
+		strconv.FormatInt(t.Seq, 10) + ":" + strconv.FormatInt(t.Off, 10)
+}
+
+// ParseCommitToken decodes the wire form produced by String.
+func ParseCommitToken(s string) (CommitToken, error) {
+	parts := strings.Split(s, ":")
+	if len(parts) != 4 || parts[0] == "" {
+		return CommitToken{}, fmt.Errorf("api: malformed commit token %q", s)
+	}
+	var nums [3]int64
+	for i, p := range parts[1:] {
+		n, err := strconv.ParseInt(p, 10, 64)
+		if err != nil || n < 0 {
+			return CommitToken{}, fmt.Errorf("api: malformed commit token %q", s)
+		}
+		nums[i] = n
+	}
+	if nums[0] < 1 {
+		return CommitToken{}, fmt.Errorf("api: malformed commit token %q (epoch must be >= 1)", s)
+	}
+	return CommitToken{StoreID: parts[0], Epoch: nums[0], Seq: nums[1], Off: nums[2]}, nil
+}
+
+// SameGeneration reports whether both tokens name positions in the same
+// WAL history, making their positions comparable.
+func (t CommitToken) SameGeneration(o CommitToken) bool {
+	return t.StoreID == o.StoreID && t.Epoch == o.Epoch
+}
+
+// Covers reports whether t's position is at or past o's. Only meaningful
+// when SameGeneration(o) holds.
+func (t CommitToken) Covers(o CommitToken) bool {
+	return t.Seq > o.Seq || (t.Seq == o.Seq && t.Off >= o.Off)
+}
 
 // PingResponse reports the API version and server identity.
 type PingResponse struct {
@@ -179,4 +252,21 @@ type ReplStatus struct {
 	// LastError surfaces the most recent replication error ("" while
 	// healthy); the follower keeps retrying on its own.
 	LastError string `json:"lastError,omitempty"`
+	// StoreID/Epoch name the leader generation the follower's state is
+	// verified against ("" / 0 while unverified — fresh replica, mid
+	// re-bootstrap, or a leader that restarted since last contact).
+	// Session tokens from any other generation are refused with 412.
+	StoreID string `json:"storeId,omitempty"`
+	Epoch   int64  `json:"epoch,omitempty"`
+	// StalenessMs is how long ago the follower last proved its applied
+	// position caught up with the leader's durable tip (-1: never yet).
+	// It keeps growing while the leader is unreachable, even if no
+	// writes are happening — staleness is about what the follower can
+	// prove, not about what it happens to miss.
+	StalenessMs int64 `json:"stalenessMs"`
+	// MaxStalenessMs is the follower REST server's serving budget (0 =
+	// unbounded); Degraded reports the budget is exhausted and reads are
+	// being refused with 503 until the follower proves itself fresh.
+	MaxStalenessMs int64 `json:"maxStalenessMs,omitempty"`
+	Degraded       bool  `json:"degraded,omitempty"`
 }

@@ -1,0 +1,277 @@
+// Package faultnet is an in-process TCP fault-injection proxy for
+// testing distributed behaviour without leaving the test binary. A
+// Proxy listens on a loopback port and forwards byte streams to a fixed
+// target, while the test script injects network pathologies at will:
+//
+//   - added latency with jitter (slow links, congested paths)
+//   - bandwidth caps (thin pipes — a snapshot that takes a while)
+//   - hard partitions (connections reset, new ones refused)
+//   - connection resets of everything in flight
+//   - one-shot torn streams (a response truncated mid-byte, then reset
+//     — the classic half-delivered WAL chunk)
+//
+// The proxy works at the transport layer on purpose: the code under
+// test sees exactly what a real flaky network produces — short reads,
+// ECONNRESET, stalls — not mocks of them. The replication session tests
+// (session_test.go) route follower replication and client reads through
+// proxies and assert the session guarantees hold regardless of what the
+// network does.
+//
+// All methods are safe for concurrent use; fault settings apply to new
+// reads immediately and can be changed while connections are live.
+package faultnet
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"net"
+	"sync"
+	"time"
+)
+
+// Proxy forwards TCP streams from a loopback listener to Target,
+// applying the currently configured faults to every byte that passes.
+type Proxy struct {
+	target string
+	ln     net.Listener
+
+	mu          sync.Mutex
+	latency     time.Duration
+	jitter      time.Duration
+	bytesPerSec int64
+	partitioned bool
+	tearAfter   int64 // >=0: truncate the next target->client stream after this many bytes
+	conns       map[net.Conn]struct{}
+	closed      bool
+
+	wg sync.WaitGroup
+}
+
+// New starts a proxy on an ephemeral loopback port forwarding to target
+// (a host:port address). Close it when done.
+func New(target string) (*Proxy, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("faultnet: listen: %w", err)
+	}
+	p := &Proxy{
+		target:    target,
+		ln:        ln,
+		tearAfter: -1,
+		conns:     make(map[net.Conn]struct{}),
+	}
+	p.wg.Add(1)
+	go p.acceptLoop()
+	return p, nil
+}
+
+// Addr returns the proxy's listening address (host:port).
+func (p *Proxy) Addr() string { return p.ln.Addr().String() }
+
+// URL returns the proxy's address as an http base URL, for pointing
+// HTTP clients (or replication followers) through the proxy.
+func (p *Proxy) URL() string { return "http://" + p.Addr() }
+
+// SetLatency adds a delay to every forwarded chunk, plus a uniformly
+// random extra in [0, jitter). Zero disables.
+func (p *Proxy) SetLatency(d, jitter time.Duration) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.latency, p.jitter = d, jitter
+}
+
+// SetBandwidth caps forwarding throughput per connection direction, in
+// bytes per second. Zero removes the cap.
+func (p *Proxy) SetBandwidth(bytesPerSec int64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.bytesPerSec = bytesPerSec
+}
+
+// SetPartitioned opens (true) or heals (false) a hard partition:
+// while partitioned, existing connections are reset and new ones are
+// refused with a reset rather than left hanging.
+func (p *Proxy) SetPartitioned(on bool) {
+	p.mu.Lock()
+	p.partitioned = on
+	var victims []net.Conn
+	if on {
+		for c := range p.conns {
+			victims = append(victims, c)
+		}
+	}
+	p.mu.Unlock()
+	for _, c := range victims {
+		reset(c)
+	}
+}
+
+// ResetAll resets every connection currently in flight (both halves),
+// leaving the proxy otherwise healthy — the transient "something
+// dropped all my connections" event.
+func (p *Proxy) ResetAll() {
+	p.mu.Lock()
+	victims := make([]net.Conn, 0, len(p.conns))
+	for c := range p.conns {
+		victims = append(victims, c)
+	}
+	p.mu.Unlock()
+	for _, c := range victims {
+		reset(c)
+	}
+}
+
+// TearNext arms a one-shot torn stream: the next target->client
+// response stream is forwarded for `after` bytes, then both halves are
+// reset — the client sees a truncated body, the server a broken pipe.
+func (p *Proxy) TearNext(after int64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.tearAfter = max(after, 0)
+}
+
+// Close stops the proxy and resets everything in flight.
+func (p *Proxy) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.closed = true
+	p.mu.Unlock()
+	err := p.ln.Close()
+	p.ResetAll()
+	p.wg.Wait()
+	return err
+}
+
+// reset drops a connection hard: SO_LINGER 0 so the peer sees RST, not
+// an orderly FIN — the difference matters to code that must survive
+// ECONNRESET mid-read.
+func reset(c net.Conn) {
+	if tc, ok := c.(*net.TCPConn); ok {
+		tc.SetLinger(0)
+	}
+	c.Close()
+}
+
+func (p *Proxy) track(c net.Conn) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return false
+	}
+	p.conns[c] = struct{}{}
+	return true
+}
+
+func (p *Proxy) untrack(c net.Conn) {
+	p.mu.Lock()
+	delete(p.conns, c)
+	p.mu.Unlock()
+}
+
+func (p *Proxy) acceptLoop() {
+	defer p.wg.Done()
+	for {
+		client, err := p.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		p.mu.Lock()
+		refused := p.partitioned || p.closed
+		p.mu.Unlock()
+		if refused {
+			reset(client)
+			continue
+		}
+		p.wg.Add(1)
+		go p.serve(client)
+	}
+}
+
+func (p *Proxy) serve(client net.Conn) {
+	defer p.wg.Done()
+	server, err := net.DialTimeout("tcp", p.target, 5*time.Second)
+	if err != nil {
+		reset(client)
+		return
+	}
+	if !p.track(client) || !p.track(server) {
+		reset(client)
+		reset(server)
+		return
+	}
+	// Decide at connection setup whether this stream is the one to tear:
+	// claiming the one-shot here keeps exactly one response torn even
+	// when many connections race.
+	p.mu.Lock()
+	tear := p.tearAfter
+	if tear >= 0 {
+		p.tearAfter = -1
+	}
+	p.mu.Unlock()
+
+	var once sync.Once
+	closeBoth := func() {
+		once.Do(func() {
+			reset(client)
+			reset(server)
+			p.untrack(client)
+			p.untrack(server)
+		})
+	}
+	var pumps sync.WaitGroup
+	pumps.Add(2)
+	go func() { defer pumps.Done(); p.pump(server, client, -1, closeBoth) }()   // requests
+	go func() { defer pumps.Done(); p.pump(client, server, tear, closeBoth) }() // responses
+	pumps.Wait()
+	closeBoth()
+}
+
+// pump copies src to dst applying the live fault settings per chunk.
+// tearAfter >= 0 truncates this stream after that many bytes and resets
+// both halves via closeBoth.
+func (p *Proxy) pump(dst, src net.Conn, tearAfter int64, closeBoth func()) {
+	buf := make([]byte, 16<<10)
+	var copied int64
+	for {
+		n, err := src.Read(buf)
+		if n > 0 {
+			p.shape(n)
+			chunk := buf[:n]
+			if tearAfter >= 0 && copied+int64(n) >= tearAfter {
+				dst.Write(chunk[:tearAfter-copied]) // best-effort truncated prefix
+				closeBoth()
+				return
+			}
+			if _, werr := dst.Write(chunk); werr != nil {
+				closeBoth()
+				return
+			}
+			copied += int64(n)
+		}
+		if err != nil {
+			closeBoth()
+			return
+		}
+	}
+}
+
+// shape sleeps according to the current latency/jitter/bandwidth
+// settings for a chunk of n bytes.
+func (p *Proxy) shape(n int) {
+	p.mu.Lock()
+	latency, jitter, bps := p.latency, p.jitter, p.bytesPerSec
+	p.mu.Unlock()
+	d := latency
+	if jitter > 0 {
+		d += rand.N(jitter)
+	}
+	if bps > 0 {
+		d += time.Duration(int64(n) * int64(time.Second) / bps)
+	}
+	if d > 0 {
+		time.Sleep(d)
+	}
+}

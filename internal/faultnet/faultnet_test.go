@@ -1,0 +1,197 @@
+package faultnet
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// echoServer accepts connections and echoes whatever arrives.
+func echoServer(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() { io.Copy(c, c); c.Close() }()
+		}
+	}()
+	return ln.Addr().String()
+}
+
+func dialProxy(t *testing.T, p *Proxy) net.Conn {
+	t.Helper()
+	c, err := net.DialTimeout("tcp", p.Addr(), 2*time.Second)
+	if err != nil {
+		t.Fatalf("dial proxy: %v", err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func roundTrip(c net.Conn, msg []byte) ([]byte, error) {
+	if _, err := c.Write(msg); err != nil {
+		return nil, err
+	}
+	got := make([]byte, len(msg))
+	if _, err := io.ReadFull(c, got); err != nil {
+		return nil, err
+	}
+	return got, nil
+}
+
+func TestPassThrough(t *testing.T) {
+	p, err := New(echoServer(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	c := dialProxy(t, p)
+	msg := []byte("hello through the proxy")
+	got, err := roundTrip(c, msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("echoed %q, want %q", got, msg)
+	}
+}
+
+func TestLatency(t *testing.T) {
+	p, err := New(echoServer(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	p.SetLatency(60*time.Millisecond, 0)
+	c := dialProxy(t, p)
+	start := time.Now()
+	if _, err := roundTrip(c, []byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	// Both directions are delayed: request and response chunks.
+	if d := time.Since(start); d < 100*time.Millisecond {
+		t.Fatalf("round trip took %v, want >= 100ms with 60ms per-direction latency", d)
+	}
+}
+
+func TestBandwidthCap(t *testing.T) {
+	p, err := New(echoServer(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	p.SetBandwidth(64 << 10) // 64 KiB/s
+	c := dialProxy(t, p)
+	msg := bytes.Repeat([]byte("x"), 16<<10) // 16 KiB each way
+	start := time.Now()
+	if _, err := roundTrip(c, msg); err != nil {
+		t.Fatal(err)
+	}
+	// 16 KiB at 64 KiB/s is 250ms per direction; allow generous slack
+	// downward for chunking but require clearly-shaped timing.
+	if d := time.Since(start); d < 300*time.Millisecond {
+		t.Fatalf("16KiB round trip took %v, want >= 300ms under a 64KiB/s cap", d)
+	}
+}
+
+func TestPartitionAndHeal(t *testing.T) {
+	p, err := New(echoServer(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	c := dialProxy(t, p)
+	if _, err := roundTrip(c, []byte("before")); err != nil {
+		t.Fatal(err)
+	}
+
+	p.SetPartitioned(true)
+	// The existing connection dies...
+	c.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := roundTrip(c, []byte("during")); err == nil {
+		t.Fatal("round trip through a partition succeeded")
+	}
+	// ...and new ones are refused or reset immediately.
+	c2, err := net.DialTimeout("tcp", p.Addr(), 2*time.Second)
+	if err == nil {
+		c2.SetReadDeadline(time.Now().Add(2 * time.Second))
+		if _, err := roundTrip(c2, []byte("during2")); err == nil {
+			t.Fatal("new connection through a partition worked")
+		}
+		c2.Close()
+	}
+
+	p.SetPartitioned(false)
+	c3 := dialProxy(t, p)
+	got, err := roundTrip(c3, []byte("after"))
+	if err != nil {
+		t.Fatalf("round trip after heal: %v", err)
+	}
+	if string(got) != "after" {
+		t.Fatalf("after heal echoed %q", got)
+	}
+}
+
+func TestResetAll(t *testing.T) {
+	p, err := New(echoServer(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	c := dialProxy(t, p)
+	if _, err := roundTrip(c, []byte("warm")); err != nil {
+		t.Fatal(err)
+	}
+	p.ResetAll()
+	c.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := roundTrip(c, []byte("gone")); err == nil {
+		t.Fatal("connection survived ResetAll")
+	}
+	// The proxy itself stays healthy.
+	c2 := dialProxy(t, p)
+	if _, err := roundTrip(c2, []byte("fresh")); err != nil {
+		t.Fatalf("fresh connection after ResetAll: %v", err)
+	}
+}
+
+func TestTearNextTruncatesOneResponse(t *testing.T) {
+	p, err := New(echoServer(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	p.TearNext(10)
+	c := dialProxy(t, p)
+	msg := bytes.Repeat([]byte("y"), 1<<10)
+	if _, err := c.Write(msg); err != nil {
+		t.Fatal(err)
+	}
+	c.SetReadDeadline(time.Now().Add(5 * time.Second))
+	got, err := io.ReadAll(c)
+	if err == nil && len(got) == len(msg) {
+		t.Fatal("torn stream delivered the full response")
+	}
+	if len(got) > 10 {
+		t.Fatalf("torn stream delivered %d bytes, want <= 10", len(got))
+	}
+
+	// One-shot: the next connection is whole again.
+	c2 := dialProxy(t, p)
+	got2, err := roundTrip(c2, msg)
+	if err != nil {
+		t.Fatalf("round trip after tear: %v", err)
+	}
+	if !bytes.Equal(got2, msg) {
+		t.Fatal("second stream still damaged after one-shot tear")
+	}
+}

@@ -6,6 +6,7 @@ package httputil
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"log"
 	"net/http"
@@ -54,6 +55,11 @@ func DecodeJSON(r *http.Request, dst any) error {
 	return nil
 }
 
+// ErrInvalidEnvelope marks a response body that is not a well-formed
+// envelope at all — a truncated or damaged transfer rather than a
+// server-stated error. Clients treat it as retryable.
+var ErrInvalidEnvelope = errors.New("invalid response envelope")
+
 // ReadEnvelope parses a response produced by WriteJSON/WriteError into
 // data (may be nil to discard) and returns the embedded error if set.
 // Used by the Go client SDK.
@@ -63,7 +69,7 @@ func ReadEnvelope(body []byte, data any) error {
 		Error string          `json:"error"`
 	}
 	if err := json.Unmarshal(body, &env); err != nil {
-		return fmt.Errorf("invalid response envelope: %w", err)
+		return fmt.Errorf("%w: %v", ErrInvalidEnvelope, err)
 	}
 	if env.Error != "" {
 		return fmt.Errorf("%s", env.Error)

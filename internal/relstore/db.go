@@ -170,6 +170,19 @@ type DB struct {
 	// applied position or they would declare a replica caught up while
 	// its reads still serve older state.
 	appliedSeq, appliedOff int64
+	// appliedNotify is closed and replaced whenever the applied position
+	// advances (or the store closes) — the wake-up primitive behind
+	// WaitFollowerApplied, which token-gated follower reads block on.
+	// Guarded by walMu.
+	appliedNotify chan struct{}
+
+	// genID/genEpoch are the store generation (see generation.go): the
+	// identity of the WAL history that positions and session tokens are
+	// relative to. Guarded by walMu; a leader's generation is fixed at
+	// Open, a follower's moves as the replication orchestrator verifies
+	// it against its leader.
+	genID    string
+	genEpoch int64
 
 	// compacting gates the background compactor to one goroutine;
 	// compactWG lets Close wait for an in-flight cycle. compactions and
@@ -236,6 +249,7 @@ func Open(dir string, opts *Options) (*DB, error) {
 	}
 	db.walCond = sync.NewCond(&db.walMu)
 	db.walNotify = make(chan struct{})
+	db.appliedNotify = make(chan struct{})
 	snapSeq, err := db.loadSnapshot()
 	if err == nil && !opts.Follower {
 		// A replica directory is only ever written by this code; there is
@@ -290,6 +304,11 @@ func Open(dir string, opts *Options) (*DB, error) {
 	}
 	db.wal = w
 	db.durable = true
+	if err := db.initGeneration(); err != nil {
+		w.Close()
+		lock.release()
+		return nil, err
+	}
 	// Recovery replayed every durable byte, so the applied position
 	// starts equal to the durable one.
 	db.appliedSeq, db.appliedOff = db.walSeq, w.size
@@ -305,6 +324,10 @@ func OpenMemory() *DB {
 	}
 	db.walCond = sync.NewCond(&db.walMu)
 	db.walNotify = make(chan struct{})
+	db.appliedNotify = make(chan struct{})
+	// A memory store still has an identity so its (never-replicated)
+	// positions are unambiguous; there is just no file to persist it in.
+	db.genID, db.genEpoch = newGenerationID(), 1
 	return db
 }
 
@@ -331,6 +354,7 @@ func (db *DB) Close() error {
 	}
 	db.walCond.Broadcast()
 	db.bumpWALNotifyLocked()
+	db.bumpAppliedNotifyLocked()
 	db.walMu.Unlock()
 	db.compactWG.Wait()
 	// A manual Compact() may still be mid-cycle (compactWG only covers

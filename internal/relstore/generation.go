@@ -1,0 +1,229 @@
+package relstore
+
+// Store generation: a persistent (id, epoch) pair that names one line of
+// WAL history. Session tokens embed it so that a commit position minted
+// by one leader process can never be "satisfied" by state from a
+// different history that happens to reuse the same segment numbering.
+//
+//   - The id is minted once, the first time a directory is opened as a
+//     leader, and never changes for the life of the store directory. Two
+//     unrelated stores can never satisfy each other's tokens.
+//   - The epoch increments on every leader open. A leader restart —
+//     clean or from restored backup — therefore starts a new epoch, and
+//     positions from different epochs are never compared: a follower
+//     whose state was verified against epoch N refuses (rather than
+//     guesses about) tokens from any other epoch. After a clean restart
+//     the history is unchanged, so the replication layer re-verifies the
+//     follower's local prefix against the new epoch byte for byte and
+//     adopts it without a re-bootstrap; only a leader whose history
+//     actually diverged forces the follower back to a snapshot.
+//
+// A follower does not mint generations. It records the generation its
+// state was last verified against (SetFollowerGeneration), persisted in
+// the same store.gen file so a follower restart keeps serving token
+// reads without re-verification as long as the leader's epoch is
+// unchanged.
+//
+// The file is advisory consistency metadata, not part of the data
+// history: losing it costs one re-verification (follower) or mints a
+// fresh id (leader, invalidating outstanding tokens — safe, tokens fail
+// closed), never data.
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// generationFile is the store.gen file name inside the store directory.
+const generationFile = "store.gen"
+
+type generation struct {
+	ID    string `json:"id"`
+	Epoch int64  `json:"epoch"`
+}
+
+func newGenerationID() string {
+	var b [6]byte
+	rand.Read(b[:])
+	return hex.EncodeToString(b[:])
+}
+
+// loadGeneration reads dir's store.gen. A missing or malformed file is
+// reported as absent, not an error: the file is advisory and the caller
+// regenerates (leader) or re-verifies (follower) from nothing.
+func loadGeneration(dir string) (generation, bool) {
+	data, err := os.ReadFile(filepath.Join(dir, generationFile))
+	if err != nil {
+		return generation{}, false
+	}
+	var g generation
+	if err := json.Unmarshal(data, &g); err != nil || g.ID == "" || g.Epoch < 1 {
+		return generation{}, false
+	}
+	return g, true
+}
+
+// writeGeneration durably replaces dir's store.gen (write temp, fsync,
+// rename, fsync dir — a crash leaves either the old or the new file).
+func writeGeneration(dir string, g generation) error {
+	data, err := json.Marshal(g)
+	if err != nil {
+		return err
+	}
+	path := filepath.Join(dir, generationFile)
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return syncDir(dir)
+}
+
+// initGeneration establishes the store's generation at Open time, after
+// recovery succeeded. Leaders mint/bump; followers only adopt what a
+// previous run verified (the replication orchestrator re-verifies and
+// updates it whenever the leader's epoch moves).
+func (db *DB) initGeneration() error {
+	if db.opts.Follower {
+		if g, ok := loadGeneration(db.dir); ok {
+			db.genID, db.genEpoch = g.ID, g.Epoch
+		}
+		return nil
+	}
+	g, ok := loadGeneration(db.dir)
+	if !ok {
+		g = generation{ID: newGenerationID()}
+	}
+	g.Epoch++
+	if err := writeGeneration(db.dir, g); err != nil {
+		return fmt.Errorf("relstore: persist store generation: %w", err)
+	}
+	db.genID, db.genEpoch = g.ID, g.Epoch
+	return nil
+}
+
+// Generation reports the store's current generation. ok is false when
+// none is known: a memory store before any use (never — OpenMemory mints
+// one), or a follower whose state has not been verified against any
+// leader epoch yet (fresh replica, mid re-bootstrap, or a pre-generation
+// replica directory).
+func (db *DB) Generation() (id string, epoch int64, ok bool) {
+	db.walMu.Lock()
+	defer db.walMu.Unlock()
+	return db.genID, db.genEpoch, db.genID != ""
+}
+
+// SetFollowerGeneration durably records the leader generation the
+// follower's state is verified against. Only the replication
+// orchestrator calls this, after it has either byte-compared the local
+// WAL prefix with the leader's under the new epoch or replaced the state
+// wholesale from the leader's snapshot.
+func (db *DB) SetFollowerGeneration(id string, epoch int64) error {
+	if !db.opts.Follower {
+		return errors.New("relstore: SetFollowerGeneration on a store not opened in follower mode")
+	}
+	if id == "" || epoch < 1 {
+		return fmt.Errorf("relstore: invalid generation %s:%d", id, epoch)
+	}
+	if db.dir != "" {
+		if err := writeGeneration(db.dir, generation{ID: id, Epoch: epoch}); err != nil {
+			return err
+		}
+	}
+	db.walMu.Lock()
+	db.genID, db.genEpoch = id, epoch
+	db.walMu.Unlock()
+	return nil
+}
+
+// clearGeneration forgets the follower's verified generation (and its
+// persisted record): the state it described is being discarded. Token
+// reads fail closed (retryable) until a new generation is verified.
+func (db *DB) clearGeneration() error {
+	if db.dir != "" {
+		if err := os.Remove(filepath.Join(db.dir, generationFile)); err != nil && !os.IsNotExist(err) {
+			return err
+		}
+	}
+	db.walMu.Lock()
+	db.genID, db.genEpoch = "", 0
+	db.walMu.Unlock()
+	return nil
+}
+
+// CommitPosition reports the leader's current WAL position: every commit
+// acknowledged so far is at or below (seq, off). Read immediately after
+// an Update returns, it is a valid — if conservative — session token for
+// that write. ok is false when there is no WAL to name a position in
+// (memory store) or the store is closed or poisoned.
+func (db *DB) CommitPosition() (seq, off int64, ok bool) {
+	if !db.durable {
+		return 0, 0, false
+	}
+	db.walMu.Lock()
+	defer db.walMu.Unlock()
+	if db.closed || db.walErr != nil || db.wal == nil {
+		return 0, 0, false
+	}
+	return db.walSeq, db.wal.size, true
+}
+
+// WaitFollowerApplied blocks until the follower's applied position —
+// what reads actually observe — reaches (seq, off), the context is done,
+// or the store closes. It compares positions only; the caller is
+// responsible for ensuring (seq, off) comes from the same generation the
+// follower's state is verified against, otherwise "reached" is
+// meaningless. A poisoned replica's applied position stays put, so
+// waiters simply run into their deadline (the orchestrator's
+// re-bootstrap resets the position and wakes them).
+func (db *DB) WaitFollowerApplied(ctx context.Context, seq, off int64) error {
+	for {
+		db.walMu.Lock()
+		aseq, aoff := db.appliedSeq, db.appliedOff
+		closed := db.closed
+		ch := db.appliedNotify
+		db.walMu.Unlock()
+		if aseq > seq || (aseq == seq && aoff >= off) {
+			return nil
+		}
+		if closed {
+			return errors.New("relstore: store is closed")
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-ch:
+		}
+	}
+}
+
+// bumpAppliedNotifyLocked wakes everyone blocked in WaitFollowerApplied.
+// Caller holds walMu.
+func (db *DB) bumpAppliedNotifyLocked() {
+	close(db.appliedNotify)
+	db.appliedNotify = make(chan struct{})
+}

@@ -1,0 +1,209 @@
+package relstore
+
+import (
+	"context"
+	"errors"
+	"os"
+	"testing"
+	"time"
+)
+
+// TestGenerationMintedAndEpochBumps pins the leader-side generation
+// lifecycle: the first open mints a store id at epoch 1, every reopen
+// keeps the id and bumps the epoch — the signal followers use to notice
+// "the leader restarted since I verified".
+func TestGenerationMintedAndEpochBumps(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id1, epoch1, ok := db.Generation()
+	if !ok || id1 == "" || epoch1 != 1 {
+		t.Fatalf("first open generation = (%q, %d, %v), want fresh id at epoch 1", id1, epoch1, ok)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	db2, err := Open(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	id2, epoch2, ok := db2.Generation()
+	if !ok || id2 != id1 {
+		t.Fatalf("reopen changed the store id: %q -> %q", id1, id2)
+	}
+	if epoch2 != 2 {
+		t.Fatalf("reopen epoch = %d, want 2", epoch2)
+	}
+}
+
+// TestFollowerGenerationIsAssignedNotMinted pins the follower side: a
+// replica never invents a generation (its history belongs to a leader),
+// it records one only when verification assigns it — and the assignment
+// persists across reopens.
+func TestFollowerGenerationIsAssignedNotMinted(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir, &Options{Follower: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id, epoch, ok := db.Generation(); ok {
+		t.Fatalf("fresh follower minted a generation (%q, %d)", id, epoch)
+	}
+	if err := db.SetFollowerGeneration("cafe00112233", 7); err != nil {
+		t.Fatal(err)
+	}
+	if id, epoch, ok := db.Generation(); !ok || id != "cafe00112233" || epoch != 7 {
+		t.Fatalf("after assignment: (%q, %d, %v)", id, epoch, ok)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	db2, err := Open(dir, &Options{Follower: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if id, epoch, ok := db2.Generation(); !ok || id != "cafe00112233" || epoch != 7 {
+		t.Fatalf("assigned generation did not survive reopen: (%q, %d, %v)", id, epoch, ok)
+	}
+	// A leader must never accept the follower-assignment path.
+	leaderDir := t.TempDir()
+	ldb, err := Open(leaderDir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ldb.Close()
+	if err := ldb.SetFollowerGeneration("cafe00112233", 9); err == nil {
+		t.Fatal("SetFollowerGeneration on a leader succeeded")
+	}
+}
+
+// TestCommitPositionTracksCommits pins that the commit position a
+// session token is built from moves with every durable commit and is
+// refused on stores that cannot honour it (memory stores have no WAL).
+func TestCommitPositionTracksCommits(t *testing.T) {
+	db, err := Open(t.TempDir(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if err := db.CreateTable(Schema{Name: "kv", Key: "id", Columns: []Column{
+		{Name: "id", Type: TString},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	seq0, off0, ok := db.CommitPosition()
+	if !ok {
+		t.Fatal("durable store refused a commit position")
+	}
+	if err := db.Update(func(tx *Tx) error { return tx.Put("kv", Row{"id": "a"}) }); err != nil {
+		t.Fatal(err)
+	}
+	seq1, off1, ok := db.CommitPosition()
+	if !ok {
+		t.Fatal("commit position unavailable after a commit")
+	}
+	if seq1 < seq0 || (seq1 == seq0 && off1 <= off0) {
+		t.Fatalf("commit position did not advance: (%d,%d) -> (%d,%d)", seq0, off0, seq1, off1)
+	}
+
+	mem := OpenMemory()
+	defer mem.Close()
+	if _, _, ok := mem.CommitPosition(); ok {
+		t.Fatal("memory store handed out a commit position it cannot honour")
+	}
+}
+
+// TestWaitFollowerApplied exercises the wait primitive the follower
+// read gate is built on: immediate satisfaction, wake-up on apply,
+// deadline expiry, and failure on close.
+func TestWaitFollowerApplied(t *testing.T) {
+	leaderDir := t.TempDir()
+	ldb, err := Open(leaderDir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ldb.Close()
+	if err := ldb.CreateTable(Schema{Name: "kv", Key: "id", Columns: []Column{
+		{Name: "id", Type: TString},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	frames := captureWAL(t, ldb) // everything committed so far
+
+	fdb, err := Open(t.TempDir(), &Options{Follower: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fdb.Close()
+	if _, err := fdb.FollowerApply(frames); err != nil {
+		t.Fatal(err)
+	}
+	aseq, aoff := fdb.FollowerAppliedPosition()
+
+	// Already satisfied: returns immediately.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := fdb.WaitFollowerApplied(ctx, aseq, aoff); err != nil {
+		t.Fatalf("wait for an already-applied position: %v", err)
+	}
+
+	// Not yet satisfied: a short deadline expires...
+	short, scancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer scancel()
+	if err := fdb.WaitFollowerApplied(short, aseq, aoff+1); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("wait past the tip = %v, want deadline exceeded", err)
+	}
+
+	// ...but applying more WAL wakes a pending waiter.
+	if err := ldb.Update(func(tx *Tx) error { return tx.Put("kv", Row{"id": "x"}) }); err != nil {
+		t.Fatal(err)
+	}
+	more := captureWAL(t, ldb)[len(frames):]
+	done := make(chan error, 1)
+	go func() {
+		wctx, wcancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer wcancel()
+		done <- fdb.WaitFollowerApplied(wctx, aseq, aoff+1)
+	}()
+	time.Sleep(20 * time.Millisecond) // let the waiter park
+	if _, err := fdb.FollowerApply(more); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("waiter not woken by apply: %v", err)
+	}
+
+	// A waiter pending at close errors out instead of hanging.
+	done2 := make(chan error, 1)
+	go func() {
+		wctx, wcancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer wcancel()
+		done2 <- fdb.WaitFollowerApplied(wctx, aseq+100, 0)
+	}()
+	time.Sleep(20 * time.Millisecond)
+	if err := fdb.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done2; err == nil {
+		t.Fatal("waiter survived store close without error")
+	}
+}
+
+// captureWAL reads the leader's durable current-segment bytes straight
+// from the segment file, giving raw frames a follower can apply.
+func captureWAL(t *testing.T, db *DB) []byte {
+	t.Helper()
+	pos, _, err := db.ShipPosition()
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(db.SegmentPath(pos.WALSeq))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data[:pos.Durable]
+}

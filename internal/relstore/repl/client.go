@@ -7,11 +7,41 @@ import (
 	"io"
 	"net/http"
 	"strconv"
+	"strings"
 	"time"
 
 	"chronos/internal/httputil"
 	"chronos/internal/relstore"
 )
+
+// Gen names a store generation as carried in the X-Chronos-Gen header:
+// the identity of the WAL history a ship response's positions belong to.
+type Gen struct {
+	StoreID string
+	Epoch   int64
+}
+
+// Known reports whether the generation is populated (responses from a
+// pre-generation leader leave it zero).
+func (g Gen) Known() bool { return g.StoreID != "" && g.Epoch > 0 }
+
+// String renders the header form, "id:epoch".
+func (g Gen) String() string { return g.StoreID + ":" + strconv.FormatInt(g.Epoch, 10) }
+
+// parseGenHeader decodes an X-Chronos-Gen value; a missing or malformed
+// header yields an unknown Gen (fail open here — the follower treats an
+// unknown generation conservatively).
+func parseGenHeader(v string) Gen {
+	id, epochStr, ok := strings.Cut(v, ":")
+	if !ok || id == "" {
+		return Gen{}
+	}
+	epoch, err := strconv.ParseInt(epochStr, 10, 64)
+	if err != nil || epoch < 1 {
+		return Gen{}
+	}
+	return Gen{StoreID: id, Epoch: epoch}
+}
 
 // Sentinel errors the ship client maps HTTP statuses onto.
 var (
@@ -82,22 +112,26 @@ func (c *Client) Status(ctx context.Context) (relstore.ShipPosition, error) {
 	return pos, httputil.ReadEnvelope(body, &pos)
 }
 
-// Snapshot opens a stream of the leader's latest snapshot. The caller
-// must Close it. ErrNoSnapshot means the leader has never compacted.
-func (c *Client) Snapshot(ctx context.Context) (io.ReadCloser, error) {
+// Snapshot opens a stream of the leader's latest snapshot, along with
+// the generation of the store it came from. The caller must Close the
+// stream. ErrNoSnapshot means the leader has never compacted — the
+// returned generation is still meaningful then (an empty replica is a
+// trivial prefix of that history).
+func (c *Client) Snapshot(ctx context.Context) (io.ReadCloser, Gen, error) {
 	resp, err := c.get(ctx, c.url("snapshot"))
 	if err != nil {
-		return nil, err
+		return nil, Gen{}, err
 	}
+	gen := parseGenHeader(resp.Header.Get(HeaderGen))
 	switch resp.StatusCode {
 	case http.StatusOK:
-		return resp.Body, nil
+		return resp.Body, gen, nil
 	case http.StatusNotFound:
 		resp.Body.Close()
-		return nil, ErrNoSnapshot
+		return nil, gen, ErrNoSnapshot
 	default:
 		resp.Body.Close()
-		return nil, fmt.Errorf("repl: leader snapshot: HTTP %d", resp.StatusCode)
+		return nil, Gen{}, fmt.Errorf("repl: leader snapshot: HTTP %d", resp.StatusCode)
 	}
 }
 
@@ -110,6 +144,10 @@ type WALChunk struct {
 	Data   []byte
 	End    int64 // offset the served range runs to (sealed: segment size)
 	Sealed bool
+	// Gen is the generation of the store that served the chunk. A
+	// follower that sees it move away from the generation its state is
+	// verified against stops applying and re-verifies first.
+	Gen Gen
 }
 
 // TailWAL fetches raw frame bytes of segment seq starting at offset
@@ -125,9 +163,10 @@ func (c *Client) TailWAL(ctx context.Context, seq, from int64, wait time.Duratio
 		return WALChunk{}, err
 	}
 	defer resp.Body.Close()
+	gen := parseGenHeader(resp.Header.Get(HeaderGen))
 	switch resp.StatusCode {
 	case http.StatusOK:
-		chunk := WALChunk{Sealed: resp.Header.Get(HeaderSealed) == "1"}
+		chunk := WALChunk{Sealed: resp.Header.Get(HeaderSealed) == "1", Gen: gen}
 		chunk.End, err = strconv.ParseInt(resp.Header.Get(HeaderEnd), 10, 64)
 		if err != nil {
 			return WALChunk{}, fmt.Errorf("repl: leader wal: bad %s header", HeaderEnd)
@@ -141,7 +180,7 @@ func (c *Client) TailWAL(ctx context.Context, seq, from int64, wait time.Duratio
 		}
 		return chunk, nil
 	case http.StatusNoContent:
-		return WALChunk{}, nil
+		return WALChunk{Gen: gen}, nil
 	case http.StatusGone:
 		return WALChunk{}, ErrSegmentGone
 	default:

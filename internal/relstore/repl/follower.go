@@ -1,12 +1,16 @@
 package repl
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"fmt"
 	"log"
+	"math/rand/v2"
 	"net/http"
+	"os"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"chronos/internal/api"
@@ -27,8 +31,14 @@ type Config struct {
 	ReplToken string
 	// PollWait is the long-poll budget per tail request (10s when zero).
 	PollWait time.Duration
-	// RetryEvery paces reconnects after transport errors (1s when zero).
+	// RetryEvery is the base reconnect delay after a transport error (1s
+	// when zero). Consecutive failures without progress back off
+	// exponentially (with jitter) from here up to RetryMax, so a
+	// flapping or partitioned leader is not hammered at a constant rate;
+	// any successful round resets the delay to this base.
 	RetryEvery time.Duration
+	// RetryMax caps the backed-off reconnect delay (30s when zero).
+	RetryMax time.Duration
 	// CompactEvery configures local compaction of the replica's own WAL
 	// mirror, same semantics as relstore.Options.CompactEvery (0 =
 	// default, negative = never). Local compaction keeps a long-lived
@@ -57,6 +67,15 @@ type Follower struct {
 	tipKnown   bool
 	bootstraps int64
 	lastErr    error
+	// caughtUpAt is when the applied position last provably matched the
+	// leader's durable tip — the basis of the bounded-staleness budget.
+	// Zero until the first catch-up.
+	caughtUpAt time.Time
+
+	// progress records that the current replicate pass achieved
+	// something (a clean tail round, applied bytes, or a bootstrap);
+	// run() resets its reconnect backoff when it did.
+	progress atomic.Bool
 
 	// Torn-frame strike tracking (touched only by the run goroutine): a
 	// frame that keeps failing its CRC at the same offset is not a
@@ -85,6 +104,10 @@ func Start(cfg Config) (*Follower, error) {
 	if cfg.RetryEvery <= 0 {
 		cfg.RetryEvery = time.Second
 	}
+	if cfg.RetryMax <= 0 {
+		cfg.RetryMax = 30 * time.Second
+	}
+	cfg.RetryMax = max(cfg.RetryMax, cfg.RetryEvery)
 	if cfg.Logger == nil {
 		cfg.Logger = log.Default()
 	}
@@ -128,6 +151,7 @@ func (f *Follower) Close() error {
 // applied.
 func (f *Follower) Status() api.ReplStatus {
 	seq, off := f.db.FollowerAppliedPosition()
+	genID, genEpoch, genKnown := f.db.Generation()
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	st := api.ReplStatus{
@@ -136,6 +160,13 @@ func (f *Follower) Status() api.ReplStatus {
 		AppliedBytes: off,
 		Bootstraps:   f.bootstraps,
 		LagBytes:     -1,
+		StalenessMs:  -1,
+	}
+	if genKnown {
+		st.StoreID, st.Epoch = genID, genEpoch
+	}
+	if !f.caughtUpAt.IsZero() {
+		st.StalenessMs = time.Since(f.caughtUpAt).Milliseconds()
 	}
 	if f.lastErr != nil {
 		st.LastError = f.lastErr.Error()
@@ -152,18 +183,30 @@ func (f *Follower) Status() api.ReplStatus {
 }
 
 // run is the replication loop: converge, and on any error back off and
-// reconverge, until the context ends.
+// reconverge, until the context ends. The reconnect delay grows
+// exponentially (with jitter, so a fleet of followers does not stampede
+// a recovering leader in lockstep) while passes fail without progress,
+// and snaps back to the base the moment one achieves anything.
 func (f *Follower) run(ctx context.Context) {
 	defer close(f.done)
+	backoff := f.cfg.RetryEvery
 	for ctx.Err() == nil {
+		f.progress.Store(false)
 		err := f.replicate(ctx)
 		if err == nil || ctx.Err() != nil {
 			return
 		}
 		f.setErr(err)
-		f.log.Printf("repl: follower: %v (retrying in %v)", err, f.cfg.RetryEvery)
+		if f.progress.Load() {
+			backoff = f.cfg.RetryEvery
+		}
+		// Uniform in [backoff/2, backoff]: enough spread to decorrelate
+		// followers without ever collapsing the delay to ~zero.
+		delay := backoff/2 + time.Duration(rand.Int64N(int64(backoff/2)+1))
+		f.log.Printf("repl: follower: %v (retrying in %v)", err, delay.Round(time.Millisecond))
+		backoff = min(backoff*2, f.cfg.RetryMax)
 		select {
-		case <-time.After(f.cfg.RetryEvery):
+		case <-time.After(delay):
 		case <-ctx.Done():
 		}
 	}
@@ -185,6 +228,17 @@ func (f *Follower) replicate(ctx context.Context) error {
 		if err := f.bootstrap(ctx); err != nil {
 			return err
 		}
+	} else if tip.StoreID != "" {
+		// The leader names a generation. If it is not the one our state
+		// was verified against — a leader restart since last contact, a
+		// fresh replica, or a pre-generation replica directory — prove
+		// our history is a prefix of the leader's before trusting any
+		// position comparison again.
+		if id, epoch, ok := f.db.Generation(); !ok || id != tip.StoreID || epoch != tip.Epoch {
+			if err := f.adoptGeneration(ctx, tip); err != nil {
+				return err
+			}
+		}
 	}
 
 	for ctx.Err() == nil {
@@ -200,6 +254,15 @@ func (f *Follower) replicate(ctx context.Context) error {
 		}
 		if err != nil {
 			return fmt.Errorf("tail segment %d: %w", seq, err)
+		}
+		if chunk.Gen.Known() {
+			// A restarted leader may answer the next tail without any
+			// transport error (keep-alive reconnects transparently). The
+			// generation riding on the chunk betrays it: stop before
+			// applying anything and re-verify our history first.
+			if id, epoch, ok := f.db.Generation(); !ok || id != chunk.Gen.StoreID || epoch != chunk.Gen.Epoch {
+				return fmt.Errorf("leader generation moved to %s mid-tail; re-verifying", chunk.Gen)
+			}
 		}
 		f.observeTip(seq, chunk)
 		if len(chunk.Data) > 0 {
@@ -217,6 +280,7 @@ func (f *Follower) replicate(ctx context.Context) error {
 					// bytes) and re-bootstrap instead.
 					if n > 0 {
 						f.tornStrikes = 0
+						f.progress.Store(true)
 						continue
 					}
 					if seq == f.tornSeq && off == f.tornOff {
@@ -245,8 +309,9 @@ func (f *Follower) replicate(ctx context.Context) error {
 			_, off = f.db.FollowerPosition()
 		}
 		// A full clean round — data applied, or an idle poll — means the
-		// pipeline is healthy; clear any stale error from Status.
-		f.setErr(nil)
+		// pipeline is healthy; clear any stale error from Status, reset
+		// the reconnect backoff and refresh the staleness clock.
+		f.noteCleanRound()
 		if chunk.Sealed && off >= chunk.End {
 			// Advance only once every byte of the sealed segment is
 			// durable locally — a truncated response body cannot skip
@@ -261,9 +326,14 @@ func (f *Follower) replicate(ctx context.Context) error {
 }
 
 // bootstrap wipes the replica and restores it from the leader's current
-// snapshot (or to empty when the leader has never compacted).
+// snapshot (or to empty when the leader has never compacted). The
+// restored state derives from the serving leader's history by
+// construction, so its generation — stamped on the snapshot response —
+// is adopted without verification. (A snapshot file predating a clean
+// leader restart is still a prefix of the current epoch's history, so
+// stamping it with the serving process's epoch is sound.)
 func (f *Follower) bootstrap(ctx context.Context) error {
-	rc, err := f.client.Snapshot(ctx)
+	rc, gen, err := f.client.Snapshot(ctx)
 	if err != nil && !errors.Is(err, ErrNoSnapshot) {
 		return fmt.Errorf("fetch snapshot: %w", err)
 	}
@@ -277,14 +347,132 @@ func (f *Follower) bootstrap(ctx context.Context) error {
 			return fmt.Errorf("reset replica: %w", err)
 		}
 	}
+	// Count the bootstrap the moment the state swap lands: Reinit moved
+	// the applied position, so a convergence barrier can return from
+	// here on and must already observe the incremented counter.
+	f.progress.Store(true)
 	f.mu.Lock()
 	f.bootstraps++
 	n := f.bootstraps
 	f.lastErr = nil // a fresh bootstrap is a recovery
 	f.mu.Unlock()
+	if gen.Known() {
+		if err := f.db.SetFollowerGeneration(gen.StoreID, gen.Epoch); err != nil {
+			return fmt.Errorf("record generation: %w", err)
+		}
+	}
 	seq, _ := f.db.FollowerPosition()
 	f.log.Printf("repl: follower bootstrapped from %s (bootstrap #%d, resuming at segment %d)", f.cfg.Leader, n, seq)
 	return nil
+}
+
+// adoptGeneration reconciles the replica with a leader generation its
+// state was not verified against. If the local WAL tail is byte-for-byte
+// identical to what the leader serves under the new generation — the
+// clean-restart case — the generation is adopted in place; otherwise
+// (diverged history, or nothing left to compare) the replica
+// re-bootstraps from the leader's snapshot. Either way, token-gated
+// reads were failing closed from the moment the mismatch was noticed
+// until the new generation is recorded.
+func (f *Follower) adoptGeneration(ctx context.Context, tip relstore.ShipPosition) error {
+	if seq, off := f.db.FollowerPosition(); seq == 1 && off == 0 {
+		// A virgin replica — no snapshot, not one byte mirrored — holds
+		// nothing any history could disagree with: adopt the generation
+		// as-is and let plain tailing fill it (no bootstrap needed).
+		if err := f.db.SetFollowerGeneration(tip.StoreID, tip.Epoch); err != nil {
+			return fmt.Errorf("record generation: %w", err)
+		}
+		return nil
+	}
+	if f.verifyPrefix(ctx, tip) {
+		if err := f.db.SetFollowerGeneration(tip.StoreID, tip.Epoch); err != nil {
+			return fmt.Errorf("record generation: %w", err)
+		}
+		f.progress.Store(true)
+		f.log.Printf("repl: follower verified local history against leader generation %s:%d", tip.StoreID, tip.Epoch)
+		return nil
+	}
+	f.log.Printf("repl: follower cannot verify local history against leader generation %s:%d; re-bootstrapping", tip.StoreID, tip.Epoch)
+	return f.bootstrap(ctx)
+}
+
+// verifyPrefix byte-compares the replica's current WAL segment prefix
+// with the leader's copy. True means the local tail sits on the leader's
+// history; a clean leader restart passes (identical bytes), a leader
+// restored from diverged data fails (different bytes, or the leader
+// cannot serve our offset at all). At a fresh segment boundary the
+// previous (sealed) segment is compared instead — there is nothing of
+// the current one to disagree about yet. The comparison is bounded by
+// one segment; histories that diverge only below the latest segment
+// boundary while agreeing byte-for-byte above it are indistinguishable
+// here and are treated as equal — acceptable, because WAL frames are
+// CRC-framed copies of the leader's bytes: agreeing on a whole trailing
+// segment while differing earlier requires identical re-written bytes at
+// identical offsets.
+func (f *Follower) verifyPrefix(ctx context.Context, tip relstore.ShipPosition) bool {
+	seq, end := f.db.FollowerPosition()
+	if end == 0 {
+		seq--
+		if seq < 1 || seq <= tip.SnapshotSeq {
+			return false // nothing the leader can still serve
+		}
+		fi, err := os.Stat(f.db.SegmentPath(seq))
+		if err != nil || fi.Size() == 0 {
+			return false
+		}
+		end = fi.Size()
+	}
+	local, err := os.ReadFile(f.db.SegmentPath(seq))
+	if err != nil || int64(len(local)) < end {
+		return false
+	}
+	for cursor := int64(0); cursor < end; {
+		chunk, err := f.client.TailWAL(ctx, seq, cursor, 0)
+		if err != nil || len(chunk.Data) == 0 {
+			// Errors, 410 (compacted or divergent) and empty polls (the
+			// leader's durable position is behind ours — divergence) all
+			// mean the prefix cannot be confirmed.
+			return false
+		}
+		if chunk.Gen.Known() && (chunk.Gen.StoreID != tip.StoreID || chunk.Gen.Epoch != tip.Epoch) {
+			return false // the leader restarted again mid-verification
+		}
+		n := min(int64(len(chunk.Data)), end-cursor)
+		if !bytes.Equal(chunk.Data[:n], local[cursor:cursor+n]) {
+			return false
+		}
+		cursor += n
+	}
+	return true
+}
+
+// noteCleanRound records a healthy tail round: clears the surfaced
+// error, resets the reconnect backoff, and — when the applied position
+// has provably reached the leader's durable tip — restarts the
+// staleness clock.
+func (f *Follower) noteCleanRound() {
+	f.progress.Store(true)
+	aseq, aoff := f.db.FollowerAppliedPosition()
+	f.mu.Lock()
+	f.lastErr = nil
+	if f.tipKnown && (aseq > f.leaderTip.WALSeq || (aseq == f.leaderTip.WALSeq && aoff >= f.leaderTip.Durable)) {
+		f.caughtUpAt = time.Now()
+	}
+	f.mu.Unlock()
+}
+
+// Staleness reports how long ago the follower last proved itself caught
+// up with the leader's durable tip. ok is false until the first
+// catch-up. The clock keeps running while the leader is unreachable —
+// staleness measures what the follower can currently prove, not whether
+// any write actually happened in the window.
+func (f *Follower) Staleness() (time.Duration, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.caughtUpAt.IsZero() {
+		return 0, false
+	}
+	return time.Since(f.caughtUpAt), true
 }
 
 func (f *Follower) setTip(tip relstore.ShipPosition) {

@@ -1,0 +1,157 @@
+package repl
+
+import (
+	"net/http"
+	"os"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"chronos/internal/relstore"
+)
+
+// TestLeaderRestartAdoptsWithoutBootstrap pins the cheap path of the
+// generation protocol: a clean leader restart bumps the epoch, and a
+// caught-up follower proves its prefix matches and adopts the new epoch
+// in place — no snapshot re-bootstrap, no window of refused reads.
+func TestLeaderRestartAdoptsWithoutBootstrap(t *testing.T) {
+	opts := &relstore.Options{SegmentBytes: 8 << 10, CompactEvery: -1}
+	l := startLeader(t, opts, nil)
+	if err := l.DB().CreateTable(kvSchema()); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		put(t, l.DB(), "kv", "pre", int64(i))
+	}
+	f := startFollower(t, l, "")
+	assertConverged(t, l, f)
+	if _, epoch, ok := f.db.Generation(); !ok || epoch != 1 {
+		t.Fatalf("follower epoch before restart: %d (known %v), want 1", epoch, ok)
+	}
+
+	l.restart(opts)
+	for i := 0; i < 20; i++ {
+		put(t, l.DB(), "kv", "post", int64(i))
+	}
+	assertConverged(t, l, f)
+
+	if n := f.Status().Bootstraps; n != 0 {
+		t.Fatalf("clean leader restart forced %d bootstrap(s); prefix verification should adopt in place", n)
+	}
+	if _, epoch, ok := f.db.Generation(); !ok || epoch != 2 {
+		t.Fatalf("follower epoch after restart: %d (known %v), want 2", epoch, ok)
+	}
+	if st := f.Status(); st.Epoch != 2 || st.StoreID == "" {
+		t.Fatalf("follower status does not surface the adopted generation: %+v", st)
+	}
+}
+
+// TestDivergedLeaderRestartForcesBootstrap pins the fail-closed path: a
+// leader that restarts having LOST part of its tail (and then writes
+// different history over the same offsets) must not be silently adopted
+// — the follower's byte comparison fails and it re-bootstraps, ending
+// byte-identical with the new history instead of a chimera of both.
+func TestDivergedLeaderRestartForcesBootstrap(t *testing.T) {
+	opts := &relstore.Options{SegmentBytes: 1 << 20, CompactEvery: -1}
+	l := startLeader(t, opts, nil)
+	if err := l.DB().CreateTable(kvSchema()); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		put(t, l.DB(), "kv", "old", int64(i))
+	}
+	dir := t.TempDir()
+	f := startFollower(t, l, dir)
+	assertConverged(t, l, f)
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart the leader with a torn tail: close, chop bytes the
+	// follower has already applied off the active segment, reopen (the
+	// truncated tail reads as a crash), then write different history
+	// over the same offsets.
+	l.mu.Lock()
+	pos, _, err := l.db.ShipPosition()
+	if err != nil {
+		l.mu.Unlock()
+		t.Fatal(err)
+	}
+	seg := l.db.SegmentPath(pos.WALSeq)
+	if err := l.db.Close(); err != nil {
+		l.mu.Unlock()
+		t.Fatal(err)
+	}
+	if err := os.Truncate(seg, pos.Durable/2); err != nil {
+		l.mu.Unlock()
+		t.Fatal(err)
+	}
+	db, err := relstore.Open(l.dir, opts)
+	if err != nil {
+		l.mu.Unlock()
+		t.Fatal(err)
+	}
+	l.db = db
+	l.mu.Unlock()
+	for i := 0; i < 50; i++ {
+		put(t, l.DB(), "kv", "new-history", int64(i)*7)
+	}
+
+	// The follower restarts with its old (now divergent) mirror.
+	f2, err := Start(Config{
+		Dir:        dir,
+		Leader:     l.srv.URL,
+		PollWait:   250 * time.Millisecond,
+		RetryEvery: 20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { f2.Close() })
+	assertConverged(t, l, f2)
+	if n := f2.Status().Bootstraps; n < 1 {
+		t.Fatalf("diverged leader history adopted without a re-bootstrap (bootstraps=%d)", n)
+	}
+}
+
+// TestRetryBackoffThrottlesDeadLeader pins the reconnect policy: against
+// a leader that fails every request, the retry delay backs off
+// exponentially (with jitter) instead of hammering at the base rate.
+// With base 10ms capped at 80ms, a constant-rate follower would issue
+// ~40 requests in 400ms; the backed-off one stays far below that.
+func TestRetryBackoffThrottlesDeadLeader(t *testing.T) {
+	var hits atomic.Int64
+	l := startLeader(t, nil, func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if strings.Contains(r.URL.Path, "/repl/") {
+				hits.Add(1)
+				http.Error(w, "boom", http.StatusInternalServerError)
+				return
+			}
+			next.ServeHTTP(w, r)
+		})
+	})
+	f, err := Start(Config{
+		Dir:        t.TempDir(),
+		Leader:     l.srv.URL,
+		PollWait:   100 * time.Millisecond,
+		RetryEvery: 10 * time.Millisecond,
+		RetryMax:   80 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { f.Close() })
+	time.Sleep(400 * time.Millisecond)
+	n := hits.Load()
+	if n < 3 {
+		t.Fatalf("follower gave up retrying: only %d attempts in 400ms", n)
+	}
+	if n > 25 {
+		t.Fatalf("follower hammered a dead leader: %d attempts in 400ms, backoff not applied", n)
+	}
+	if st := f.Status(); st.LastError == "" {
+		t.Fatalf("no error surfaced while the leader is failing: %+v", st)
+	}
+}

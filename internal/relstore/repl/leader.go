@@ -25,6 +25,30 @@
 // leader's history, with no lost and no invented commits, across
 // follower restarts and across leader compactions that force a snapshot
 // re-bootstrap.
+//
+// # Generations and session tokens
+//
+// Positions are only comparable within one store generation — the
+// persistent (id, epoch) pair relstore mints per leader open (see
+// relstore's generation.go). Every ship response carries the serving
+// leader's generation (in the status body and the X-Chronos-Gen header
+// on snapshot and WAL responses), and a follower tracks the generation
+// its state was last verified against. When the leader's epoch moves —
+// any leader restart — the follower byte-compares its local WAL tail
+// with the leader's before adopting the new epoch; a mismatch (a leader
+// restored from diverged history) forces a snapshot re-bootstrap
+// instead. Session tokens (internal/rest's X-Chronos-Commit-Position /
+// X-Chronos-Read-After headers) embed the generation, so a token minted
+// by a pre-restart leader is never silently "satisfied" by a follower
+// whose state comes from a different history: the follower refuses it
+// (412, the client's cue to fall back to the leader) rather than serve
+// a position that means nothing in its own history.
+//
+// The network-fault session harness in internal/faultnet drives this
+// whole stack — writers through the leader, token-carrying readers
+// through followers, both through a fault-injecting TCP proxy, across
+// follower restarts, leader restarts and forced re-bootstraps — and
+// asserts that read-your-writes and monotonic reads hold throughout.
 package repl
 
 import (
@@ -55,6 +79,12 @@ const (
 	// Deliberately not the agent token: shipping exposes the whole
 	// store, which the job-execution endpoints never do.
 	HeaderReplToken = "X-Chronos-Repl-Token"
+	// HeaderGen carries the serving store's generation as "id:epoch" on
+	// snapshot and WAL responses, so a follower notices a leader restart
+	// (epoch move) on the very chunk it arrives with — even when the
+	// restart was fast enough that no transport error betrayed it — and
+	// re-verifies its history before applying anything further.
+	HeaderGen = "X-Chronos-Gen"
 )
 
 // DefaultMaxWait caps how long a WAL tail request may long-poll before
@@ -108,6 +138,7 @@ func (h *Handler) Status(w http.ResponseWriter, r *http.Request) {
 // the leader has never compacted: the follower starts empty at segment 1
 // — every segment since birth is still live.
 func (h *Handler) Snapshot(w http.ResponseWriter, r *http.Request) {
+	h.setGenHeader(w)
 	f, err := os.Open(h.db.SnapshotFilePath())
 	if err != nil {
 		if os.IsNotExist(err) {
@@ -136,6 +167,7 @@ func (h *Handler) Snapshot(w http.ResponseWriter, r *http.Request) {
 // segment — or the requested offset — is no longer shippable and the
 // follower must re-bootstrap from the snapshot.
 func (h *Handler) WAL(w http.ResponseWriter, r *http.Request) {
+	h.setGenHeader(w)
 	seq, err := strconv.ParseInt(r.PathValue("seq"), 10, 64)
 	if err != nil || seq <= 0 {
 		httputil.WriteError(w, http.StatusBadRequest, errors.New("repl: bad segment number"))
@@ -232,6 +264,15 @@ func (h *Handler) WAL(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		t.Stop()
+	}
+}
+
+// setGenHeader stamps the serving store's generation on the response.
+// Called before anything is written; a store without a known generation
+// (never, for a leader) just omits the header.
+func (h *Handler) setGenHeader(w http.ResponseWriter) {
+	if id, epoch, ok := h.db.Generation(); ok {
+		w.Header().Set(HeaderGen, Gen{StoreID: id, Epoch: epoch}.String())
 	}
 }
 

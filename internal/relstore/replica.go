@@ -43,6 +43,11 @@ type ShipPosition struct {
 	// snapshot; segments at or below it may be deleted at any moment, so
 	// a follower needing one must bootstrap from the snapshot instead.
 	SnapshotSeq int64 `json:"snapshotSeq"`
+	// StoreID/Epoch name the generation (history identity) the position
+	// is relative to — see generation.go. A follower adopts them only
+	// after verifying its local state belongs to that history.
+	StoreID string `json:"storeId,omitempty"`
+	Epoch   int64  `json:"epoch,omitempty"`
 }
 
 // ShipPosition reports the current durable position plus a channel that
@@ -67,7 +72,7 @@ func (db *DB) ShipPosition() (ShipPosition, <-chan struct{}, error) {
 		// ship from at this instant.
 		return ShipPosition{}, nil, errors.New("relstore: store is re-initialising")
 	}
-	pos := ShipPosition{WALSeq: db.walSeq, Durable: db.wal.size, SnapshotSeq: db.snapSeq.Load()}
+	pos := ShipPosition{WALSeq: db.walSeq, Durable: db.wal.size, SnapshotSeq: db.snapSeq.Load(), StoreID: db.genID, Epoch: db.genEpoch}
 	return pos, db.walNotify, nil
 }
 
@@ -189,6 +194,7 @@ func (db *DB) FollowerApply(data []byte) (int64, error) {
 			// while this chunk was applying: its position supersedes ours.
 			if db.walSeq == durSeq && durOff > db.appliedOff {
 				db.appliedSeq, db.appliedOff = durSeq, durOff
+				db.bumpAppliedNotifyLocked()
 			}
 			db.walMu.Unlock()
 		}
@@ -239,6 +245,7 @@ func (db *DB) FollowerAdvanceSegment() error {
 	// Advance is called only once every byte of the sealed segment is
 	// applied, so the applied position moves to the fresh segment's start.
 	db.appliedSeq, db.appliedOff = db.walSeq, 0
+	db.bumpAppliedNotifyLocked()
 	return nil
 }
 
@@ -275,6 +282,15 @@ func (db *DB) FollowerReinit(snapshot io.Reader) error {
 	}
 	db.walErr = nil
 	db.walMu.Unlock()
+
+	// The generation claim describes the state being discarded; forget it
+	// before any new state lands so a crash can never pair the new
+	// snapshot with the old claim. The orchestrator records the new
+	// generation (SetFollowerGeneration) once it knows the snapshot's
+	// origin; until then token-gated reads fail closed.
+	if err := db.clearGeneration(); err != nil {
+		return db.reinitFailed(err)
+	}
 
 	// Delete every old segment (durably) BEFORE installing the new
 	// snapshot. The old history may contain segments numbered above the
@@ -352,6 +368,7 @@ func (db *DB) FollowerReinit(snapshot io.Reader) error {
 	db.snapSeq.Store(snapSeq)
 	db.walCond.Broadcast()
 	db.bumpWALNotifyLocked()
+	db.bumpAppliedNotifyLocked()
 	db.walMu.Unlock()
 	return nil
 }
@@ -367,6 +384,10 @@ func (db *DB) OpenReset() error { return db.openReset }
 // follower directory whose mirrored history cannot be replayed.
 func (db *DB) resetReplicaDir() error {
 	if err := os.Remove(db.snapshotPath()); err != nil && !os.IsNotExist(err) {
+		return err
+	}
+	// The wiped state no longer backs the persisted generation claim.
+	if err := os.Remove(filepath.Join(db.dir, generationFile)); err != nil && !os.IsNotExist(err) {
 		return err
 	}
 	seqs, err := listSegments(db.dir)

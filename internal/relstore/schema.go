@@ -99,6 +99,30 @@
 // covers. The HTTP ship protocol over this surface lives in
 // internal/relstore/repl.
 //
+// # Store generations and commit positions
+//
+// Session-consistency tokens need two facts only the store can supply:
+// where in the WAL a response was served from, and which history that
+// position belongs to. CommitPosition returns the durable position of
+// the last acknowledged commit (leaders); FollowerAppliedPosition and
+// WaitFollowerApplied expose and await the applied position (replicas)
+// — WaitFollowerApplied is the primitive behind the REST layer's
+// read-after gate, waking on apply, context deadline, or store close.
+//
+// Positions from different histories must never be compared, so every
+// durable store carries a generation (store.gen): a store id minted on
+// first open plus an epoch bumped on every leader open. A crash or
+// restart may silently discard an unsynced tail, so any position minted
+// before a restart is only trustworthy against the history that
+// actually survived — the epoch bump is what forces that re-proof. A
+// follower never mints a generation; it records the leader generation
+// it has verified its bytes against (SetFollowerGeneration), and
+// FollowerReinit clears it until the re-bootstrap completes, so an
+// unverified replica hands out no tokens and honours none. The
+// verification protocol that decides adopt-vs-re-bootstrap lives in
+// internal/relstore/repl; the token format and HTTP headers in
+// internal/api.
+//
 // # Commit path and group commit
 //
 // DB.Update applies buffered writes to the in-memory tables under the

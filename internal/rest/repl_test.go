@@ -2,6 +2,8 @@ package rest
 
 import (
 	"context"
+	"io"
+	"log"
 	"net/http"
 	"net/http/httptest"
 	"reflect"
@@ -18,7 +20,7 @@ import (
 
 // durableFixture is a control server over a disk-backed store, which the
 // replication endpoints need (a memory store has no WAL to ship).
-func durableFixture(t *testing.T, replToken string) (*Server, *httptest.Server, *core.Service) {
+func durableFixture(t testing.TB, replToken string) (*Server, *httptest.Server, *core.Service) {
 	t.Helper()
 	db, err := relstore.Open(t.TempDir(), &relstore.Options{SegmentBytes: 4 << 10})
 	if err != nil {
@@ -31,6 +33,7 @@ func durableFixture(t *testing.T, replToken string) (*Server, *httptest.Server, 
 	}
 	server := NewServer(svc)
 	server.ReplToken = replToken
+	server.Logger = log.New(io.Discard, "", 0)
 	ts := httptest.NewServer(server.Handler())
 	t.Cleanup(ts.Close)
 	return server, ts, svc

@@ -16,6 +16,7 @@ import (
 	"log"
 	"net/http"
 	"strings"
+	"time"
 
 	"chronos/internal/api"
 	"chronos/internal/auth"
@@ -48,6 +49,15 @@ type Server struct {
 	// follower and supplies its progress for GET /api/{v}/status.
 	// Leaders leave it nil.
 	Repl ReplStatusProvider
+	// ReadAfterWait bounds how long a follower holds a read that carries
+	// an X-Chronos-Read-After token it has not yet applied up to, before
+	// answering 503 + Retry-After. Zero means the 5s default.
+	ReadAfterWait time.Duration
+	// MaxStaleness is the follower's bounded-staleness serving budget:
+	// when the follower cannot prove it caught up with the leader within
+	// this window, data reads degrade to 503 + Retry-After rather than
+	// serve arbitrarily stale state. Zero means unbounded (serve always).
+	MaxStaleness time.Duration
 
 	mux *http.ServeMux
 }
@@ -67,12 +77,17 @@ func NewServer(svc *core.Service) *Server {
 
 // Handler returns the root handler including middleware.
 func (s *Server) Handler() http.Handler {
-	return httputil.LogRequests(s.Logger, s.mux)
+	return httputil.LogRequests(s.Logger, s.withCommitPosition(s.mux))
 }
 
 // routes wires both API versions onto the mux.
 func (s *Server) routes() {
 	ship := repl.NewHandler(s.svc.Store().DB())
+	// view gates data reads: viewer role plus, on followers, the session
+	// guarantees (staleness budget + X-Chronos-Read-After). The status
+	// endpoint stays on the bare viewer gate — it must keep answering
+	// precisely when the follower is degraded.
+	view := func(h http.HandlerFunc) http.HandlerFunc { return s.viewer(s.read(h)) }
 	for _, v := range APIVersions {
 		p := "/api/" + v
 		s.mux.HandleFunc("GET "+p+"/ping", s.handlePing(v))
@@ -91,47 +106,47 @@ func (s *Server) routes() {
 
 		// Users (admin).
 		s.mux.HandleFunc("POST "+p+"/users", s.admin(s.handleCreateUser))
-		s.mux.HandleFunc("GET "+p+"/users", s.viewer(s.handleListUsers))
-		s.mux.HandleFunc("GET "+p+"/users/{id}", s.viewer(s.handleGetUser))
+		s.mux.HandleFunc("GET "+p+"/users", view(s.handleListUsers))
+		s.mux.HandleFunc("GET "+p+"/users/{id}", view(s.handleGetUser))
 
 		// Projects.
 		s.mux.HandleFunc("POST "+p+"/projects", s.member(s.handleCreateProject))
-		s.mux.HandleFunc("GET "+p+"/projects", s.viewer(s.handleListProjects))
-		s.mux.HandleFunc("GET "+p+"/projects/{id}", s.viewer(s.handleGetProject))
+		s.mux.HandleFunc("GET "+p+"/projects", view(s.handleListProjects))
+		s.mux.HandleFunc("GET "+p+"/projects/{id}", view(s.handleGetProject))
 		s.mux.HandleFunc("POST "+p+"/projects/{id}/archive", s.member(s.handleArchiveProject))
-		s.mux.HandleFunc("GET "+p+"/projects/{id}/export", s.viewer(s.handleExportProject))
+		s.mux.HandleFunc("GET "+p+"/projects/{id}/export", view(s.handleExportProject))
 		s.mux.HandleFunc("POST "+p+"/projects/{id}/members", s.member(s.handleAddProjectMember))
 
 		// Systems.
 		s.mux.HandleFunc("POST "+p+"/systems", s.member(s.handleRegisterSystem))
-		s.mux.HandleFunc("GET "+p+"/systems", s.viewer(s.handleListSystems))
-		s.mux.HandleFunc("GET "+p+"/systems/{id}", s.viewer(s.handleGetSystem))
+		s.mux.HandleFunc("GET "+p+"/systems", view(s.handleListSystems))
+		s.mux.HandleFunc("GET "+p+"/systems/{id}", view(s.handleGetSystem))
 
 		// Deployments.
 		s.mux.HandleFunc("POST "+p+"/deployments", s.member(s.handleCreateDeployment))
-		s.mux.HandleFunc("GET "+p+"/deployments", s.viewer(s.handleListDeployments))
+		s.mux.HandleFunc("GET "+p+"/deployments", view(s.handleListDeployments))
 		s.mux.HandleFunc("POST "+p+"/deployments/{id}/active", s.member(s.handleSetDeploymentActive))
 
 		// Experiments.
 		s.mux.HandleFunc("POST "+p+"/experiments", s.member(s.handleCreateExperiment))
-		s.mux.HandleFunc("GET "+p+"/experiments", s.viewer(s.handleListExperiments))
-		s.mux.HandleFunc("GET "+p+"/experiments/{id}", s.viewer(s.handleGetExperiment))
+		s.mux.HandleFunc("GET "+p+"/experiments", view(s.handleListExperiments))
+		s.mux.HandleFunc("GET "+p+"/experiments/{id}", view(s.handleGetExperiment))
 		s.mux.HandleFunc("POST "+p+"/experiments/{id}/archive", s.member(s.handleArchiveExperiment))
 
 		// Evaluations. POST is also the build-bot scheduling hook.
 		s.mux.HandleFunc("POST "+p+"/evaluations", s.member(s.handleCreateEvaluation))
-		s.mux.HandleFunc("GET "+p+"/evaluations", s.viewer(s.handleListEvaluations))
-		s.mux.HandleFunc("GET "+p+"/evaluations/{id}", s.viewer(s.handleGetEvaluation))
-		s.mux.HandleFunc("GET "+p+"/evaluations/{id}/status", s.viewer(s.handleEvaluationStatus))
-		s.mux.HandleFunc("GET "+p+"/evaluations/{id}/jobs", s.viewer(s.handleEvaluationJobs))
+		s.mux.HandleFunc("GET "+p+"/evaluations", view(s.handleListEvaluations))
+		s.mux.HandleFunc("GET "+p+"/evaluations/{id}", view(s.handleGetEvaluation))
+		s.mux.HandleFunc("GET "+p+"/evaluations/{id}/status", view(s.handleEvaluationStatus))
+		s.mux.HandleFunc("GET "+p+"/evaluations/{id}/jobs", view(s.handleEvaluationJobs))
 
 		// Job management (UI side).
-		s.mux.HandleFunc("GET "+p+"/jobs/{id}", s.viewer(s.handleGetJob))
+		s.mux.HandleFunc("GET "+p+"/jobs/{id}", view(s.handleGetJob))
 		s.mux.HandleFunc("POST "+p+"/jobs/{id}/abort", s.member(s.handleAbortJob))
 		s.mux.HandleFunc("POST "+p+"/jobs/{id}/reschedule", s.member(s.handleRescheduleJob))
-		s.mux.HandleFunc("GET "+p+"/jobs/{id}/result", s.viewer(s.handleJobResult))
-		s.mux.HandleFunc("GET "+p+"/jobs/{id}/logs", s.viewer(s.handleJobLogs))
-		s.mux.HandleFunc("GET "+p+"/jobs/{id}/timeline", s.viewer(s.handleJobTimeline))
+		s.mux.HandleFunc("GET "+p+"/jobs/{id}/result", view(s.handleJobResult))
+		s.mux.HandleFunc("GET "+p+"/jobs/{id}/logs", view(s.handleJobLogs))
+		s.mux.HandleFunc("GET "+p+"/jobs/{id}/timeline", view(s.handleJobTimeline))
 
 		// Job execution (agent side).
 		s.mux.HandleFunc("POST "+p+"/jobs/claim", s.agent(s.handleClaim(v)))
@@ -232,7 +247,7 @@ func fail(w http.ResponseWriter, err error) {
 		// This server is a replication follower: writes belong on the
 		// leader. 503 tells well-behaved clients to go there rather
 		// than retry here.
-		httputil.WriteError(w, http.StatusServiceUnavailable, err)
+		writeUnavailable(w, err)
 	default:
 		httputil.WriteError(w, http.StatusBadRequest, err)
 	}
@@ -263,6 +278,10 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	if s.Repl != nil {
 		rs := s.Repl.Status()
 		resp.Mode = "follower"
+		if s.MaxStaleness > 0 {
+			rs.MaxStalenessMs = s.MaxStaleness.Milliseconds()
+			rs.Degraded = rs.StalenessMs < 0 || rs.StalenessMs > rs.MaxStalenessMs
+		}
 		resp.Repl = &rs
 	}
 	httputil.WriteJSON(w, http.StatusOK, resp)

@@ -9,26 +9,37 @@
 package client
 
 import (
-	"bytes"
-	"encoding/json"
 	"fmt"
-	"io"
 	"net/http"
+	"sync"
 	"time"
 
 	"chronos/internal/api"
 	"chronos/internal/core"
-	"chronos/internal/httputil"
 	"chronos/internal/params"
 )
 
-// Client talks to a Chronos Control server.
+// Client talks to a Chronos Control server. When WithLeader points at a
+// separate leader, baseURL is treated as the (follower) read path:
+// mutations route to the leader, reads carry the session token for
+// read-your-writes and fall back to the leader when the follower cannot
+// serve them (see session.go).
 type Client struct {
 	baseURL    string
 	version    string
 	httpClient *http.Client
 	token      string // session bearer token
 	agentToken string // shared agent token
+
+	leaderURL  string        // "" = baseURL is the leader
+	reqTimeout time.Duration // per-attempt context deadline
+	retries    int           // attempts for idempotent GETs
+	retryBase  time.Duration // first retry backoff
+	retryMax   time.Duration // backoff cap
+
+	mu         sync.Mutex
+	session    api.CommitToken // newest commit position seen (the ratchet)
+	hasSession bool
 }
 
 // Option customises a Client.
@@ -53,6 +64,10 @@ func NewClient(baseURL string, opts ...Option) *Client {
 		baseURL:    baseURL,
 		version:    "v1",
 		httpClient: &http.Client{Timeout: 30 * time.Second},
+		reqTimeout: 15 * time.Second,
+		retries:    3,
+		retryBase:  100 * time.Millisecond,
+		retryMax:   2 * time.Second,
 	}
 	for _, o := range opts {
 		o(c)
@@ -66,42 +81,13 @@ func (c *Client) Version() string { return c.version }
 // SetSessionToken installs a bearer token obtained via Login.
 func (c *Client) SetSessionToken(tok string) { c.token = tok }
 
-// do issues one request and decodes the enveloped response into out.
+// do routes one logical API call: mutations to the leader, idempotent
+// GETs through the retrying read path with leader fallback (session.go).
 func (c *Client) do(method, path string, body, out any) error {
-	var rdr io.Reader
-	if body != nil {
-		data, err := json.Marshal(body)
-		if err != nil {
-			return fmt.Errorf("client: marshal request: %w", err)
-		}
-		rdr = bytes.NewReader(data)
+	if method == http.MethodGet {
+		return c.doRead(path, out)
 	}
-	req, err := http.NewRequest(method, c.baseURL+"/api/"+c.version+path, rdr)
-	if err != nil {
-		return err
-	}
-	if body != nil {
-		req.Header.Set("Content-Type", "application/json")
-	}
-	if c.token != "" {
-		req.Header.Set("Authorization", "Bearer "+c.token)
-	}
-	if c.agentToken != "" {
-		req.Header.Set("X-Chronos-Agent-Token", c.agentToken)
-	}
-	resp, err := c.httpClient.Do(req)
-	if err != nil {
-		return err
-	}
-	defer resp.Body.Close()
-	data, err := io.ReadAll(io.LimitReader(resp.Body, httputil.MaxBodyBytes))
-	if err != nil {
-		return err
-	}
-	if err := httputil.ReadEnvelope(data, out); err != nil {
-		return fmt.Errorf("client: %s %s: %w", method, path, err)
-	}
-	return nil
+	return c.doOnce(c.writeBase(), method, path, body, out)
 }
 
 // Ping checks connectivity and returns the server's version info.
@@ -143,6 +129,13 @@ func (c *Client) CreateUser(name string, role core.Role) (*core.User, error) {
 	return &out, err
 }
 
+// GetUser fetches one user.
+func (c *Client) GetUser(id string) (*core.User, error) {
+	var out core.User
+	err := c.do(http.MethodGet, "/users/"+id, nil, &out)
+	return &out, err
+}
+
 // ListUsers returns all users.
 func (c *Client) ListUsers() ([]*core.User, error) {
 	var out []*core.User
@@ -171,28 +164,17 @@ func (c *Client) ArchiveProject(id string) error {
 	return c.do(http.MethodPost, "/projects/"+id+"/archive", struct{}{}, nil)
 }
 
-// ExportProject downloads the project archive zip.
+// ExportProject downloads the project archive zip. Like every read it
+// goes through the retrying read path: session token attached, leader
+// fallback when the follower cannot serve it.
 func (c *Client) ExportProject(id string) ([]byte, error) {
-	req, err := http.NewRequest(http.MethodGet, c.baseURL+"/api/"+c.version+"/projects/"+id+"/export", nil)
-	if err != nil {
-		return nil, err
-	}
-	if c.token != "" {
-		req.Header.Set("Authorization", "Bearer "+c.token)
-	}
-	resp, err := c.httpClient.Do(req)
-	if err != nil {
-		return nil, err
-	}
-	defer resp.Body.Close()
-	data, err := io.ReadAll(io.LimitReader(resp.Body, httputil.MaxBodyBytes))
-	if err != nil {
-		return nil, err
-	}
-	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("client: export: %s", data)
-	}
-	return data, nil
+	var data []byte
+	err := c.readLoop(func(base string) error {
+		var err error
+		data, err = c.rawGet(base, "/projects/"+id+"/export")
+		return err
+	})
+	return data, err
 }
 
 // RegisterSystem declares an SuE.

@@ -1,0 +1,254 @@
+package client
+
+// The session-consistency side of the SDK: commit-position tokens,
+// retry/backoff, and leader fallback.
+//
+// Every successful response carries the serving store's commit position
+// in X-Chronos-Commit-Position; the client ratchets the newest one it
+// has seen and threads it into reads as X-Chronos-Read-After. Against a
+// follower that yields read-your-writes and monotonic reads; when the
+// follower answers 503 (lagging, degraded, or mid-verification) the
+// client retries with jittered exponential backoff, and when it answers
+// 412 (the token's generation can never be proven there) or retries run
+// out, the read falls back to the leader configured via WithLeader.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"net/http"
+	"time"
+
+	"chronos/internal/api"
+	"chronos/internal/httputil"
+)
+
+// Typed failures the retry and fallback logic keys on; match with
+// errors.Is. Wrapped errors carry the server's own message.
+var (
+	// ErrUnavailable: the server answered 503 (follower lagging or
+	// degraded, or a write hit a read-only follower) or was unreachable.
+	// Retryable — and for writes, a hint to go to the leader.
+	ErrUnavailable = errors.New("client: server temporarily unavailable")
+	// ErrStale: the server answered 412 — this follower can never prove
+	// it holds the session token's history (pre-restart epoch or foreign
+	// store). Retrying there is pointless; only the leader can serve it.
+	ErrStale = errors.New("client: follower cannot serve this session token")
+)
+
+// WithLeader names the leader endpoint when baseURL points at a
+// follower: mutations route there, and reads fall back to it when the
+// follower refuses or keeps failing.
+func WithLeader(url string) Option { return func(c *Client) { c.leaderURL = url } }
+
+// WithRequestTimeout bounds each individual HTTP attempt (not the whole
+// retry loop) with a context deadline.
+func WithRequestTimeout(d time.Duration) Option { return func(c *Client) { c.reqTimeout = d } }
+
+// WithRetries sets how many attempts an idempotent read makes against
+// the read endpoint before giving up (or falling back to the leader).
+func WithRetries(n int) Option { return func(c *Client) { c.retries = max(n, 1) } }
+
+// WithBackoff sets the first retry delay and its cap; delays double
+// between attempts with uniform jitter in [d/2, d].
+func WithBackoff(base, cap time.Duration) Option {
+	return func(c *Client) { c.retryBase, c.retryMax = base, max(cap, base) }
+}
+
+// LastCommit returns the newest commit position this client has observed
+// (its session token), if any. Writes ratchet it forward; reads both use
+// and refresh it.
+func (c *Client) LastCommit() (api.CommitToken, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.session, c.hasSession
+}
+
+// writeBase is where mutations go: the leader when one is configured.
+func (c *Client) writeBase() string {
+	if c.leaderURL != "" {
+		return c.leaderURL
+	}
+	return c.baseURL
+}
+
+// noteToken ratchets the session token from a response header. Within a
+// generation only a covering (newer-or-equal) position replaces the
+// current one — that monotonicity is what makes threading the token into
+// reads yield monotonic reads. A different generation replaces the token
+// outright when it is genuinely newer history (a bumped epoch after a
+// leader restart, or a different store when the client was repointed).
+func (c *Client) noteToken(h http.Header) {
+	v := h.Get(api.HeaderCommitPosition)
+	if v == "" {
+		return
+	}
+	tok, err := api.ParseCommitToken(v)
+	if err != nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	switch {
+	case !c.hasSession:
+		c.session, c.hasSession = tok, true
+	case tok.SameGeneration(c.session):
+		if tok.Covers(c.session) {
+			c.session = tok
+		}
+	case tok.StoreID != c.session.StoreID || tok.Epoch > c.session.Epoch:
+		c.session = tok
+	}
+}
+
+// doRead runs an idempotent GET through the retry/fallback loop.
+func (c *Client) doRead(path string, out any) error {
+	return c.readLoop(func(base string) error {
+		return c.doOnce(base, http.MethodGet, path, nil, out)
+	})
+}
+
+// readLoop is the shared read policy: up to c.retries attempts against
+// the read endpoint with jittered exponential backoff on ErrUnavailable,
+// then a final attempt at the leader on ErrStale or exhaustion.
+func (c *Client) readLoop(attempt func(base string) error) error {
+	backoff := c.retryBase
+	var err error
+	for i := 0; i < c.retries; i++ {
+		if i > 0 {
+			time.Sleep(backoff/2 + rand.N(backoff/2+1))
+			backoff = min(backoff*2, c.retryMax)
+		}
+		err = attempt(c.baseURL)
+		if err == nil {
+			return nil
+		}
+		if errors.Is(err, ErrStale) {
+			// Definitive refusal: no retry against this server can
+			// succeed, but the leader can serve the read.
+			break
+		}
+		if !errors.Is(err, ErrUnavailable) {
+			return err // a real answer (404, 400, ...): not retryable
+		}
+	}
+	if c.leaderURL != "" && c.leaderURL != c.baseURL {
+		return attempt(c.leaderURL)
+	}
+	return err
+}
+
+// doOnce issues a single HTTP attempt against base and decodes the
+// enveloped response into out, mapping 503/412 onto the typed errors and
+// ratcheting the session token from the response.
+func (c *Client) doOnce(base, method, path string, body, out any) error {
+	var rdr io.Reader
+	if body != nil {
+		data, err := json.Marshal(body)
+		if err != nil {
+			return fmt.Errorf("client: marshal request: %w", err)
+		}
+		rdr = bytes.NewReader(data)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), c.reqTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, method, base+"/api/"+c.version+path, rdr)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	c.setHeaders(req, method == http.MethodGet)
+	resp, err := c.httpClient.Do(req)
+	if err != nil {
+		return fmt.Errorf("client: %s %s: %w: %v", method, path, ErrUnavailable, err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, httputil.MaxBodyBytes))
+	if err != nil {
+		return fmt.Errorf("client: %s %s: %w: %v", method, path, ErrUnavailable, err)
+	}
+	c.noteToken(resp.Header)
+	if err := c.statusError(resp, method, path, data); err != nil {
+		return err
+	}
+	if err := httputil.ReadEnvelope(data, out); err != nil {
+		if errors.Is(err, httputil.ErrInvalidEnvelope) {
+			// Not a server-stated error but a damaged transfer (e.g. a
+			// truncated body): retryable like any transport failure.
+			return fmt.Errorf("client: %s %s: %w: %v", method, path, ErrUnavailable, err)
+		}
+		return fmt.Errorf("client: %s %s: %w", method, path, err)
+	}
+	return nil
+}
+
+// setHeaders applies auth and, on reads, the session token.
+func (c *Client) setHeaders(req *http.Request, read bool) {
+	if c.token != "" {
+		req.Header.Set("Authorization", "Bearer "+c.token)
+	}
+	if c.agentToken != "" {
+		req.Header.Set("X-Chronos-Agent-Token", c.agentToken)
+	}
+	if read {
+		if tok, ok := c.LastCommit(); ok {
+			req.Header.Set(api.HeaderReadAfter, tok.String())
+		}
+	}
+}
+
+// statusError maps the consistency-protocol statuses onto typed errors.
+// Other statuses are left to the envelope: its embedded error message is
+// the server's authoritative description.
+func (c *Client) statusError(resp *http.Response, method, path string, data []byte) error {
+	switch resp.StatusCode {
+	case http.StatusServiceUnavailable:
+		return fmt.Errorf("client: %s %s: %w: %s", method, path, ErrUnavailable, envelopeMsg(data))
+	case http.StatusPreconditionFailed:
+		return fmt.Errorf("client: %s %s: %w: %s", method, path, ErrStale, envelopeMsg(data))
+	}
+	return nil
+}
+
+// envelopeMsg extracts the error message from an error envelope, falling
+// back to the raw body.
+func envelopeMsg(data []byte) string {
+	if err := httputil.ReadEnvelope(data, nil); err != nil {
+		return err.Error()
+	}
+	return string(bytes.TrimSpace(data))
+}
+
+// rawGet fetches a non-envelope (binary) endpoint; used by ExportProject.
+func (c *Client) rawGet(base, path string) ([]byte, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), c.reqTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/api/"+c.version+path, nil)
+	if err != nil {
+		return nil, err
+	}
+	c.setHeaders(req, true)
+	resp, err := c.httpClient.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("client: GET %s: %w: %v", path, ErrUnavailable, err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, httputil.MaxBodyBytes))
+	if err != nil {
+		return nil, fmt.Errorf("client: GET %s: %w: %v", path, ErrUnavailable, err)
+	}
+	c.noteToken(resp.Header)
+	if err := c.statusError(resp, http.MethodGet, path, data); err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("client: export: %s", data)
+	}
+	return data, nil
+}
