@@ -212,6 +212,15 @@ type Agent struct {
 	PollInterval time.Duration
 	// ReportInterval is the cadence of progress/log/heartbeat reporting.
 	ReportInterval time.Duration
+	// ClaimRetries bounds the consecutive failed claim attempts Run and
+	// Drain ride out (sleeping PollInterval between attempts) before
+	// surfacing the error. A follower renewing its claim lease or a
+	// restarting leader answers a few claims with transient errors; an
+	// agent fleet must poll through that, not die. Claiming again is
+	// always safe — a claim that committed but whose response was lost
+	// is reclaimed by the server's heartbeat watchdog, never handed to
+	// this agent twice. 0 means the default (8); negative fails fast.
+	ClaimRetries int
 }
 
 // withDefaults fills unset intervals.
@@ -222,11 +231,15 @@ func (a *Agent) withDefaults() {
 	if a.ReportInterval == 0 {
 		a.ReportInterval = 250 * time.Millisecond
 	}
+	if a.ClaimRetries == 0 {
+		a.ClaimRetries = 8
+	}
 }
 
 // Run polls for and executes jobs until ctx is cancelled.
 func (a *Agent) Run(ctx context.Context) error {
 	a.withDefaults()
+	fails := 0
 	for {
 		select {
 		case <-ctx.Done():
@@ -235,28 +248,54 @@ func (a *Agent) Run(ctx context.Context) error {
 		}
 		worked, err := a.RunOnce(ctx)
 		if err != nil {
-			return err
+			fails++
+			if a.ClaimRetries < 0 || fails > a.ClaimRetries {
+				return err
+			}
+			if err := a.pollWait(ctx); err != nil {
+				return err
+			}
+			continue
 		}
+		fails = 0
 		if !worked {
-			select {
-			case <-ctx.Done():
-				return ctx.Err()
-			case <-time.After(a.PollInterval):
+			if err := a.pollWait(ctx); err != nil {
+				return err
 			}
 		}
 	}
 }
 
+// pollWait sleeps one PollInterval or until ctx is done.
+func (a *Agent) pollWait(ctx context.Context) error {
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-time.After(a.PollInterval):
+		return nil
+	}
+}
+
 // Drain executes jobs until the queue is empty, then returns the number
-// of jobs executed. Used by examples and benchmarks.
+// of jobs executed. Used by examples and benchmarks. Like Run it rides
+// out up to ClaimRetries consecutive claim failures — an empty answer
+// ends the drain, a flaky control plane does not.
 func (a *Agent) Drain(ctx context.Context) (int, error) {
 	a.withDefaults()
-	n := 0
+	n, fails := 0, 0
 	for {
 		worked, err := a.RunOnce(ctx)
 		if err != nil {
-			return n, err
+			fails++
+			if a.ClaimRetries < 0 || fails > a.ClaimRetries {
+				return n, err
+			}
+			if err := a.pollWait(ctx); err != nil {
+				return n, err
+			}
+			continue
 		}
+		fails = 0
 		if !worked {
 			return n, nil
 		}

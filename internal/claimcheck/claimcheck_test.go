@@ -1,0 +1,109 @@
+package claimcheck
+
+import (
+	"strings"
+	"testing"
+)
+
+func kinds(vs []Violation) string {
+	var b strings.Builder
+	for i, v := range vs {
+		if i > 0 {
+			b.WriteString(",")
+		}
+		b.WriteString(v.Kind)
+	}
+	return b.String()
+}
+
+// TestCleanHistoryPasses: a well-behaved run — every job granted once
+// per attempt, completed by its holder — produces zero violations.
+func TestCleanHistoryPasses(t *testing.T) {
+	r := NewRecorder()
+	r.Claimed("a1", "job-1", 1, "follower-0")
+	r.Claimed("a2", "job-2", 1, "leader")
+	// job-2's first agent died; the watchdog rescheduled it and a new
+	// agent picked it up at attempt 2.
+	r.Claimed("a3", "job-2", 2, "follower-1")
+	r.Completed("a1", "job-1", 1, true)
+	r.Completed("a3", "job-2", 2, true)
+	finals := []FinalJob{
+		{ID: "job-1", Status: "finished", Attempts: 1},
+		{ID: "job-2", Status: "finished", Attempts: 2},
+	}
+	if vs := Check(r.History(), finals, true); len(vs) != 0 {
+		t.Fatalf("clean history flagged: %v", vs)
+	}
+}
+
+// TestDetectsDuplicateClaim: the cardinal sin — one (job, attempt)
+// acknowledged to two agents — must be caught.
+func TestDetectsDuplicateClaim(t *testing.T) {
+	r := NewRecorder()
+	r.Claimed("a1", "job-1", 1, "follower-0")
+	r.Claimed("a2", "job-1", 1, "follower-1")
+	finals := []FinalJob{{ID: "job-1", Status: "running", Attempts: 1}}
+	vs := Check(r.History(), finals, false)
+	if kinds(vs) != "duplicate-claim" {
+		t.Fatalf("want duplicate-claim, got %v", vs)
+	}
+}
+
+// TestDetectsPhantomClaim: grants the store cannot account for.
+func TestDetectsPhantomClaim(t *testing.T) {
+	r := NewRecorder()
+	r.Claimed("a1", "job-ghost", 1, "leader") // unknown job
+	r.Claimed("a2", "job-1", 3, "follower-0") // attempt beyond store's count
+	finals := []FinalJob{{ID: "job-1", Status: "running", Attempts: 1}}
+	vs := Check(r.History(), finals, false)
+	if kinds(vs) != "phantom-claim,phantom-claim" {
+		t.Fatalf("want two phantom-claims, got %v", vs)
+	}
+}
+
+// TestDetectsForeignAndDoubleCompletion: completions must match a held
+// grant, and a job finishes at most once.
+func TestDetectsForeignAndDoubleCompletion(t *testing.T) {
+	r := NewRecorder()
+	r.Claimed("a1", "job-1", 1, "leader")
+	r.Completed("a2", "job-1", 1, true) // a2 never held the grant
+	vs := Check(r.History(), []FinalJob{{ID: "job-1", Status: "finished", Attempts: 1}}, false)
+	if kinds(vs) != "foreign-completion" {
+		t.Fatalf("want foreign-completion, got %v", vs)
+	}
+
+	r = NewRecorder()
+	r.Claimed("a1", "job-1", 1, "leader")
+	r.Claimed("a2", "job-1", 2, "leader")
+	r.Completed("a1", "job-1", 1, true)
+	r.Completed("a2", "job-1", 2, true)
+	vs = Check(r.History(), []FinalJob{{ID: "job-1", Status: "finished", Attempts: 2}}, false)
+	if kinds(vs) != "double-completion" {
+		t.Fatalf("want double-completion, got %v", vs)
+	}
+}
+
+// TestDetectsLostJobs: at quiescence, a job nobody was ever granted or
+// that did not end finished means the fan-out dropped work.
+func TestDetectsLostJobs(t *testing.T) {
+	r := NewRecorder()
+	r.Claimed("a1", "job-1", 1, "leader")
+	r.Completed("a1", "job-1", 1, true)
+	finals := []FinalJob{
+		{ID: "job-1", Status: "finished", Attempts: 1},
+		{ID: "job-2", Status: "scheduled", Attempts: 0}, // never granted
+		{ID: "job-3", Status: "failed", Attempts: 3},    // granted but sunk
+	}
+	r.Claimed("a2", "job-3", 1, "follower-0")
+	r.Claimed("a3", "job-3", 2, "follower-1")
+	r.Claimed("a4", "job-3", 3, "leader")
+	vs := Check(r.History(), finals, true)
+	if kinds(vs) != "lost-job,lost-job,lost-job" {
+		t.Fatalf("want three lost-jobs (2×job-2, 1×job-3), got %v", vs)
+	}
+	// Failed completions are recorded but never counted as grants of
+	// success; without requireDrained the same history is silent.
+	if vs := Check(r.History(), finals, false); len(vs) != 0 {
+		t.Fatalf("non-drained check should pass, got %v", vs)
+	}
+}

@@ -477,6 +477,10 @@ func (s *Service) EvaluationStatusOf(evaluationID string) (EvaluationStatus, err
 // finishes, aborts or heartbeats between the scan and the fail is left
 // alone.
 func (s *Service) CheckHeartbeats() ([]string, error) {
+	// Claim-lease expiry rides the same sweep: a follower that stops
+	// renewing loses its partitions here, exactly like an agent that
+	// stops heartbeating loses its job (lease.go).
+	s.ExpireClaimLeases()
 	cutoff := s.now().Add(-s.HeartbeatTimeout)
 	var stale []string
 	err := s.store.db.View(func(tx *relstore.Tx) error {

@@ -1,0 +1,283 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"chronos/internal/params"
+)
+
+// leaseFixture builds a service with one system, an active deployment
+// and n scheduled jobs; returns the deployment id and the job ids.
+func leaseFixture(t *testing.T, n int) (*Service, string, []string) {
+	t.Helper()
+	svc, _ := newTestService(t)
+	u, err := svc.CreateUser("owner", RoleAdmin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := svc.CreateProject("p", "", u.ID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := svc.RegisterSystem("sut", "", []params.Definition{
+		{Name: "i", Type: params.TypeInterval, Min: 1, Max: float64(n + 1), Default: params.Int(1)},
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := make([]params.Value, n)
+	for i := range vals {
+		vals[i] = params.Int(int64(i + 1))
+	}
+	exp, err := svc.CreateExperiment(p.ID, sys.ID, "e", "", map[string][]params.Value{"i": vals}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, jobs, err := svc.CreateEvaluation(exp.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dep, err := svc.CreateDeployment(sys.ID, "dep", "test", "1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := make([]string, len(jobs))
+	for i, j := range jobs {
+		ids[i] = j.ID
+	}
+	return svc, dep.ID, ids
+}
+
+func TestPartitionOfStableAndInRange(t *testing.T) {
+	for _, id := range []string{"job-000000001", "job-000000002", "x", ""} {
+		p := PartitionOf(id, 16)
+		if p < 0 || p >= 16 {
+			t.Fatalf("PartitionOf(%q) = %d out of range", id, p)
+		}
+		if q := PartitionOf(id, 16); q != p {
+			t.Fatalf("PartitionOf(%q) unstable: %d then %d", id, p, q)
+		}
+	}
+	if p := PartitionOf("job-1", 0); p < 0 || p >= DefaultClaimPartitions {
+		t.Fatalf("PartitionOf with n=0 should use the default space, got %d", p)
+	}
+}
+
+func TestGrantLeaseCoversAllPartitionsDisjointly(t *testing.T) {
+	svc, _, _ := leaseFixture(t, 1)
+	svc.ClaimPartitions = 8
+	l1, err := svc.GrantClaimLease("f1", time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(l1.Partitions) != 8 {
+		t.Fatalf("single follower should hold every partition, got %v", l1.Partitions)
+	}
+	l2, err := svc.GrantClaimLease("f2", time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Re-read f1: the grant to f2 rebalanced it.
+	l1, err = svc.GrantClaimLease("f1", time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]string{}
+	for _, l := range []Lease{l1, l2} {
+		for _, p := range l.Partitions {
+			if who, dup := seen[p]; dup {
+				t.Fatalf("partition %d held by both %s and %s", p, who, l.FollowerID)
+			}
+			seen[p] = l.FollowerID
+		}
+	}
+	if len(seen) != 8 {
+		t.Fatalf("partitions not fully covered: %v", seen)
+	}
+	if l1.ID == l2.ID {
+		t.Fatalf("distinct followers share a lease id %s", l1.ID)
+	}
+}
+
+func TestLeaseRenewKeepsID(t *testing.T) {
+	svc, _, _ := leaseFixture(t, 1)
+	l1, err := svc.GrantClaimLease("f1", time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2, err := svc.GrantClaimLease("f1", time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l1.ID != l2.ID {
+		t.Fatalf("renewal minted a new lease id: %s then %s", l1.ID, l2.ID)
+	}
+}
+
+func TestLeaseExpiryReassignsPartitions(t *testing.T) {
+	svc, _, _ := leaseFixture(t, 1)
+	svc.ClaimPartitions = 4
+	if _, err := svc.GrantClaimLease("dead", 50*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	live, err := svc.GrantClaimLease("live", time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(live.Partitions) == 4 {
+		t.Fatalf("two live followers should split the space, live got all of %v", live.Partitions)
+	}
+	time.Sleep(60 * time.Millisecond)
+	gone := svc.ExpireClaimLeases()
+	if len(gone) != 1 || gone[0] != "dead" {
+		t.Fatalf("expected [dead] expired, got %v", gone)
+	}
+	_, leases := svc.ClaimLeases()
+	if len(leases) != 1 || leases[0].FollowerID != "live" || len(leases[0].Partitions) != 4 {
+		t.Fatalf("survivor should absorb every partition, got %+v", leases)
+	}
+}
+
+func TestCommitClaimIntentsBatch(t *testing.T) {
+	svc, depID, jobs := leaseFixture(t, 6)
+	svc.ClaimPartitions = 4
+	l, err := svc.GrantClaimLease("f1", time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	intents := make([]ClaimIntent, len(jobs))
+	for i, id := range jobs {
+		intents[i] = ClaimIntent{JobID: id, DeploymentID: depID}
+	}
+	verdicts, err := svc.CommitClaimIntents(l.ID, "f1", intents)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range verdicts {
+		if v.Code != ClaimGranted {
+			t.Fatalf("intent %d: %s (%s)", i, v.Code, v.Reason)
+		}
+		if v.Job == nil || v.Job.Status != StatusRunning || v.Job.Attempts != 1 || v.Job.DeploymentID != depID {
+			t.Fatalf("intent %d committed badly: %+v", i, v.Job)
+		}
+	}
+	// A second batch over the same jobs must conflict on every one —
+	// this is the exactly-once core: re-shipped intents never re-claim.
+	verdicts, err = svc.CommitClaimIntents(l.ID, "f1", intents)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range verdicts {
+		if v.Code != ClaimConflict {
+			t.Fatalf("re-shipped intent %d: want conflict, got %s", i, v.Code)
+		}
+	}
+	_, leases := svc.ClaimLeases()
+	if leases[0].Granted != 6 || leases[0].Rejected != 6 {
+		t.Fatalf("lease counters: granted=%d rejected=%d", leases[0].Granted, leases[0].Rejected)
+	}
+}
+
+func TestCommitClaimIntentsRejectsForeignPartition(t *testing.T) {
+	svc, depID, jobs := leaseFixture(t, 8)
+	svc.ClaimPartitions = 16
+	l1, err := svc.GrantClaimLease("f1", time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.GrantClaimLease("f2", time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	// l1 still reflects the pre-rebalance cover (all partitions): the
+	// leader must re-check every intent against the *current* map.
+	var foreign []ClaimIntent
+	cur, _ := svc.GrantClaimLease("f1", time.Minute)
+	for _, id := range jobs {
+		if !cur.covers(PartitionOf(id, cur.NumPartitions)) {
+			foreign = append(foreign, ClaimIntent{JobID: id, DeploymentID: depID})
+		}
+	}
+	if len(foreign) == 0 {
+		t.Skip("hash put every job id in f1's half") // vanishingly unlikely with 8 jobs
+	}
+	verdicts, err := svc.CommitClaimIntents(l1.ID, "f1", foreign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range verdicts {
+		if v.Code != ClaimRepartitioned {
+			t.Fatalf("foreign-partition intent: want repartitioned, got %s (%s)", v.Code, v.Reason)
+		}
+	}
+}
+
+func TestCommitClaimIntentsInvalidLease(t *testing.T) {
+	svc, depID, jobs := leaseFixture(t, 1)
+	if _, err := svc.CommitClaimIntents("lease-nobody-1", "nobody", []ClaimIntent{{JobID: jobs[0], DeploymentID: depID}}); !errors.Is(err, ErrLeaseInvalid) {
+		t.Fatalf("unknown lease: want ErrLeaseInvalid, got %v", err)
+	}
+	l, err := svc.GrantClaimLease("f1", 50*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(60 * time.Millisecond)
+	if _, err := svc.CommitClaimIntents(l.ID, "f1", []ClaimIntent{{JobID: jobs[0], DeploymentID: depID}}); !errors.Is(err, ErrLeaseInvalid) {
+		t.Fatalf("expired lease: want ErrLeaseInvalid, got %v", err)
+	}
+	if j, err := svc.GetJob(jobs[0]); err != nil || j.Status != StatusScheduled {
+		t.Fatalf("job must stay scheduled after refused batches: %+v, %v", j, err)
+	}
+}
+
+func TestClaimCandidatesFiltersAndLimits(t *testing.T) {
+	svc, depID, jobs := leaseFixture(t, 10)
+	even := func(id string) bool { return PartitionOf(id, 2) == 0 }
+	ids, err := svc.ClaimCandidates(depID, even, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0
+	for _, id := range jobs {
+		if even(id) {
+			want++
+		}
+	}
+	if len(ids) != want {
+		t.Fatalf("filter: want %d candidates, got %d", want, len(ids))
+	}
+	for _, id := range ids {
+		if !even(id) {
+			t.Fatalf("candidate %s fails the include filter", id)
+		}
+	}
+	ids, err = svc.ClaimCandidates(depID, nil, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 3 {
+		t.Fatalf("limit: want 3, got %d", len(ids))
+	}
+	if err := svc.SetDeploymentActive(depID, false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.ClaimCandidates(depID, nil, 3); !errors.Is(err, ErrInactiveDeployment) {
+		t.Fatalf("inactive deployment: want ErrInactiveDeployment, got %v", err)
+	}
+}
+
+func TestWatchdogSweepExpiresLeases(t *testing.T) {
+	svc, _, _ := leaseFixture(t, 1)
+	if _, err := svc.GrantClaimLease("f1", 50*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(60 * time.Millisecond)
+	if _, err := svc.CheckHeartbeats(); err != nil {
+		t.Fatal(err)
+	}
+	_, leases := svc.ClaimLeases()
+	if len(leases) != 0 {
+		t.Fatalf("watchdog sweep should expire lapsed leases, got %+v", leases)
+	}
+}

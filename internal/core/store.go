@@ -493,6 +493,16 @@ func (s *Store) EachJobByStatus(tx *relstore.Tx, status JobStatus, systemID stri
 	return eachJSON[Job](tx, tableJobs, jobsByStatusQuery(status, systemID), fn)
 }
 
+// EachJobIDByStatus streams just the ids of jobs with the given status
+// in creation order — a scalar projection, no JSON decoded. The claim
+// lease path uses it to pick partition-filtered candidates on a replica
+// without paying for jobs it will skip.
+func (s *Store) EachJobIDByStatus(tx *relstore.Tx, status JobStatus, systemID string, fn func(id string) bool) error {
+	return tx.SelectFunc(tableJobs, jobsByStatusQuery(status, systemID), func(row relstore.Row) bool {
+		return fn(row["id"].(string))
+	})
+}
+
 // EachStaleRunningJobID streams the ids of running jobs whose heartbeat
 // is strictly before cutoff. The status equality and the heartbeat range
 // are both index-assisted and no job JSON is decoded at all, so the

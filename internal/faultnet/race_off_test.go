@@ -1,0 +1,5 @@
+//go:build !race
+
+package faultnet_test
+
+const raceEnabled = false

@@ -1,0 +1,7 @@
+//go:build race
+
+package faultnet_test
+
+// raceEnabled gates perf assertions and BENCH_claims.json refreshes:
+// the race detector's slowdown would publish meaningless numbers.
+const raceEnabled = true

@@ -1,0 +1,25 @@
+package faultnet
+
+import (
+	"os"
+	"strconv"
+	"time"
+)
+
+// HarnessSeed returns the randomness seed for a chaos-harness run,
+// honouring CHRONOS_SESSION_SEED the way the relstore model checker
+// honours CHRONOS_MODEL_SEED: a failing run logs its seed, and exporting
+// that value replays the same chaos schedule deterministically. logf
+// receives the replay hint (pass t.Logf).
+func HarnessSeed(logf func(format string, args ...any)) int64 {
+	if s := os.Getenv("CHRONOS_SESSION_SEED"); s != "" {
+		if v, err := strconv.ParseInt(s, 10, 64); err == nil {
+			logf("session seed %d (from CHRONOS_SESSION_SEED)", v)
+			return v
+		}
+		logf("ignoring malformed CHRONOS_SESSION_SEED %q", s)
+	}
+	v := time.Now().UnixNano()
+	logf("session seed %d (replay with CHRONOS_SESSION_SEED=%d)", v, v)
+	return v
+}

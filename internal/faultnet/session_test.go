@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"math/rand/v2"
 	"net"
 	"net/http"
 	"sync"
@@ -78,21 +79,36 @@ func (ss *swapServer) URL() string         { return "http://" + ss.Addr() }
 func (ss *swapServer) swap(h http.Handler) { ss.h.Store(h) }
 
 // leaderBox runs a restartable leader: durable store + REST server.
+// Optional knobs (set via start options) give the claim harness a fast
+// heartbeat watchdog; a restart cancels the old incarnation's watchdog
+// and — because the lease table is soft state — forgets every claim
+// lease, exactly like a real leader process bounce.
 type leaderBox struct {
-	t   *testing.T
-	dir string
-	ss  *swapServer
-	mu  sync.Mutex
-	db  *relstore.DB
+	t         *testing.T
+	dir       string
+	ss        *swapServer
+	hbTimeout time.Duration // optional: Service.HeartbeatTimeout override
+	watchdog  time.Duration // optional: run the watchdog at this interval
+	segBytes  int64         // optional: WAL segment size (default 4 KiB)
+	mu        sync.Mutex
+	db        *relstore.DB
+	svc       *core.Service
+	wdCancel  context.CancelFunc
 }
 
-func startLeaderBox(t *testing.T) *leaderBox {
+func startLeaderBox(t *testing.T, opts ...func(*leaderBox)) *leaderBox {
 	t.Helper()
 	lb := &leaderBox{t: t, dir: t.TempDir(), ss: newSwapServer(t)}
+	for _, o := range opts {
+		o(lb)
+	}
 	lb.open()
 	t.Cleanup(func() {
 		lb.mu.Lock()
 		defer lb.mu.Unlock()
+		if lb.wdCancel != nil {
+			lb.wdCancel()
+		}
 		lb.db.Close()
 	})
 	return lb
@@ -100,7 +116,11 @@ func startLeaderBox(t *testing.T) *leaderBox {
 
 func (lb *leaderBox) open() {
 	lb.t.Helper()
-	db, err := relstore.Open(lb.dir, &relstore.Options{SegmentBytes: 4 << 10, CompactEvery: -1})
+	seg := lb.segBytes
+	if seg == 0 {
+		seg = 4 << 10
+	}
+	db, err := relstore.Open(lb.dir, &relstore.Options{SegmentBytes: seg, CompactEvery: -1})
 	if err != nil {
 		lb.t.Fatal(err)
 	}
@@ -108,10 +128,19 @@ func (lb *leaderBox) open() {
 	if err != nil {
 		lb.t.Fatal(err)
 	}
+	if lb.hbTimeout > 0 {
+		svc.HeartbeatTimeout = lb.hbTimeout
+	}
 	server := rest.NewServer(svc)
 	server.Logger = quietLog
 	lb.mu.Lock()
 	lb.db = db
+	lb.svc = svc
+	if lb.watchdog > 0 {
+		ctx, cancel := context.WithCancel(context.Background())
+		lb.wdCancel = cancel
+		svc.StartWatchdog(ctx, lb.watchdog)
+	}
 	lb.mu.Unlock()
 	lb.ss.swap(server.Handler())
 }
@@ -123,6 +152,10 @@ func (lb *leaderBox) restart() {
 	lb.t.Helper()
 	lb.ss.swap(down)
 	lb.mu.Lock()
+	if lb.wdCancel != nil {
+		lb.wdCancel()
+		lb.wdCancel = nil
+	}
 	if err := lb.db.Close(); err != nil {
 		lb.mu.Unlock()
 		lb.t.Fatal(err)
@@ -137,18 +170,32 @@ func (lb *leaderBox) DB() *relstore.DB {
 	return lb.db
 }
 
-// followerBox runs a restartable follower: replication through a
-// faultnet proxy to the leader, REST server over the replica.
-type followerBox struct {
-	t         *testing.T
-	dir       string
-	ss        *swapServer
-	replProxy *faultnet.Proxy
-	mu        sync.Mutex
-	f         *repl.Follower
+func (lb *leaderBox) Svc() *core.Service {
+	lb.mu.Lock()
+	defer lb.mu.Unlock()
+	return lb.svc
 }
 
-func startFollowerBox(t *testing.T, leaderAddr string) *followerBox {
+// followerBox runs a restartable follower: replication through a
+// faultnet proxy to the leader, REST server over the replica. With a
+// claimID set it also runs a claim delegate (repl.Claimer) whose lease
+// grants and intent batches travel the same proxied repl channel — so
+// partitioning replication also partitions claim delegation, as it
+// would a real follower.
+type followerBox struct {
+	t          *testing.T
+	dir        string
+	ss         *swapServer
+	replProxy  *faultnet.Proxy
+	claimID    string        // optional: serve delegated claims as this follower
+	claimTTL   time.Duration // optional: claim-lease TTL override
+	mu         sync.Mutex
+	f          *repl.Follower
+	claimer    *repl.Claimer
+	servedPrev int64 // claims served by prior incarnations' claimers
+}
+
+func startFollowerBox(t *testing.T, leaderAddr string, opts ...func(*followerBox)) *followerBox {
 	t.Helper()
 	proxy, err := faultnet.New(leaderAddr)
 	if err != nil {
@@ -156,6 +203,9 @@ func startFollowerBox(t *testing.T, leaderAddr string) *followerBox {
 	}
 	t.Cleanup(func() { proxy.Close() })
 	fb := &followerBox{t: t, dir: t.TempDir(), ss: newSwapServer(t), replProxy: proxy}
+	for _, o := range opts {
+		o(fb)
+	}
 	fb.open()
 	t.Cleanup(func() {
 		fb.mu.Lock()
@@ -183,8 +233,17 @@ func (fb *followerBox) open() {
 	server.Repl = f
 	server.Logger = quietLog
 	server.ReadAfterWait = 750 * time.Millisecond
+	var claimer *repl.Claimer
+	if fb.claimID != "" {
+		claimer = repl.NewClaimer(fb.claimID, svc, repl.NewClient(fb.replProxy.URL(), "v2", "", nil))
+		if fb.claimTTL > 0 {
+			claimer.TTL = fb.claimTTL
+		}
+		server.Claims = claimer
+	}
 	fb.mu.Lock()
 	fb.f = f
+	fb.claimer = claimer
 	fb.mu.Unlock()
 	fb.ss.swap(server.Handler())
 }
@@ -193,12 +252,27 @@ func (fb *followerBox) restart() {
 	fb.t.Helper()
 	fb.ss.swap(down)
 	fb.mu.Lock()
+	if fb.claimer != nil {
+		fb.servedPrev += fb.claimer.Status().Served
+	}
 	if err := fb.f.Close(); err != nil {
 		fb.mu.Unlock()
 		fb.t.Fatal(err)
 	}
 	fb.mu.Unlock()
 	fb.open()
+}
+
+// claimsServed totals delegated claims served across this follower's
+// incarnations — the harness's proof that fan-out actually fanned out.
+func (fb *followerBox) claimsServed() int64 {
+	fb.mu.Lock()
+	defer fb.mu.Unlock()
+	n := fb.servedPrev
+	if fb.claimer != nil {
+		n += fb.claimer.Status().Served
+	}
+	return n
 }
 
 func (fb *followerBox) Follower() *repl.Follower {
@@ -275,8 +349,11 @@ func isAvailabilityError(err error) bool {
 }
 
 // TestSessionGuaranteesUnderFaults is the headline harness described in
-// the package comment. Run with -race; it is also exercised in CI.
+// the package comment. Run with -race; it is also exercised in CI. The
+// chaos schedule is jittered from a logged seed — replay a failure with
+// CHRONOS_SESSION_SEED.
 func TestSessionGuaranteesUnderFaults(t *testing.T) {
+	rng := rand.New(rand.NewPCG(uint64(faultnet.HarnessSeed(t.Logf)), 0))
 	lb := startLeaderBox(t)
 	fb := startFollowerBox(t, lb.ss.Addr())
 
@@ -315,7 +392,11 @@ func TestSessionGuaranteesUnderFaults(t *testing.T) {
 		}()
 	}
 
+	// pause sleeps d plus up to 25% seeded jitter, so the chaos script's
+	// phase boundaries land differently against the actors each run —
+	// but identically for an identical seed.
 	pause := func(d time.Duration) {
+		d += time.Duration(rng.Int64N(int64(d) / 4))
 		if testing.Short() {
 			d /= 4
 		}
@@ -336,9 +417,10 @@ func TestSessionGuaranteesUnderFaults(t *testing.T) {
 	pause(1 * time.Second)
 	fb.replProxy.SetBandwidth(0)
 
-	// Client-side damage: torn responses and dropped connections.
+	// Client-side damage: torn responses and dropped connections. The
+	// tear point is seeded so replays cut the stream at the same byte.
 	for i := 0; i < 3; i++ {
-		readProxy.TearNext(64)
+		readProxy.TearNext(16 + rng.Int64N(112))
 		pause(300 * time.Millisecond)
 		readProxy.ResetAll()
 	}

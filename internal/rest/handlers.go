@@ -2,10 +2,12 @@ package rest
 
 import (
 	"net/http"
+	"time"
 
 	"chronos/internal/api"
 	"chronos/internal/core"
 	"chronos/internal/httputil"
+	"chronos/internal/relstore"
 )
 
 // Wire types live in internal/api so the Go client SDK shares them; the
@@ -360,7 +362,19 @@ func (s *Server) handleClaim(version string) http.HandlerFunc {
 			httputil.WriteError(w, http.StatusBadRequest, err)
 			return
 		}
-		job, ok, err := s.svc.ClaimJob(req.DeploymentID)
+		var (
+			job *core.Job
+			ok  bool
+			err error
+		)
+		if s.Claims != nil {
+			// Follower with a claim lease: serve locally from the
+			// replica; the delegate ships the intent to the leader and
+			// only returns a job the leader committed.
+			job, ok, err = s.Claims.Claim(r.Context(), req.DeploymentID)
+		} else {
+			job, ok, err = s.svc.ClaimJob(req.DeploymentID)
+		}
 		if err != nil {
 			fail(w, err)
 			return
@@ -376,6 +390,47 @@ func (s *Server) handleClaim(version string) http.HandlerFunc {
 		}
 		httputil.WriteJSON(w, http.StatusOK, resp)
 	}
+}
+
+// handleLeaseGrant grants or renews a follower's claim lease (leader
+// side; a follower's store refuses the implied writes anyway, but the
+// explicit guard gives a precise error).
+func (s *Server) handleLeaseGrant(w http.ResponseWriter, r *http.Request) {
+	if s.Repl != nil {
+		fail(w, relstore.ErrReadOnly)
+		return
+	}
+	var req api.LeaseRequest
+	if err := httputil.DecodeJSON(r, &req); err != nil {
+		httputil.WriteError(w, http.StatusBadRequest, err)
+		return
+	}
+	l, err := s.svc.GrantClaimLease(req.FollowerID, time.Duration(req.TTLMs)*time.Millisecond)
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	httputil.WriteJSON(w, http.StatusOK, l)
+}
+
+// handleClaimIntents commits a follower's claim-intent batch
+// authoritatively and answers one verdict per intent.
+func (s *Server) handleClaimIntents(w http.ResponseWriter, r *http.Request) {
+	if s.Repl != nil {
+		fail(w, relstore.ErrReadOnly)
+		return
+	}
+	var req api.ClaimIntentsRequest
+	if err := httputil.DecodeJSON(r, &req); err != nil {
+		httputil.WriteError(w, http.StatusBadRequest, err)
+		return
+	}
+	verdicts, err := s.svc.CommitClaimIntents(req.LeaseID, req.FollowerID, req.Intents)
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	httputil.WriteJSON(w, http.StatusOK, api.ClaimIntentsResponse{Verdicts: verdicts})
 }
 
 func (s *Server) handleProgress(w http.ResponseWriter, r *http.Request) {

@@ -12,6 +12,7 @@
 package rest
 
 import (
+	"context"
 	"errors"
 	"log"
 	"net/http"
@@ -58,8 +59,18 @@ type Server struct {
 	// this window, data reads degrade to 503 + Retry-After rather than
 	// serve arbitrarily stale state. Zero means unbounded (serve always).
 	MaxStaleness time.Duration
+	// Claims, when non-nil on a follower, serves POST /jobs/claim
+	// locally through a claim lease (satisfied by *repl.Claimer)
+	// instead of answering read-only 503. Leaders leave it nil.
+	Claims ClaimDelegate
 
 	mux *http.ServeMux
+}
+
+// ClaimDelegate serves delegated agent claims on a follower.
+type ClaimDelegate interface {
+	Claim(ctx context.Context, deploymentID string) (*core.Job, bool, error)
+	Status() core.ClaimerStatus
 }
 
 // ReplStatusProvider reports replication progress; satisfied by
@@ -99,6 +110,13 @@ func (s *Server) routes() {
 		s.mux.HandleFunc("GET "+p+"/repl/status", s.ship(ship.Status))
 		s.mux.HandleFunc("GET "+p+"/repl/snapshot", s.ship(ship.Snapshot))
 		s.mux.HandleFunc("GET "+p+"/repl/wal/{seq}", s.ship(ship.WAL))
+
+		// Claim delegation (leader side): followers obtain leases and
+		// ship claim intents back on the same channel, with the same
+		// credential — delegated claims are follower traffic, not agent
+		// traffic.
+		s.mux.HandleFunc("POST "+p+"/repl/lease", s.ship(s.handleLeaseGrant))
+		s.mux.HandleFunc("POST "+p+"/repl/claims", s.ship(s.handleClaimIntents))
 
 		// Session management.
 		s.mux.HandleFunc("POST "+p+"/login", s.handleLogin)
@@ -243,10 +261,17 @@ func fail(w http.ResponseWriter, err error) {
 	case errors.Is(err, core.ErrInvalidTransition), errors.Is(err, core.ErrArchived),
 		errors.Is(err, core.ErrInactiveDeployment):
 		httputil.WriteError(w, http.StatusConflict, err)
-	case errors.Is(err, relstore.ErrReadOnly):
+	case errors.Is(err, core.ErrLeaseInvalid):
+		// The shipped claim lease is dead (expired or a leader restart
+		// dropped the soft-state table). 412 is definitive for this
+		// batch: the follower must re-grant, not retry as-is.
+		httputil.WriteError(w, http.StatusPreconditionFailed, err)
+	case errors.Is(err, relstore.ErrReadOnly), errors.Is(err, repl.ErrClaimUnavailable):
 		// This server is a replication follower: writes belong on the
-		// leader. 503 tells well-behaved clients to go there rather
-		// than retry here.
+		// leader, and a claim delegate that cannot answer right now
+		// (no lease, leader unreachable, replica lagging) defers there
+		// too. 503 tells well-behaved clients to go there rather than
+		// retry here.
 		writeUnavailable(w, err)
 	default:
 		httputil.WriteError(w, http.StatusBadRequest, err)
@@ -283,6 +308,18 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 			rs.Degraded = rs.StalenessMs < 0 || rs.StalenessMs > rs.MaxStalenessMs
 		}
 		resp.Repl = &rs
+	}
+	if s.Claims != nil {
+		cs := s.Claims.Status()
+		resp.Claimer = &cs
+	}
+	if s.Repl == nil {
+		// Leader: publish the lease table once claim delegation is in
+		// use (kept out of the response otherwise, so leaders without
+		// delegating followers report exactly as before).
+		if n, leases := s.svc.ClaimLeases(); len(leases) > 0 {
+			resp.Leases = &api.LeaseTableStatus{NumPartitions: n, Leases: leases}
+		}
 	}
 	httputil.WriteJSON(w, http.StatusOK, resp)
 }

@@ -1,0 +1,154 @@
+package client
+
+import (
+	"net/http"
+	"testing"
+	"time"
+
+	"chronos/internal/api"
+	"chronos/internal/core"
+	"chronos/internal/httputil"
+)
+
+// Claim routing: POST /jobs/claim goes through the read loop — the
+// configured base first (a follower serving delegated claims), with
+// retries on 503 and a final leader fallback — because a follower
+// without a live lease answers 503 and one whose lease was invalidated
+// mid-claim does too. The scripted endpoints below pin each path.
+
+func serveClaim(w http.ResponseWriter, jobID string) {
+	httputil.WriteJSON(w, http.StatusOK, api.ClaimResponse{
+		Job: &core.Job{ID: jobID, Status: core.StatusRunning, Attempts: 1},
+	})
+}
+
+func TestClaimRouting(t *testing.T) {
+	cases := []struct {
+		name string
+		// follower's script, by 1-based hit count; nil = always serve
+		follower func(n int64, w http.ResponseWriter)
+		leader   func(n int64, w http.ResponseWriter)
+		retries  int
+
+		wantJob          string
+		wantErr          bool
+		wantFollowerHits int64
+		wantLeaderHits   int64
+	}{
+		{
+			// The healthy path: a leased follower answers the claim
+			// itself; the leader never hears about it.
+			name:             "follower serves the claim",
+			follower:         func(n int64, w http.ResponseWriter) { serveClaim(w, "job-1") },
+			retries:          3,
+			wantJob:          "job-1",
+			wantFollowerHits: 1,
+			wantLeaderHits:   0,
+		},
+		{
+			// Lease invalidated mid-claim: the follower 503s once while
+			// it re-grants, then serves. The agent never notices.
+			name: "transient lease fault retries in place",
+			follower: func(n int64, w http.ResponseWriter) {
+				if n == 1 {
+					serve503(w)
+					return
+				}
+				serveClaim(w, "job-2")
+			},
+			retries:          3,
+			wantJob:          "job-2",
+			wantFollowerHits: 2,
+			wantLeaderHits:   0,
+		},
+		{
+			// The follower cannot recover a lease (leader partitioned
+			// from it, say): after exhausting retries the claim goes to
+			// the leader directly.
+			name:             "retry exhaustion falls back to the leader",
+			follower:         func(n int64, w http.ResponseWriter) { serve503(w) },
+			leader:           func(n int64, w http.ResponseWriter) { serveClaim(w, "job-3") },
+			retries:          2,
+			wantJob:          "job-3",
+			wantFollowerHits: 2,
+			wantLeaderHits:   1,
+		},
+		{
+			// 412 (a definitive stale/lease refusal) skips further
+			// follower attempts entirely.
+			name: "definitive refusal goes straight to the leader",
+			follower: func(n int64, w http.ResponseWriter) {
+				httputil.WriteError(w, http.StatusPreconditionFailed, core.ErrLeaseInvalid)
+			},
+			leader:           func(n int64, w http.ResponseWriter) { serveClaim(w, "job-4") },
+			retries:          4,
+			wantJob:          "job-4",
+			wantFollowerHits: 1,
+			wantLeaderHits:   1,
+		},
+		{
+			// A real answer (409 inactive deployment) is not retried
+			// and not re-asked at the leader: it is the claim's result.
+			name: "definitive conflict is not retried",
+			follower: func(n int64, w http.ResponseWriter) {
+				httputil.WriteError(w, http.StatusConflict, core.ErrInactiveDeployment)
+			},
+			leader:           func(n int64, w http.ResponseWriter) { serveClaim(w, "job-5") },
+			retries:          4,
+			wantErr:          true,
+			wantFollowerHits: 1,
+			wantLeaderHits:   0,
+		},
+		{
+			// No work is a success with a nil job, not a retryable.
+			name: "empty claim is final",
+			follower: func(n int64, w http.ResponseWriter) {
+				httputil.WriteJSON(w, http.StatusOK, api.ClaimResponse{})
+			},
+			retries:          4,
+			wantFollowerHits: 1,
+			wantLeaderHits:   0,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			follower := newFakeEndpoint(t, func(n int64, w http.ResponseWriter, r *http.Request) {
+				if r.URL.Path != "/api/v2/jobs/claim" {
+					t.Errorf("unexpected path %s", r.URL.Path)
+				}
+				tc.follower(n, w)
+			})
+			opts := []Option{WithVersion("v2"), WithRetries(tc.retries), WithBackoff(time.Millisecond, 5*time.Millisecond)}
+			var leader *fakeEndpoint
+			if tc.leader != nil {
+				leader = newFakeEndpoint(t, func(n int64, w http.ResponseWriter, r *http.Request) {
+					tc.leader(n, w)
+				})
+				opts = append(opts, WithLeader(leader.ts.URL))
+			}
+			c := NewClient(follower.ts.URL, opts...)
+			job, _, err := c.ClaimJob("dep-1")
+			if tc.wantErr {
+				if err == nil {
+					t.Fatal("want error, got success")
+				}
+			} else if err != nil {
+				t.Fatalf("claim failed: %v", err)
+			}
+			switch {
+			case tc.wantJob == "" && job != nil:
+				t.Fatalf("want no job, got %+v", job)
+			case tc.wantJob != "" && (job == nil || job.ID != tc.wantJob):
+				t.Fatalf("want job %s, got %+v", tc.wantJob, job)
+			}
+			if n := follower.hits.Load(); n != tc.wantFollowerHits {
+				t.Errorf("follower saw %d attempts, want %d", n, tc.wantFollowerHits)
+			}
+			if leader != nil {
+				if n := leader.hits.Load(); n != tc.wantLeaderHits {
+					t.Errorf("leader saw %d attempts, want %d", n, tc.wantLeaderHits)
+				}
+			}
+		})
+	}
+}

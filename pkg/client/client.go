@@ -314,8 +314,18 @@ func (c *Client) JobTimeline(id string) ([]*core.Event, error) {
 // queue is empty. With API v2 the response includes the system's
 // parameter definitions.
 func (c *Client) ClaimJob(deploymentID string) (*core.Job, []params.Definition, error) {
+	// Claims route like reads, not like writes: a follower holding a
+	// claim lease serves them locally (shipping the intent to the
+	// leader itself), and one without answers 503 — so the read loop's
+	// retry/backoff/leader-fallback policy is exactly right. Retrying a
+	// claim is safe: a committed claim whose response was lost is never
+	// handed out twice — the job sits running unacked until the
+	// heartbeat watchdog reschedules it.
 	var out api.ClaimResponse
-	err := c.do(http.MethodPost, "/jobs/claim", api.ClaimRequest{DeploymentID: deploymentID}, &out)
+	err := c.readLoop(func(base string) error {
+		out = api.ClaimResponse{}
+		return c.doOnce(base, http.MethodPost, "/jobs/claim", api.ClaimRequest{DeploymentID: deploymentID}, &out)
+	})
 	if err != nil {
 		return nil, nil, err
 	}
