@@ -336,91 +336,98 @@ func BenchmarkRelstoreWALGroupCommit(b *testing.B) {
 		{"writers=16/compaction=looping", 16, true},
 	} {
 		b.Run(cfg.name, func(b *testing.B) {
-			db, err := relstore.Open(b.TempDir(), nil)
-			if err != nil {
-				b.Fatal(err)
-			}
-			defer db.Close()
-			schema := relstore.Schema{Name: "t", Key: "id", Columns: []relstore.Column{
-				{Name: "id", Type: relstore.TString},
-				{Name: "v", Type: relstore.TInt},
-			}}
-			if err := db.CreateTable(schema); err != nil {
-				b.Fatal(err)
-			}
-			if cfg.compacting {
-				// Preload rows so every snapshot has real marshalling work,
-				// then keep compaction cycles running back to back for the
-				// duration of the measurement.
-				err := db.Update(func(tx *relstore.Tx) error {
-					for i := 0; i < 20000; i++ {
-						if err := tx.Put("t", relstore.Row{"id": fmt.Sprintf("pre%06d", i), "v": int64(i)}); err != nil {
-							return err
-						}
-					}
-					return nil
-				})
-				if err != nil {
-					b.Fatal(err)
-				}
-				stop := make(chan struct{})
-				done := make(chan struct{})
-				go func() {
-					defer close(done)
-					for {
-						select {
-						case <-stop:
-							return
-						default:
-						}
-						if err := db.Compact(); err != nil {
-							b.Error(err)
-							return
-						}
-					}
-				}()
-				defer func() { close(stop); <-done }()
-			}
-			// Exactly par writer goroutines (RunParallel would multiply
-			// by GOMAXPROCS and skew the writers=1 serial baseline), each
-			// recording per-commit latency for the percentile report.
-			b.ResetTimer()
-			var n int64
-			var wg sync.WaitGroup
-			lats := make([][]time.Duration, cfg.par)
-			for w := 0; w < cfg.par; w++ {
-				wg.Add(1)
-				go func(w int) {
-					defer wg.Done()
-					for {
-						i := atomic.AddInt64(&n, 1)
-						if i > int64(b.N) {
-							return
-						}
-						start := time.Now()
-						err := db.Update(func(tx *relstore.Tx) error {
-							return tx.Put("t", relstore.Row{"id": fmt.Sprintf("k%d", i%1000), "v": i})
-						})
-						lats[w] = append(lats[w], time.Since(start))
-						if err != nil {
-							b.Error(err)
-							return
-						}
-					}
-				}(w)
-			}
-			wg.Wait()
-			b.StopTimer()
-			var all []time.Duration
-			for _, l := range lats {
-				all = append(all, l...)
-			}
-			sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
-			if len(all) > 0 {
-				b.ReportMetric(float64(all[len(all)/2]), "p50-ns")
-				b.ReportMetric(float64(all[len(all)*99/100]), "p99-ns")
-			}
+			benchGroupCommit(b, cfg.par, cfg.compacting)
 		})
+	}
+}
+
+// benchGroupCommit is the body of one BenchmarkRelstoreWALGroupCommit
+// configuration, extracted so the BENCH_codec.json/BENCH_scaling.json
+// recorder tests can rerun it through testing.Benchmark.
+func benchGroupCommit(b *testing.B, par int, compacting bool) {
+	db, err := relstore.Open(b.TempDir(), nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer db.Close()
+	schema := relstore.Schema{Name: "t", Key: "id", Columns: []relstore.Column{
+		{Name: "id", Type: relstore.TString},
+		{Name: "v", Type: relstore.TInt},
+	}}
+	if err := db.CreateTable(schema); err != nil {
+		b.Fatal(err)
+	}
+	if compacting {
+		// Preload rows so every snapshot has real marshalling work,
+		// then keep compaction cycles running back to back for the
+		// duration of the measurement.
+		err := db.Update(func(tx *relstore.Tx) error {
+			for i := 0; i < 20000; i++ {
+				if err := tx.Put("t", relstore.Row{"id": fmt.Sprintf("pre%06d", i), "v": int64(i)}); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		stop := make(chan struct{})
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if err := db.Compact(); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}()
+		defer func() { close(stop); <-done }()
+	}
+	// Exactly par writer goroutines (RunParallel would multiply
+	// by GOMAXPROCS and skew the writers=1 serial baseline), each
+	// recording per-commit latency for the percentile report.
+	b.ResetTimer()
+	var n int64
+	var wg sync.WaitGroup
+	lats := make([][]time.Duration, par)
+	for w := 0; w < par; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				i := atomic.AddInt64(&n, 1)
+				if i > int64(b.N) {
+					return
+				}
+				start := time.Now()
+				err := db.Update(func(tx *relstore.Tx) error {
+					return tx.Put("t", relstore.Row{"id": fmt.Sprintf("k%d", i%1000), "v": i})
+				})
+				lats[w] = append(lats[w], time.Since(start))
+				if err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	b.StopTimer()
+	var all []time.Duration
+	for _, l := range lats {
+		all = append(all, l...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	if len(all) > 0 {
+		b.ReportMetric(float64(all[len(all)/2]), "p50-ns")
+		b.ReportMetric(float64(all[len(all)*99/100]), "p99-ns")
 	}
 }
 
@@ -538,50 +545,57 @@ func BenchmarkRelstoreSelect(b *testing.B) {
 func BenchmarkSchedulerClaim(b *testing.B) {
 	for _, depth := range []int{1000, 10000, 50000} {
 		b.Run(fmt.Sprintf("depth=%d", depth), func(b *testing.B) {
-			svc, err := core.NewService(relstore.OpenMemory(), nil)
-			if err != nil {
-				b.Fatal(err)
-			}
-			u, _ := svc.CreateUser("bench", core.RoleAdmin)
-			p, _ := svc.CreateProject("bench", "", u.ID, nil)
-			defs := []params.Definition{
-				{Name: "idx", Type: params.TypeInterval, Min: 1, Max: 100000, Default: params.Int(1)},
-			}
-			sys, _ := svc.RegisterSystem("sue", "", defs, nil)
-			dep, _ := svc.CreateDeployment(sys.ID, "d", "", "")
-			variants := make([]params.Value, depth)
-			for i := range variants {
-				variants[i] = params.Int(int64(i%100000) + 1)
-			}
-			refills := 0
-			refill := func() {
-				refills++
-				exp, err := svc.CreateExperiment(p.ID, sys.ID, fmt.Sprintf("e%d", refills), "",
-					map[string][]params.Value{"idx": variants}, 0)
-				if err != nil {
-					b.Fatal(err)
-				}
-				if _, _, err := svc.CreateEvaluation(exp.ID); err != nil {
-					b.Fatal(err)
-				}
-			}
-			refill()
-			remaining := depth
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				if remaining == 0 {
-					b.StopTimer()
-					refill()
-					remaining = depth
-					b.StartTimer()
-				}
-				_, ok, err := svc.ClaimJob(dep.ID)
-				if err != nil || !ok {
-					b.Fatalf("claim %d: %v %v", i, ok, err)
-				}
-				remaining--
-			}
+			benchSchedulerClaim(b, depth)
 		})
+	}
+}
+
+// benchSchedulerClaim is the body of one BenchmarkSchedulerClaim depth,
+// extracted so the BENCH_codec.json recorder test can rerun it through
+// testing.Benchmark.
+func benchSchedulerClaim(b *testing.B, depth int) {
+	svc, err := core.NewService(relstore.OpenMemory(), nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	u, _ := svc.CreateUser("bench", core.RoleAdmin)
+	p, _ := svc.CreateProject("bench", "", u.ID, nil)
+	defs := []params.Definition{
+		{Name: "idx", Type: params.TypeInterval, Min: 1, Max: 100000, Default: params.Int(1)},
+	}
+	sys, _ := svc.RegisterSystem("sue", "", defs, nil)
+	dep, _ := svc.CreateDeployment(sys.ID, "d", "", "")
+	variants := make([]params.Value, depth)
+	for i := range variants {
+		variants[i] = params.Int(int64(i%100000) + 1)
+	}
+	refills := 0
+	refill := func() {
+		refills++
+		exp, err := svc.CreateExperiment(p.ID, sys.ID, fmt.Sprintf("e%d", refills), "",
+			map[string][]params.Value{"idx": variants}, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := svc.CreateEvaluation(exp.ID); err != nil {
+			b.Fatal(err)
+		}
+	}
+	refill()
+	remaining := depth
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if remaining == 0 {
+			b.StopTimer()
+			refill()
+			remaining = depth
+			b.StartTimer()
+		}
+		_, ok, err := svc.ClaimJob(dep.ID)
+		if err != nil || !ok {
+			b.Fatalf("claim %d: %v %v", i, ok, err)
+		}
+		remaining--
 	}
 }
 

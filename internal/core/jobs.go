@@ -156,16 +156,18 @@ func (s *Service) transition(tx *relstore.Tx, j *Job, to JobStatus) error {
 func (s *Service) ClaimJob(deploymentID string) (job *Job, ok bool, err error) {
 	err = s.store.db.Update(func(tx *relstore.Tx) error {
 		job, ok = nil, false
-		dep, err := s.store.GetDeployment(tx, deploymentID)
+		// Scalar-column projection: every poll pays three column lookups
+		// instead of a full deployment JSON decode.
+		systemID, depName, active, err := s.store.DeploymentClaimInfo(tx, deploymentID)
 		if err != nil {
 			return mapNotFound(err)
 		}
-		if !dep.Active {
+		if !active {
 			return ErrInactiveDeployment
 		}
 		// Limit(1) indexed lookup: the planner drives from the smaller of
 		// the status/system posting lists and decodes exactly one job.
-		j, err := s.store.FirstJobByStatus(tx, StatusScheduled, dep.SystemID)
+		j, err := s.store.FirstJobByStatus(tx, StatusScheduled, systemID)
 		if err != nil {
 			return err
 		}
@@ -176,7 +178,7 @@ func (s *Service) ClaimJob(deploymentID string) (job *Job, ok bool, err error) {
 			return err
 		}
 		now := s.now()
-		j.DeploymentID = dep.ID
+		j.DeploymentID = deploymentID
 		j.Attempts++
 		j.Started = now
 		j.Heartbeat = now
@@ -184,7 +186,7 @@ func (s *Service) ClaimJob(deploymentID string) (job *Job, ok bool, err error) {
 		if err := s.store.PutJob(tx, j); err != nil {
 			return err
 		}
-		if err := s.putEvent(tx, j.ID, EventClaimed, "claimed by "+dep.Name+" ("+dep.ID+")"); err != nil {
+		if err := s.putEvent(tx, j.ID, EventClaimed, "claimed by "+depName+" ("+deploymentID+")"); err != nil {
 			return err
 		}
 		job, ok = j, true

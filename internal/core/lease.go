@@ -360,14 +360,14 @@ func (s *Service) ClaimCandidates(deploymentID string, include func(jobID string
 	}
 	var ids []string
 	err := s.store.db.View(func(tx *relstore.Tx) error {
-		dep, err := s.store.GetDeployment(tx, deploymentID)
+		systemID, _, active, err := s.store.DeploymentClaimInfo(tx, deploymentID)
 		if err != nil {
 			return mapNotFound(err)
 		}
-		if !dep.Active {
+		if !active {
 			return ErrInactiveDeployment
 		}
-		return s.store.EachJobIDByStatus(tx, StatusScheduled, dep.SystemID, func(id string) bool {
+		return s.store.EachJobIDByStatus(tx, StatusScheduled, systemID, func(id string) bool {
 			if include == nil || include(id) {
 				ids = append(ids, id)
 			}

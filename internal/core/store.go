@@ -53,6 +53,12 @@ func NewStore(db *relstore.DB) (*Store, error) {
 			{Name: "id", Type: relstore.TString},
 			{Name: "systemId", Type: relstore.TString, Indexed: true},
 			{Name: "active", Type: relstore.TBool},
+			// name mirrors Deployment.Name as a scalar so ClaimJob can
+			// stamp its timeline event without decoding the deployment
+			// blob on every claim. Nullable so stores persisted before
+			// this column existed upgrade in place; such rows fall back
+			// to the JSON decode.
+			{Name: "name", Type: relstore.TString, Nullable: true},
 			{Name: "data", Type: relstore.TBytes},
 		}},
 		{Name: tableExperiments, Key: "id", Columns: []relstore.Column{
@@ -102,7 +108,15 @@ func NewStore(db *relstore.DB) (*Store, error) {
 			{Name: "id", Type: relstore.TString},
 			{Name: "jobId", Type: relstore.TString, Indexed: true},
 			{Name: "time", Type: relstore.TTime},
-			{Name: "data", Type: relstore.TBytes},
+			// kind/message carry the whole event as scalars: events are
+			// tiny, write-heavy (one per job transition, two per claim
+			// poll cycle) and read rarely, so since this schema revision
+			// the write path marshals no JSON at all. All three trailing
+			// columns are nullable — rows persisted by older stores carry
+			// the JSON blob instead and decode through it on read.
+			{Name: "kind", Type: relstore.TString, Nullable: true},
+			{Name: "message", Type: relstore.TString, Nullable: true},
+			{Name: "data", Type: relstore.TBytes, Nullable: true},
 		}},
 	}
 	for _, s := range schemas {
@@ -200,14 +214,16 @@ func (s *Store) DB() *relstore.DB { return s.db }
 func (s *Store) StorageStats() relstore.Stats { return s.db.Stats() }
 
 // putJSON marshals entity into the table's data column alongside the
-// scalar query columns.
+// scalar query columns. The row maps callers pass in are built for this
+// call and never touched again, so ownership transfers to the store
+// without a clone.
 func putJSON(tx *relstore.Tx, table string, row relstore.Row, entity any) error {
 	data, err := json.Marshal(entity)
 	if err != nil {
 		return fmt.Errorf("core: marshal %s row: %w", table, err)
 	}
 	row["data"] = data
-	return tx.Put(table, row)
+	return tx.PutOwned(table, row)
 }
 
 // getJSON unmarshals the data column of the row with the given id.
@@ -302,8 +318,39 @@ func (s *Store) ListSystems(tx *relstore.Tx) ([]*System, error) {
 
 // PutDeployment stores a deployment.
 func (s *Store) PutDeployment(tx *relstore.Tx, d *Deployment) error {
-	row := relstore.Row{"id": d.ID, "systemId": d.SystemID, "active": d.Active}
+	row := relstore.Row{"id": d.ID, "systemId": d.SystemID, "active": d.Active, "name": d.Name}
 	return putJSON(tx, tableDeployments, row, d)
+}
+
+// DeploymentClaimInfo returns the three deployment fields ClaimJob reads
+// — systemId, name, active — as scalar column lookups, no JSON decoded.
+// Claiming is the scheduler's hottest write path: with agents polling
+// for work, decoding the full deployment blob per claim dominated the
+// transaction's allocations. Rows persisted before the scalar name
+// column existed fall back to decoding the blob once.
+func (s *Store) DeploymentClaimInfo(tx *relstore.Tx, id string) (systemID, name string, active bool, err error) {
+	v, err := tx.GetValue(tableDeployments, id, "active")
+	if err != nil {
+		return "", "", false, err
+	}
+	active = v.(bool)
+	sys, err := tx.GetValue(tableDeployments, id, "systemId")
+	if err != nil {
+		return "", "", false, err
+	}
+	n, err := tx.GetValue(tableDeployments, id, "name")
+	if err != nil {
+		return "", "", false, err
+	}
+	if n == nil {
+		// Pre-upgrade row: the name only lives inside the JSON blob.
+		var d Deployment
+		if err := getJSON(tx, tableDeployments, id, &d); err != nil {
+			return "", "", false, err
+		}
+		return d.SystemID, d.Name, active, nil
+	}
+	return sys.(string), n.(string), active, nil
 }
 
 // GetDeployment loads a deployment by id.
@@ -559,20 +606,71 @@ func (s *Store) EachLog(tx *relstore.Tx, jobID string, fn func(*LogChunk) bool) 
 
 // --- Events ---
 
-// PutEvent stores a timeline event.
+// PutEvent stores a timeline event. Events are all scalars — no JSON is
+// marshalled on this path (it sits inside every claim and transition
+// transaction).
 func (s *Store) PutEvent(tx *relstore.Tx, e *Event) error {
-	row := relstore.Row{"id": e.ID, "jobId": e.JobID, "time": e.Time}
-	return putJSON(tx, tableEvents, row, e)
+	row := relstore.Row{
+		"id":    e.ID,
+		"jobId": e.JobID,
+		"time":  e.Time,
+		"kind":  string(e.Kind),
+	}
+	if e.Message != "" {
+		row["message"] = e.Message
+	}
+	return tx.PutOwned(tableEvents, row)
+}
+
+// eventFromRow reconstructs an event from its scalar columns; rows
+// persisted before the kind/message columns existed fall back to their
+// JSON blob.
+func eventFromRow(row relstore.Row) (*Event, error) {
+	k, ok := row["kind"]
+	if !ok {
+		var e Event
+		if err := json.Unmarshal(row["data"].([]byte), &e); err != nil {
+			return nil, fmt.Errorf("core: decode events row: %w", err)
+		}
+		return &e, nil
+	}
+	e := &Event{
+		ID:    row["id"].(string),
+		JobID: row["jobId"].(string),
+		Kind:  EventKind(k.(string)),
+		Time:  row["time"].(time.Time),
+	}
+	if m, ok := row["message"]; ok {
+		e.Message = m.(string)
+	}
+	return e, nil
 }
 
 // ListEvents returns a job's events in id (creation) order.
 func (s *Store) ListEvents(tx *relstore.Tx, jobID string) ([]*Event, error) {
-	return selectJSON[Event](tx, tableEvents, relstore.NewQuery().Eq("jobId", jobID))
+	var out []*Event
+	err := s.EachEvent(tx, jobID, func(e *Event) bool {
+		out = append(out, e)
+		return true
+	})
+	return out, err
 }
 
 // EachEvent streams a job's events in creation order.
 func (s *Store) EachEvent(tx *relstore.Tx, jobID string, fn func(*Event) bool) error {
-	return eachJSON[Event](tx, tableEvents, relstore.NewQuery().Eq("jobId", jobID), fn)
+	var derr error
+	err := tx.SelectFunc(tableEvents, relstore.NewQuery().Eq("jobId", jobID), func(row relstore.Row) bool {
+		e, err := eventFromRow(row)
+		if err != nil {
+			derr = err
+			return false
+		}
+		return fn(e)
+	})
+	if err != nil {
+		return err
+	}
+	return derr
 }
 
 // eachJSON streams matching rows through relstore's non-cloning

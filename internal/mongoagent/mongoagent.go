@@ -119,7 +119,10 @@ func configFromParams(a params.Assignment) (workload.Config, int, string, error)
 		OperationCount: a.Int("operations", 20000),
 		Mix:            workload.MixFromRatio(readPart, updatePart),
 		Distribution:   a.String("distribution", "zipfian"),
-		Seed:           42,
+		// Seed precedence: explicit job parameter, then
+		// CHRONOS_SESSION_SEED (so harness replays pin the workload
+		// stream too), then the fixed default.
+		Seed: a.Int("seed", workload.SeedFromEnv(42)),
 	}
 	cfg = cfg.WithDefaults()
 	if err := cfg.Validate(); err != nil {
@@ -136,7 +139,13 @@ func (r *Runner) Prepare(rc *agent.RunContext) error {
 		return err
 	}
 	r.cfg, r.threads = cfg, threads
-	srv, err := mongosim.NewServer(engine, r.EngineOptions)
+	opts := r.EngineOptions
+	if opts.Seed == 0 {
+		// Pin engine-internal randomness (skiplist tower heights) to the
+		// same replayable seed as the workload stream.
+		opts.Seed = cfg.Seed
+	}
+	srv, err := mongosim.NewServer(engine, opts)
 	if err != nil {
 		return err
 	}

@@ -1,6 +1,6 @@
 package mongosim
 
-import "math/rand"
+import "math/rand/v2"
 
 // skiplist is an ordered set of string keys used as the key index of both
 // storage engines. It is deliberately minimal: insert, delete, and an
@@ -22,19 +22,20 @@ type skipnode struct {
 }
 
 // newSkiplist returns an empty index. The seed fixes tower heights so
-// tests are reproducible.
+// tests are reproducible; each skiplist owns its source, so engine
+// randomness never contends on (or leaks into) a process-global state.
 func newSkiplist(seed int64) *skiplist {
 	return &skiplist{
 		head:  &skipnode{},
 		level: 1,
-		rng:   rand.New(rand.NewSource(seed)),
+		rng:   rand.New(rand.NewPCG(uint64(seed), 0x736b6970)),
 	}
 }
 
 // randomLevel draws a tower height with P(level > k) = 2^-k.
 func (s *skiplist) randomLevel() int {
 	lvl := 1
-	for lvl < skipMaxLevel && s.rng.Intn(2) == 0 {
+	for lvl < skipMaxLevel && s.rng.IntN(2) == 0 {
 		lvl++
 	}
 	return lvl

@@ -2,7 +2,7 @@ package mongosim
 
 import (
 	"fmt"
-	"math/rand"
+	"math/rand/v2"
 	"sort"
 	"testing"
 	"testing/quick"
@@ -48,12 +48,12 @@ func TestSkiplistBasics(t *testing.T) {
 // a map+sort model, including iteration order (property).
 func TestSkiplistAgainstSortedSet(t *testing.T) {
 	f := func(seed int64) bool {
-		r := rand.New(rand.NewSource(seed))
+		r := rand.New(rand.NewPCG(uint64(seed), 0))
 		s := newSkiplist(seed)
 		model := map[string]bool{}
 		for i := 0; i < 300; i++ {
-			key := fmt.Sprintf("k%03d", r.Intn(80))
-			if r.Intn(3) == 0 {
+			key := fmt.Sprintf("k%03d", r.IntN(80))
+			if r.IntN(3) == 0 {
 				gotRemoved := s.remove(key)
 				if gotRemoved != model[key] {
 					t.Logf("remove(%s) = %v, model %v", key, gotRemoved, model[key])
@@ -103,7 +103,7 @@ func TestSkiplistAgainstSortedSet(t *testing.T) {
 func TestSkiplistLargeOrdered(t *testing.T) {
 	s := newSkiplist(7)
 	const n = 10000
-	perm := rand.New(rand.NewSource(3)).Perm(n)
+	perm := rand.New(rand.NewPCG(3, 0)).Perm(n)
 	for _, i := range perm {
 		s.insert(fmt.Sprintf("key%06d", i))
 	}

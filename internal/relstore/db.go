@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"slices"
 	"sort"
 	"strconv"
 	"sync"
@@ -81,6 +82,10 @@ type table struct {
 	// ordered holds one ordered (range-capable) index per Ordered column.
 	ordered map[string]*orderedIndex
 	seq     int64 // auto-increment sequence
+	// codec is the binary row codec for the current schema, rebuilt on
+	// upgrade. Commits encode rows through it under this table's write
+	// lock, so the bytes a WAL frame ships can never race an upgrade.
+	codec rowCodec
 }
 
 // DB is an embedded, durable, transactional table store. All methods are
@@ -471,6 +476,7 @@ func newTable(s Schema) *table {
 		schema: s,
 		rows:   make(map[string]Row),
 		keys:   newPostingList(),
+		codec:  newRowCodec(s),
 	}
 	t.initIndexes()
 	return t
@@ -506,6 +512,7 @@ func (t *table) initIndexes() {
 // the table's write lock.
 func (t *table) upgradeLocked(s Schema) {
 	t.schema = s
+	t.codec = newRowCodec(s)
 	t.initIndexes()
 	cur := plCursor{pl: t.keys}
 	for {
@@ -625,12 +632,60 @@ func (t *table) removeFromIndexes(id string, r Row) {
 // indexes. Caller holds the write lock.
 func (t *table) applyPut(id string, row Row) {
 	if old, ok := t.rows[id]; ok {
-		t.removeFromIndexes(id, old)
-	} else {
-		t.keys.add(id)
+		t.rows[id] = row
+		t.reindex(id, old, row)
+		return
 	}
+	t.keys.add(id)
 	t.rows[id] = row
 	t.addToIndexes(id, row)
+}
+
+// reindex moves id between index entries for the columns whose value
+// actually changed between old and new. An update that flips one status
+// field — the scheduler's entire steady state — touches exactly that
+// column's posting lists; every unchanged column costs one comparison
+// and no key rendering.
+func (t *table) reindex(id string, old, new Row) {
+	for col, idx := range t.indexes {
+		ov, ook := old[col]
+		nv, nok := new[col]
+		if ook && nok && valueEqual(ov, nv) {
+			continue
+		}
+		if ook {
+			k := indexKey(ov)
+			if pl := idx[k]; pl != nil {
+				pl.remove(id)
+				if pl.len() == 0 {
+					delete(idx, k)
+				}
+			}
+		}
+		if nok {
+			k := indexKey(nv)
+			pl := idx[k]
+			if pl == nil {
+				pl = newPostingList()
+				idx[k] = pl
+			}
+			pl.add(id)
+		}
+	}
+	for col, oi := range t.ordered {
+		ov, ook := old[col]
+		nv, nok := new[col]
+		if ook && nok && valueEqual(ov, nv) {
+			continue
+		}
+		c, _ := t.schema.column(col)
+		if ook {
+			oi.remove(ordKey(c.Type, ov), id)
+		}
+		if nok {
+			oi.add(ordKey(c.Type, nv), id)
+		}
+	}
 }
 
 // applyDelete removes a row. Missing rows are a no-op (idempotent WAL
@@ -645,10 +700,19 @@ func (t *table) applyDelete(id string) {
 
 // apply installs a committed WAL operation into the in-memory state,
 // used on replay and snapshot load. The caller holds the write lock.
+// Binary put rows (every record written by this version) decode through
+// the table's codec; JSON row maps survive only for frames written by
+// older binaries.
 func (t *table) apply(op walOp) error {
 	switch op.Op {
 	case opPut:
-		row, err := t.schema.decodeRow(op.Row)
+		var row Row
+		var err error
+		if op.rowBin != nil {
+			row, err = t.codec.decodeRow(op.rowBin)
+		} else {
+			row, err = t.schema.decodeRow(op.Row)
+		}
 		if err != nil {
 			return err
 		}
@@ -718,27 +782,100 @@ func (db *DB) Update(fn func(tx *Tx) error) error {
 // pathological fn that touches fresh tables without bound.
 const maxTxRestarts = 1000
 
+// txPool recycles Tx handles (and, through them, their bookkeeping maps
+// and slices) so the steady-state commit path allocates no per-
+// transaction machinery. A Tx goes back only on clean completion — see
+// putTx and the restart caveat in updateAttempt.
+var txPool = sync.Pool{New: func() any { return new(Tx) }}
+
+// takeTx returns a scrubbed transaction handle bound to db.
+func takeTx(db *DB, writable bool) *Tx {
+	tx := txPool.Get().(*Tx)
+	tx.db = db
+	tx.writable = writable
+	return tx
+}
+
+// putTx scrubs tx and returns it to the pool. The caller must already
+// have released the transaction's locks.
+// txPoolMaxEntries bounds the capacity a pooled Tx may carry back into
+// the pool. clear() zeroes a map's whole bucket array, whose size is the
+// map's high-water mark, not its current length — so recycling the maps
+// of one bulk transaction (a 10k-row evaluation insert, a snapshot
+// restore) would tax every later small transaction with an O(bulk)
+// memclr. Oversized containers are dropped instead.
+const txPoolMaxEntries = 128
+
+func putTx(tx *Tx) {
+	if len(tx.pending) > txPoolMaxEntries {
+		tx.pending = nil
+		tx.pendingOrder = nil
+	} else {
+		clear(tx.pending)
+		// Zero the dropped keys so the pool does not pin their strings.
+		clear(tx.pendingOrder)
+		tx.pendingOrder = tx.pendingOrder[:0]
+	}
+	if len(tx.seqs) > txPoolMaxEntries {
+		tx.seqs = nil
+	} else {
+		clear(tx.seqs)
+	}
+	if len(tx.needed) > txPoolMaxEntries {
+		tx.needed = nil
+	} else {
+		clear(tx.needed)
+	}
+	// held/heldOrder/heldMax/scanTable/scanName were reset by releaseLocks.
+	// declared must not survive: beginRead treats any non-nil declared map
+	// as ViewTables mode, which would refuse all operations of a later
+	// plain View reusing this handle.
+	tx.declared = nil
+	tx.restart = false
+	tx.db = nil
+	tx.writable = false
+	txPool.Put(tx)
+}
+
 // updateAttempt runs one iteration of the Update restart loop: acquire
 // the lock set learned so far, run fn, apply and enqueue on success.
 // The locks are released before returning (releaseLocks is idempotent
 // and deferred so a panicking fn cannot strand a table lock).
 func (db *DB) updateAttempt(fn func(tx *Tx) error, needed *map[string]bool) (batch *walBatch, retry bool, err error) {
-	tx := &Tx{db: db, writable: true, pending: make(map[string]map[string]*pendingRow), seqs: make(map[string]int64), needed: *needed}
-	defer tx.releaseLocks()
+	tx := takeTx(db, true)
+	if *needed != nil {
+		tx.needed = *needed // lock set learned by earlier attempts
+	}
+	recycle := false
+	defer func() {
+		tx.releaseLocks()
+		if recycle {
+			putTx(tx)
+		}
+	}()
 	if err := tx.prelock(); err != nil {
+		recycle = true
 		return nil, false, err
 	}
 	err = fn(tx)
 	if tx.restart {
 		// A contended out-of-order acquisition voided this attempt; fn's
-		// error (if any) is from operating on the voided transaction.
+		// error (if any) is from operating on the voided transaction. The
+		// accumulated lock set is handed to the next attempt, so this Tx
+		// must NOT be recycled — putTx would clear the map out from under
+		// the retry.
 		*needed = tx.needed
 		return nil, true, nil
 	}
+	// From here the attempt is final (commit or rollback); the handle can
+	// be recycled. A panicking fn skips this, leaving the Tx to the GC —
+	// a recovered caller may still hold a reference to it.
+	recycle = true
 	if err != nil {
 		return nil, false, err
 	}
-	return db.commitApply(tx), false, nil
+	batch, err = db.commitApply(tx)
+	return batch, false, err
 }
 
 // View runs fn inside a read-only transaction. Each operation takes only
@@ -751,9 +888,17 @@ func (db *DB) updateAttempt(fn func(tx *Tx) error, needed *map[string]bool) (bat
 // that need one consistent cut across several tables (or across several
 // reads of one table) use ViewTables.
 func (db *DB) View(fn func(tx *Tx) error) error {
-	tx := &Tx{db: db}
-	defer tx.releaseLocks()
-	return fn(tx)
+	tx := takeTx(db, false)
+	recycle := false
+	defer func() {
+		tx.releaseLocks()
+		if recycle { // a panicking fn leaves the handle to the GC
+			putTx(tx)
+		}
+	}()
+	err := fn(tx)
+	recycle = true
+	return err
 }
 
 // ViewTables runs fn inside a read-only transaction that holds the read
@@ -763,8 +908,15 @@ func (db *DB) View(fn func(tx *Tx) error) error {
 // same consistent cut: a commit spanning several of the tables is either
 // fully visible or not at all. Operations on undeclared tables fail.
 func (db *DB) ViewTables(fn func(tx *Tx) error, tables ...string) error {
-	tx := &Tx{db: db, declared: make(map[string]*table, len(tables))}
-	defer tx.releaseLocks()
+	tx := takeTx(db, false)
+	tx.declared = make(map[string]*table, len(tables))
+	recycle := false
+	defer func() {
+		tx.releaseLocks()
+		if recycle {
+			putTx(tx)
+		}
+	}()
 	sorted := append([]string(nil), tables...)
 	sort.Strings(sorted)
 	// Resolve every pointer under one tables-map read lock, so the set
@@ -779,6 +931,7 @@ func (db *DB) ViewTables(fn func(tx *Tx) error, tables ...string) error {
 		t := db.tables[name]
 		if t == nil {
 			db.tablesMu.RUnlock()
+			recycle = true
 			return fmt.Errorf("%w %q", ErrUnknownTable, name)
 		}
 		tx.declared[name] = t
@@ -792,7 +945,9 @@ func (db *DB) ViewTables(fn func(tx *Tx) error, tables ...string) error {
 		t.mu.RLock()
 		tx.heldOrder = append(tx.heldOrder, t)
 	}
-	return fn(tx)
+	err := fn(tx)
+	recycle = true
+	return err
 }
 
 // commitApply applies the transaction's buffered writes to the in-memory
@@ -800,38 +955,61 @@ func (db *DB) ViewTables(fn func(tx *Tx) error, tables ...string) error {
 // and, for durable stores, enqueues the WAL record. The caller (Update)
 // still holds the write lock of every table the transaction touched —
 // the enqueue must happen before those locks are released so that WAL
-// order agrees with apply order on every table two transactions share.
+// order agrees with apply order on every table two transactions share,
+// and so each put's binary row bytes are fixed before any later schema
+// upgrade on its table. Rows are encoded in a first pass, before any
+// in-memory mutation: an encode failure (unreachable for rows that
+// passed validation, but never silently absorbed) rolls back clean.
 // The returned batch — nil for memory stores and empty transactions —
 // must be awaited after the locks are released.
-func (db *DB) commitApply(tx *Tx) *walBatch {
+func (db *DB) commitApply(tx *Tx) (*walBatch, error) {
 	if len(tx.pendingOrder) == 0 && len(tx.seqs) == 0 {
-		return nil
+		return nil, nil
 	}
 	durable := db.durable
 	var rec walRecord
-	for _, pk := range tx.pendingOrder {
-		p := tx.pending[pk.table][pk.id]
-		t := tx.held[pk.table] // write-locked since the tx first touched it
-		if p.row == nil {
-			t.applyDelete(pk.id)
-			if durable {
+	if durable {
+		rec.Ops = make([]walOp, 0, len(tx.pendingOrder)+len(tx.seqs))
+		// One backing buffer for every row of the record: each op's rowBin
+		// is a capacity-capped subslice, so a growth reallocation mid-loop
+		// leaves earlier subslices valid in the old array.
+		encBuf := make([]byte, 0, 512)
+		for _, pk := range tx.pendingOrder {
+			row := tx.pending[pk]
+			t := tx.held[pk.table] // write-locked since the tx first touched it
+			if row == nil {
 				rec.Ops = append(rec.Ops, walOp{Op: opDelete, Table: pk.table, ID: pk.id})
+				continue
 			}
-		} else {
-			if durable {
-				rec.Ops = append(rec.Ops, walOp{Op: opPut, Table: pk.table, ID: pk.id, Row: t.schema.encodeRow(p.row)})
+			start := len(encBuf)
+			var err error
+			encBuf, err = t.codec.appendRow(encBuf, row)
+			if err != nil {
+				return nil, err
 			}
-			// The pending row was cloned on Put and the tx dies with this
-			// commit, so ownership transfers without another copy.
-			t.applyPut(pk.id, p.row)
+			rec.Ops = append(rec.Ops, walOp{Op: opPut, Table: pk.table, ID: pk.id, rowBin: encBuf[start:len(encBuf):len(encBuf)]})
 		}
 	}
-	// Deterministic sequence ordering.
-	tables := make([]string, 0, len(tx.seqs))
+	for _, pk := range tx.pendingOrder {
+		row := tx.pending[pk]
+		t := tx.held[pk.table]
+		if row == nil {
+			t.applyDelete(pk.id)
+		} else {
+			// The pending row was cloned on Put and the tx is recycled with
+			// this commit, so ownership transfers without another copy.
+			t.applyPut(pk.id, row)
+		}
+	}
+	// Deterministic sequence ordering. Most transactions advance zero or
+	// one sequence, so the names fit an inline array and slices.Sort
+	// (unlike sort.Strings) boxes nothing.
+	var tbuf [8]string
+	tables := tbuf[:0]
 	for tbl := range tx.seqs {
 		tables = append(tables, tbl)
 	}
-	sort.Strings(tables)
+	slices.Sort(tables)
 	for _, tbl := range tables {
 		n := tx.seqs[tbl]
 		if t := tx.held[tbl]; t != nil && n > t.seq {
@@ -842,9 +1020,9 @@ func (db *DB) commitApply(tx *Tx) *walBatch {
 		}
 	}
 	if !durable || len(rec.Ops) == 0 {
-		return nil
+		return nil, nil
 	}
-	return db.enqueueCommit(rec)
+	return db.enqueueCommit(rec), nil
 }
 
 // enqueueCommit appends rec to the currently accumulating batch. Callers

@@ -8,7 +8,8 @@ import (
 	"testing"
 )
 
-// fuzzSegment builds a well-formed segment byte stream of n records.
+// fuzzSegment builds a well-formed segment byte stream of n records in
+// the legacy JSON frame format.
 func fuzzSegment(t testing.TB, n int) []byte {
 	t.Helper()
 	var buf bytes.Buffer
@@ -18,6 +19,32 @@ func fuzzSegment(t testing.TB, n int) []byte {
 			{Op: opSeq, Table: "t", Seq: int64(i + 1)},
 		}}
 		payload, err := json.Marshal(rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf.Write(frame(payload))
+	}
+	return buf.Bytes()
+}
+
+// fuzzBinSegment builds the same record stream in the binary frame
+// format, rows encoded through the rowcodec.
+func fuzzBinSegment(t testing.TB, n int) []byte {
+	t.Helper()
+	codec := newRowCodec(Schema{Name: "t", Key: "r", Columns: []Column{
+		{Name: "r", Type: TString},
+		{Name: "v", Type: TFloat, Nullable: true},
+	}})
+	var buf bytes.Buffer
+	for i := 0; i < n; i++ {
+		rb, err := codec.appendRow(nil, Row{"v": float64(i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		payload, err := appendBinRecord(nil, walRecord{Ops: []walOp{
+			{Op: opPut, Table: "t", ID: "r1", rowBin: rb},
+			{Op: opSeq, Table: "t", Seq: int64(i + 1)},
+		}})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -58,6 +85,18 @@ func FuzzReadWAL(f *testing.F) {
 	evil := frame([]byte("not json"))
 	f.Add(append(append([]byte{}, valid...), evil...))
 	f.Add(frame([]byte{}))
+	// Binary-format frames: valid, torn, bit-flipped, mixed with JSON
+	// frames in one stream, and checksum-valid binary garbage.
+	binValid := fuzzBinSegment(f, 3)
+	f.Add(binValid)
+	f.Add(binValid[:len(binValid)-1])
+	binFlip := append([]byte{}, binValid...)
+	binFlip[len(binFlip)/2] ^= 0x40
+	f.Add(binFlip)
+	f.Add(append(append([]byte{}, valid...), binValid...))
+	f.Add(frame([]byte{binRecordTag}))
+	f.Add(frame([]byte{binRecordTag, 0xFF, 0xFF, 0xFF}))
+	f.Add(frame(append([]byte{binRecordTag}, []byte("garbage after tag")...)))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		recs, n, err := readWAL(bytes.NewReader(data))

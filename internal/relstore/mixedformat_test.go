@@ -1,0 +1,278 @@
+package relstore
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// writeFileFrames writes a segment file from pre-framed byte chunks.
+func writeFileFrames(t *testing.T, path string, frames ...[]byte) {
+	t.Helper()
+	var all []byte
+	for _, f := range frames {
+		all = append(all, f...)
+	}
+	if err := os.WriteFile(path, all, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMixedFormatRecovery fabricates the directory an older (JSON-era)
+// binary would leave behind — a JSON snapshot plus a segment of JSON
+// frames — appends binary frames after them in the same segment, and
+// proves one recovery replays all of it: snapshot rows, JSON-frame rows,
+// a JSON CreateTable, and binary-frame rows land in one consistent
+// store, which then commits, compacts (into a binary snapshot) and
+// reopens like any other.
+func TestMixedFormatRecovery(t *testing.T) {
+	dir := t.TempDir()
+	users := usersSchema()
+
+	// JSON-era snapshot covering segment 1: two users.
+	clones := []tableClone{{
+		schema: users,
+		seq:    2,
+		rows: map[string]Row{
+			"u1": userRow("u1", "snap", 31),
+			"u2": userRow("u2", "snap", 32),
+		},
+	}}
+	sf, err := os.Create(filepath.Join(dir, "store.snapshot"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := writeSnapshotJSON(sf, clones, 1); err != nil {
+		t.Fatal(err)
+	}
+	sf.Close()
+
+	// Segment 2: JSON frames first (older binary), then binary frames
+	// (this binary) — the exact byte stream an in-place upgrade produces.
+	extra := Schema{Name: "extra", Key: "k", Columns: []Column{
+		{Name: "k", Type: TString},
+		{Name: "v", Type: TInt},
+	}}
+	jsonCreate, err := json.Marshal(walRecord{CreateTable: &extra})
+	if err != nil {
+		t.Fatal(err)
+	}
+	jsonPut, err := json.Marshal(walRecord{Ops: []walOp{
+		{Op: opPut, Table: "users", ID: "u3", Row: users.encodeRow(userRow("u3", "jsonwal", 33))},
+		{Op: opSeq, Table: "users", Seq: 3},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	uc := newRowCodec(users)
+	u4, err := uc.appendRow(nil, userRow("u4", "binwal", 34))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ec := newRowCodec(extra)
+	e1, err := ec.appendRow(nil, Row{"k": "e1", "v": int64(7)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	binRec, err := appendBinRecord(nil, walRecord{Ops: []walOp{
+		{Op: opPut, Table: "users", ID: "u4", rowBin: u4},
+		{Op: opPut, Table: "extra", ID: "e1", rowBin: e1},
+		{Op: opSeq, Table: "users", Seq: 4},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeFileFrames(t, filepath.Join(dir, segmentName(2)),
+		frame(jsonCreate), frame(jsonPut), frame(binRec))
+
+	verify := func(db *DB, wantUsers int) {
+		t.Helper()
+		db.View(func(tx *Tx) error {
+			n, err := tx.Count("users", NewQuery())
+			if err != nil || n != wantUsers {
+				t.Fatalf("users count = %d (%v), want %d", n, err, wantUsers)
+			}
+			row, err := tx.Get("users", "u4")
+			if err != nil {
+				t.Fatalf("binary-frame row: %v", err)
+			}
+			if row["name"] != "binwal" || row["age"] != int64(34) {
+				t.Fatalf("binary-frame row decoded as %#v", row)
+			}
+			if row["created"] != time.Date(2020, 3, 30, 12, 0, 0, 0, time.UTC) {
+				t.Fatalf("binary-frame time decoded as %#v", row["created"])
+			}
+			if row, err = tx.Get("users", "u3"); err != nil || row["name"] != "jsonwal" {
+				t.Fatalf("json-frame row: %#v, %v", row, err)
+			}
+			if row, err = tx.Get("users", "u1"); err != nil || row["name"] != "snap" {
+				t.Fatalf("snapshot row: %#v, %v", row, err)
+			}
+			if row, err = tx.Get("extra", "e1"); err != nil || row["v"] != int64(7) {
+				t.Fatalf("json-created table's binary row: %#v, %v", row, err)
+			}
+			return nil
+		})
+	}
+
+	db, err := Open(dir, nil)
+	if err != nil {
+		t.Fatalf("mixed-format recovery failed: %v", err)
+	}
+	verify(db, 4)
+
+	// The recovered store keeps working: new commits (binary frames), a
+	// compaction (binary snapshot replaces the JSON one), a reopen.
+	if err := db.Update(func(tx *Tx) error {
+		return tx.Insert("users", userRow("u5", "after", 35))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	head := make([]byte, 1)
+	sf2, err := os.Open(filepath.Join(dir, "store.snapshot"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sf2.Read(head)
+	sf2.Close()
+	if head[0] != snapshotMagic[0] {
+		t.Fatalf("post-compaction snapshot is not binary (leads with %q)", head[0])
+	}
+	db2, err := Open(dir, nil)
+	if err != nil {
+		t.Fatalf("reopen after binary compaction: %v", err)
+	}
+	defer db2.Close()
+	verify(db2, 5)
+	db2.View(func(tx *Tx) error {
+		if row, err := tx.Get("users", "u5"); err != nil || row["name"] != "after" {
+			t.Fatalf("post-recovery commit: %#v, %v", row, err)
+		}
+		return nil
+	})
+}
+
+// snapshotMemFixture builds clones holding dataBytes of []byte payloads
+// spread over rows of blobSize each.
+func snapshotMemFixture(dataBytes, blobSize int) []tableClone {
+	s := Schema{Name: "blobs", Key: "id", Columns: []Column{
+		{Name: "id", Type: TString},
+		{Name: "data", Type: TBytes},
+	}}
+	rows := make(map[string]Row)
+	for off := 0; off < dataBytes; off += blobSize {
+		blob := make([]byte, blobSize)
+		for i := range blob {
+			blob[i] = byte(i + off)
+		}
+		rows[fmt.Sprintf("row-%06d", off/blobSize)] = Row{
+			"id":   fmt.Sprintf("row-%06d", off/blobSize),
+			"data": blob,
+		}
+	}
+	return []tableClone{{schema: s, seq: 1, rows: rows}}
+}
+
+// TestSnapshotReadMemoryBounded is the regression test for the one-shot
+// snapshot decode: readSnapshotFile used to materialise the entire
+// store twice over (every table's encoded row maps beside the decoded
+// tables). Both readers now stream row by row, bounded as:
+//
+//   - binary: total allocation for restoring D bytes of row data stays
+//     within a small multiple of D (one decoded copy per row plus
+//     fixed-size buffers) — with the old whole-file JSON decode it was
+//     ≥3×D and scaled with the store;
+//   - legacy JSON: peak live heap during the read stays well under the
+//     old reader's floor of encoded-maps + decoded-tables.
+func TestSnapshotReadMemoryBounded(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation measurement; skipped in -short")
+	}
+	const data = 16 << 20
+	clones := snapshotMemFixture(data, 256<<10)
+	dir := t.TempDir()
+
+	binPath := filepath.Join(dir, "bin.snapshot")
+	if err := writeSnapshotTmp(binPath, clones, 1); err != nil {
+		t.Fatal(err)
+	}
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	tables, _, err := readSnapshotFile(binPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runtime.ReadMemStats(&after)
+	if len(tables["blobs"].rows) != data/(256<<10) {
+		t.Fatalf("restored %d rows", len(tables["blobs"].rows))
+	}
+	allocated := after.TotalAlloc - before.TotalAlloc
+	if allocated > 2*data {
+		t.Errorf("binary snapshot read allocated %d bytes restoring %d bytes of rows; not streaming", allocated, data)
+	}
+	runtime.KeepAlive(tables)
+
+	jsonPath := filepath.Join(dir, "json.snapshot")
+	jf, err := os.Create(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := writeSnapshotJSON(jf, clones, 1); err != nil {
+		t.Fatal(err)
+	}
+	jf.Close()
+	clones = nil // the fixture's 16 MiB must not count against the baseline
+
+	// Peak live heap while the legacy reader runs, sampled concurrently.
+	// The old one-shot decode held every encoded row map (base64-inflated,
+	// ≥1.33×data) beside the decoded tables (1×data); the streaming reader
+	// holds the tables plus one row's intermediate form. The threshold
+	// sits between the two with room for GC lag on either side.
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	baseline := before.HeapAlloc
+	var peak atomic.Uint64
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		var ms runtime.MemStats
+		for {
+			runtime.ReadMemStats(&ms)
+			if ms.HeapAlloc > peak.Load() {
+				peak.Store(ms.HeapAlloc)
+			}
+			select {
+			case <-stop:
+				return
+			case <-time.After(200 * time.Microsecond):
+			}
+		}
+	}()
+	jtables, _, err := readSnapshotFile(jsonPath)
+	close(stop)
+	<-done
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jtables["blobs"].rows) != data/(256<<10) {
+		t.Fatalf("restored %d rows", len(jtables["blobs"].rows))
+	}
+	if p := peak.Load(); p > baseline+2*data {
+		t.Errorf("legacy JSON snapshot read peaked at %d live bytes over a %d baseline restoring %d bytes of rows; not streaming",
+			p-baseline, baseline, data)
+	}
+	runtime.KeepAlive(jtables)
+}

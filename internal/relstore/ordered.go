@@ -3,7 +3,6 @@ package relstore
 import (
 	"math"
 	"sort"
-	"strconv"
 	"time"
 )
 
@@ -249,39 +248,31 @@ func ordKey(t ColType, v any) string {
 		// Seconds since the epoch (ordered like TInt) followed by the
 		// sub-second nanoseconds. Unlike UnixNano this is defined for
 		// every representable time — the zero time and other pre-1678
-		// values sort correctly rather than wrapping around.
+		// values sort correctly rather than wrapping around. One buffer,
+		// one string: this runs for every ordered-time index touch.
 		t := v.(time.Time)
-		return hex16(uint64(t.Unix())^(1<<63)) + hex8(uint32(t.Nanosecond()))
+		var buf [24]byte
+		putHex(buf[:16], uint64(t.Unix())^(1<<63))
+		putHex(buf[16:], uint64(uint32(t.Nanosecond())))
+		return string(buf[:])
 	}
 	// Check() rejects Ordered on the remaining types (bytes).
 	panic("relstore: ordKey on unordered column type " + string(t))
 }
 
+// putHex fills dst with u as zero-padded lowercase hex, exactly
+// len(dst) digits wide.
+func putHex(dst []byte, u uint64) {
+	const digits = "0123456789abcdef"
+	for i := len(dst) - 1; i >= 0; i-- {
+		dst[i] = digits[u&0xf]
+		u >>= 4
+	}
+}
+
 // hex16 formats u as 16 zero-padded lowercase hex digits.
 func hex16(u uint64) string {
 	var buf [16]byte
-	s := strconv.AppendUint(buf[:0], u, 16)
-	if len(s) == 16 {
-		return string(s)
-	}
-	var out [16]byte
-	pad := 16 - len(s)
-	for i := 0; i < pad; i++ {
-		out[i] = '0'
-	}
-	copy(out[pad:], s)
-	return string(out[:])
-}
-
-// hex8 formats u as 8 zero-padded lowercase hex digits.
-func hex8(u uint32) string {
-	var buf [8]byte
-	s := strconv.AppendUint(buf[:0], uint64(u), 16)
-	var out [8]byte
-	pad := 8 - len(s)
-	for i := 0; i < pad; i++ {
-		out[i] = '0'
-	}
-	copy(out[pad:], s)
-	return string(out[:])
+	putHex(buf[:], u)
+	return string(buf[:])
 }

@@ -362,6 +362,16 @@ func FuzzFollowerApply(f *testing.F) {
 	f.Add(flip)
 	f.Add(append(append([]byte{}, valid...), frame([]byte("not json"))...))
 	f.Add(frame([]byte{}))
+	// Binary-format frames ship over the same protocol: valid, torn,
+	// flipped, and interleaved with legacy JSON frames.
+	binValid := fuzzBinSegment(f, 3)
+	f.Add(binValid)
+	f.Add(binValid[:len(binValid)-1])
+	binFlip := append([]byte{}, binValid...)
+	binFlip[len(binFlip)/2] ^= 0x40
+	f.Add(binFlip)
+	f.Add(append(append([]byte{}, valid...), binValid...))
+	f.Add(frame([]byte{binRecordTag, 0x01}))
 
 	// The fuzz corpus references table "t"; ship its creation as the
 	// first frame so valid puts apply.

@@ -8,9 +8,10 @@
 // CRUD over typed tables with secondary indexes and predicate scans.
 //
 // Durability follows the classic write-ahead log design: every committed
-// transaction is recorded in a WAL of length- and CRC-framed JSON
-// records before it is acknowledged; a snapshot plus WAL replay restores
-// the state on open.
+// transaction is recorded in a WAL of length- and CRC-framed records —
+// binary row payloads in the native format, JSON for legacy logs and
+// schema records — before it is acknowledged; a snapshot plus WAL replay
+// restores the state on open.
 //
 // # Segmented WAL and background compaction
 //
@@ -70,12 +71,37 @@
 // probes and Limit like any other driver. Ranges on unordered columns
 // still work as plain per-row filters.
 //
+// # Row format and versioning
+//
+// Rows travel in a compact schema-versioned binary encoding (rowcodec.go)
+// everywhere inside the store: WAL frames, snapshots, and the replication
+// stream, which ships WAL bytes verbatim. JSON appears only at the REST
+// edge and in logs written by older binaries. A binary row carries a
+// uint32 schema hash followed by self-describing (name, tag, value)
+// fields in schema column order; the hash fingerprints the (key, column
+// name, column type) layout, so when it matches the decoder's schema a
+// sequential fast path resolves every field in O(1), and when it differs
+// (a row logged before a schema upgrade) decoding falls back to by-name
+// lookup — the same forward-compatibility contract the JSON maps had.
+// Value encodings are lossless where JSON was not: floats as raw
+// IEEE-754 bits, times as (seconds, nanoseconds), bytes raw.
+//
+// The WAL record envelope (walcodec.go) is format-tagged by its first
+// payload byte: binary records start with 0x01, JSON records with '{'.
+// Recovery replays both side by side, so a store written by an older
+// binary upgrades in place — old frames stay JSON forever, new commits
+// append binary frames after them; mixedformat_test.go proves the
+// mixed-version replay and the cross-codec fuzz target proves the two
+// row encodings decode to equal rows. CreateTable records, which are
+// rare and carry a full Schema, stay JSON deliberately.
+//
 // # Schema upgrades
 //
 // CreateTable on an existing table accepts compatible schema extensions
-// (added nullable columns, added or dropped index flags): the table is
-// re-indexed in place and the upgrade is logged, so applications can add
-// columns across versions without migrating data by hand.
+// (added nullable columns, added or dropped index flags, required
+// columns relaxed to nullable): the table is re-indexed in place and the
+// upgrade is logged, so applications can add columns across versions
+// without migrating data by hand.
 //
 // # Follower mode (WAL-shipping replication)
 //

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"slices"
 	"sort"
 	"strconv"
 	"time"
@@ -11,11 +12,6 @@ import (
 
 // ErrNotFound is returned by Get when no row has the requested key.
 var ErrNotFound = fmt.Errorf("relstore: row not found")
-
-// pendingRow buffers one uncommitted write. A nil row marks a delete.
-type pendingRow struct {
-	row Row // nil = tombstone
-}
 
 // Tx is a transaction handle passed to DB.Update, DB.View and
 // DB.ViewTables callbacks. Read operations observe the committed state
@@ -27,12 +23,17 @@ type pendingRow struct {
 // Tx holds the read locks of its declared tables for the whole callback;
 // a plain View Tx takes one read lock per operation. Multi-lock
 // acquisition follows the canonical sorted-name order — see acquire.
+//
+// Tx values are pooled (takeTx/putTx): every map and slice below is
+// cleared, not dropped, between transactions, so the steady-state write
+// path allocates no bookkeeping.
 type Tx struct {
 	db       *DB
 	writable bool
-	// pending maps table -> id -> buffered write, in insertion order via
-	// pendingOrder for deterministic WAL layout.
-	pending      map[string]map[string]*pendingRow
+	// pending maps (table, id) -> buffered write, in insertion order via
+	// pendingOrder for deterministic WAL layout. A nil Row value marks a
+	// tombstone (delete); presence in the map marks a buffered write.
+	pending      map[pendingKey]Row
 	pendingOrder []pendingKey
 	// seqs buffers sequence advances.
 	seqs map[string]int64
@@ -154,7 +155,7 @@ func (tx *Tx) releaseLocks() {
 		}
 	}
 	tx.heldOrder = tx.heldOrder[:0]
-	tx.held = nil
+	clear(tx.held) // keep the map for pooled reuse
 	tx.heldMax = ""
 	tx.scanTable, tx.scanName = nil, ""
 }
@@ -199,13 +200,11 @@ func (tx *Tx) endRead(t *table, locked bool) {
 
 // Get returns a copy of the row with the given key, or ErrNotFound.
 func (tx *Tx) Get(tableName, id string) (Row, error) {
-	if tx.pending != nil {
-		if p, ok := tx.pending[tableName][id]; ok {
-			if p.row == nil {
-				return nil, ErrNotFound
-			}
-			return p.row.Clone(), nil
+	if p, ok := tx.pending[pendingKey{tableName, id}]; ok {
+		if p == nil {
+			return nil, ErrNotFound
 		}
+		return p.Clone(), nil
 	}
 	t, locked, err := tx.beginRead(tableName)
 	if err != nil {
@@ -272,7 +271,29 @@ func (tx *Tx) Put(tableName string, row Row) error {
 		return err
 	}
 	id := row[t.schema.Key].(string)
-	tx.buffer(tableName, id, &pendingRow{row: row.Clone()})
+	tx.buffer(tableName, id, row.Clone())
+	return nil
+}
+
+// PutOwned is Put without the defensive clone: ownership of row
+// transfers to the store, which will keep it as the committed row map.
+// The caller must not read or mutate row after the call. For rows built
+// locally just to be stored — the pattern of every entity writer in this
+// codebase — the clone is pure waste on the hot path; callers holding a
+// row they still need must use Put.
+func (tx *Tx) PutOwned(tableName string, row Row) error {
+	if !tx.writable {
+		return fmt.Errorf("relstore: PutOwned in read-only transaction")
+	}
+	t, err := tx.acquire(tableName)
+	if err != nil {
+		return err
+	}
+	if err := t.schema.validate(row); err != nil {
+		return err
+	}
+	id := row[t.schema.Key].(string)
+	tx.buffer(tableName, id, row)
 	return nil
 }
 
@@ -296,7 +317,7 @@ func (tx *Tx) Insert(tableName string, row Row) error {
 	if exists {
 		return fmt.Errorf("relstore: table %q already has row %q", tableName, id)
 	}
-	tx.buffer(tableName, id, &pendingRow{row: row.Clone()})
+	tx.buffer(tableName, id, row.Clone())
 	return nil
 }
 
@@ -316,22 +337,21 @@ func (tx *Tx) Delete(tableName, id string) error {
 	if !exists {
 		return ErrNotFound
 	}
-	tx.buffer(tableName, id, &pendingRow{row: nil})
+	tx.buffer(tableName, id, nil)
 	return nil
 }
 
-// buffer records a pending write, replacing any earlier write to the same
-// row within this transaction.
-func (tx *Tx) buffer(table, id string, p *pendingRow) {
-	m := tx.pending[table]
-	if m == nil {
-		m = make(map[string]*pendingRow)
-		tx.pending[table] = m
+// buffer records a pending write (nil row = tombstone), replacing any
+// earlier write to the same row within this transaction.
+func (tx *Tx) buffer(table, id string, row Row) {
+	if tx.pending == nil {
+		tx.pending = make(map[pendingKey]Row, 8)
 	}
-	if _, seen := m[id]; !seen {
-		tx.pendingOrder = append(tx.pendingOrder, pendingKey{table, id})
+	k := pendingKey{table, id}
+	if _, seen := tx.pending[k]; !seen {
+		tx.pendingOrder = append(tx.pendingOrder, k)
 	}
-	m[id] = p
+	tx.pending[k] = row
 }
 
 // NextID reserves the next value of the table's auto-increment sequence
@@ -362,6 +382,9 @@ func (tx *Tx) NextSeq(tableName string) (int64, error) {
 		cur = t.seq
 	}
 	cur++
+	if tx.seqs == nil {
+		tx.seqs = make(map[string]int64, 4)
+	}
 	tx.seqs[tableName] = cur
 	return cur, nil
 }
@@ -400,6 +423,11 @@ type Query struct {
 	ranges  []rangePred
 	filters []Predicate
 	limit   int
+	// Inline backing for the first two conditions of each kind: the
+	// status+system point lookups on the scheduler hot path stay within
+	// the Query's own allocation.
+	eq0 [2]eqPredicate
+	rg0 [2]rangePred
 }
 
 // NewQuery returns an empty query matching all rows.
@@ -407,6 +435,9 @@ func NewQuery() *Query { return &Query{} }
 
 // Eq adds an equality condition; indexed columns use the secondary index.
 func (q *Query) Eq(col string, val any) *Query {
+	if q.eq == nil {
+		q.eq = q.eq0[:0]
+	}
 	q.eq = append(q.eq, eqPredicate{col, val})
 	return q
 }
@@ -414,26 +445,30 @@ func (q *Query) Eq(col string, val any) *Query {
 // Lt adds the condition col < v. On an Ordered column the planner can
 // drive the scan from the matching index slice instead of a full scan.
 func (q *Query) Lt(col string, v any) *Query {
-	q.ranges = append(q.ranges, rangePred{col, v, opLt})
+	return q.addRange(rangePred{col, v, opLt})
+}
+
+func (q *Query) addRange(r rangePred) *Query {
+	if q.ranges == nil {
+		q.ranges = q.rg0[:0]
+	}
+	q.ranges = append(q.ranges, r)
 	return q
 }
 
 // Le adds the condition col <= v.
 func (q *Query) Le(col string, v any) *Query {
-	q.ranges = append(q.ranges, rangePred{col, v, opLe})
-	return q
+	return q.addRange(rangePred{col, v, opLe})
 }
 
 // Gt adds the condition col > v.
 func (q *Query) Gt(col string, v any) *Query {
-	q.ranges = append(q.ranges, rangePred{col, v, opGt})
-	return q
+	return q.addRange(rangePred{col, v, opGt})
 }
 
 // Ge adds the condition col >= v.
 func (q *Query) Ge(col string, v any) *Query {
-	q.ranges = append(q.ranges, rangePred{col, v, opGe})
-	return q
+	return q.addRange(rangePred{col, v, opGe})
 }
 
 // Where adds an arbitrary predicate.
@@ -510,12 +545,13 @@ func (tx *Tx) scan(tableName string, q *Query, fn func(Row) bool) error {
 	driver, probes := t.plan(q)
 
 	var pend []string
-	if len(tx.pending[tableName]) > 0 {
-		pend = make([]string, 0, len(tx.pending[tableName]))
-		for id := range tx.pending[tableName] {
-			pend = append(pend, id)
+	if len(tx.pendingOrder) > 0 {
+		for _, k := range tx.pendingOrder {
+			if k.table == tableName {
+				pend = append(pend, k.id)
+			}
 		}
-		sort.Strings(pend)
+		slices.Sort(pend)
 	}
 
 	matched := 0
@@ -701,10 +737,8 @@ func inAll(pls []*postingList, id string) bool {
 
 // effectiveRow resolves a row id through the transaction's write buffer.
 func (tx *Tx) effectiveRow(t *table, tableName, id string) Row {
-	if tx.pending != nil {
-		if p, ok := tx.pending[tableName][id]; ok {
-			return p.row // may be nil (tombstone)
-		}
+	if p, ok := tx.pending[pendingKey{tableName, id}]; ok {
+		return p // may be nil (tombstone)
 	}
 	return t.rows[id]
 }

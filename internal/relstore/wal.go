@@ -20,13 +20,19 @@ const (
 	opSeq    = "seq"
 )
 
-// walOp is one mutation within a committed transaction.
+// walOp is one mutation within a committed transaction. A put carries
+// its row exactly one way: rowBin (the binary rowcodec form — every
+// record written by this version) or Row (the JSON map form, seen only
+// when replaying frames written by older binaries). rowBin is captured
+// under the table's write lock at enqueue time, so the bytes a frame
+// ships are fixed before any schema upgrade can follow.
 type walOp struct {
-	Op    string         `json:"op"`
-	Table string         `json:"table"`
-	ID    string         `json:"id,omitempty"`
-	Row   map[string]any `json:"row,omitempty"`
-	Seq   int64          `json:"seq,omitempty"`
+	Op     string         `json:"op"`
+	Table  string         `json:"table"`
+	ID     string         `json:"id,omitempty"`
+	Row    map[string]any `json:"row,omitempty"`
+	Seq    int64          `json:"seq,omitempty"`
+	rowBin []byte
 }
 
 // walRecord is one framed WAL entry: either a table creation or a batch
@@ -56,7 +62,12 @@ type walFile interface {
 //
 //	uint32 little-endian payload length
 //	uint32 little-endian CRC-32 (IEEE) of the payload
-//	payload (JSON)
+//	payload
+//
+// The payload's first byte selects its format: '{' is a JSON record
+// (legacy logs, and CreateTable records), binRecordTag a binary record
+// (see walcodec.go). Frames of both formats replay side by side in one
+// recovery, so old stores upgrade in place.
 //
 // A torn final frame (short write during a crash) is detected by length
 // or checksum mismatch on replay. It is tolerated — and truncated away —
@@ -211,14 +222,33 @@ func FrameSize(hdr []byte) int64 {
 	return FrameHeaderSize + int64(binary.LittleEndian.Uint32(hdr[0:4]))
 }
 
-// append frames one record into the write buffer. Nothing is durable
-// until commit is called, letting the group committer amortise a single
-// flush+fsync over many records.
+// append frames one record into the write buffer. Ops-only records
+// (every commit) encode binary through a pooled scratch buffer — zero
+// steady-state allocation; CreateTable records (rare, carry a Schema)
+// encode as JSON. Nothing is durable until commit is called, letting the
+// group committer amortise a single flush+fsync over many records.
 func (w *walWriter) append(rec walRecord) error {
-	payload, err := json.Marshal(rec)
-	if err != nil {
-		return fmt.Errorf("relstore: marshal wal record: %w", err)
+	if rec.CreateTable != nil {
+		payload, err := json.Marshal(rec)
+		if err != nil {
+			return fmt.Errorf("relstore: marshal wal record: %w", err)
+		}
+		return w.appendPayload(payload)
 	}
+	bufp := getFrameBuf()
+	payload, err := appendBinRecord(*bufp, rec)
+	if err != nil {
+		putFrameBuf(bufp)
+		return fmt.Errorf("relstore: encode wal record: %w", err)
+	}
+	*bufp = payload
+	err = w.appendPayload(payload)
+	putFrameBuf(bufp)
+	return err
+}
+
+// appendPayload frames one encoded payload into the write buffer.
+func (w *walWriter) appendPayload(payload []byte) error {
 	var hdr [8]byte
 	putFrameHeader(&hdr, payload)
 	if _, err := w.buf.Write(hdr[:]); err != nil {
@@ -318,6 +348,19 @@ func readOneRecord(br *bufio.Reader) (walRecord, int64, error) {
 	}
 	if crc32.ChecksumIEEE(payload) != sum {
 		return walRecord{}, 0, fmt.Errorf("%w: checksum mismatch", errTornRecord)
+	}
+	// The checksum held, so the payload is exactly what was written:
+	// dispatch on the format byte. Anything else is corruption that a
+	// torn write cannot produce, and is never silently dropped.
+	if len(payload) > 0 && payload[0] == binRecordTag {
+		rec, err := decodeBinRecord(payload)
+		if err != nil {
+			return walRecord{}, 0, err
+		}
+		return rec, int64(8 + len(payload)), nil
+	}
+	if len(payload) == 0 || payload[0] != '{' {
+		return walRecord{}, 0, fmt.Errorf("relstore: decode wal record: unknown payload format")
 	}
 	var rec walRecord
 	if err := json.Unmarshal(payload, &rec); err != nil {
@@ -626,17 +669,78 @@ func (db *DB) cloneState() ([]tableClone, int64) {
 	return clones, lsn
 }
 
-// writeSnapshot streams clones to w in the snapshotFile JSON layout.
-// Unlike a whole-store json.Marshal, memory stays O(one encoded row):
-// the structural JSON is emitted by hand and each row is marshalled
-// individually into the buffered writer. The same encoder backs both
-// compaction and snapshot shipping to followers. Pure CPU work on
-// immutable data; called without any lock held.
+// snapshotMagic opens a binary snapshot file. Legacy JSON snapshots
+// start with '{', so the first byte alone distinguishes the formats and
+// the reader accepts both — a store written by an older binary recovers
+// from its JSON snapshot and compacts into a binary one.
+const snapshotMagic = "CHRSNAP2"
+
+// writeSnapshot streams clones to w in the binary snapshot layout:
+//
+//	8-byte magic "CHRSNAP2"
+//	uvarint walSeq
+//	uvarint table count
+//	per table:
+//	  uvarint schema-JSON length, schema JSON (rare, self-describing)
+//	  uvarint sequence value
+//	  uvarint row count
+//	  per row: uvarint length, row (rowcodec; the key lives in its
+//	  key column, so rows need no separate id field)
+//
+// Memory stays O(one encoded row): each row is encoded into a reused
+// buffer and copied straight into the buffered writer. The same encoder
+// backs both compaction and snapshot shipping to followers. Pure CPU
+// work on immutable data; called without any lock held.
 func writeSnapshot(w io.Writer, clones []tableClone, walSeq int64) error {
 	bw := bufio.NewWriterSize(w, 64<<10)
 	// bufio latches the first write error and re-surfaces it on every
-	// later call, so error checking can ride on the marshal steps and
+	// later call, so error checking can ride on the encode steps and
 	// the final Flush.
+	bw.WriteString(snapshotMagic)
+	// One shared scratch for all varints: a per-call stack array would
+	// escape through bufio's io.Writer parameter and allocate per row.
+	scratch := make([]byte, binary.MaxVarintLen64)
+	writeUvarint(bw, scratch, uint64(walSeq))
+	writeUvarint(bw, scratch, uint64(len(clones)))
+	var rowBuf []byte
+	for i := range clones {
+		c := &clones[i]
+		schema, err := json.Marshal(c.schema)
+		if err != nil {
+			return fmt.Errorf("relstore: marshal snapshot schema: %w", err)
+		}
+		writeUvarint(bw, scratch, uint64(len(schema)))
+		bw.Write(schema)
+		writeUvarint(bw, scratch, uint64(c.seq))
+		writeUvarint(bw, scratch, uint64(len(c.rows)))
+		codec := newRowCodec(c.schema)
+		for _, row := range c.rows {
+			rowBuf, err = codec.appendRow(rowBuf[:0], row)
+			if err != nil {
+				return fmt.Errorf("relstore: encode snapshot row: %w", err)
+			}
+			writeUvarint(bw, scratch, uint64(len(rowBuf)))
+			bw.Write(rowBuf)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("relstore: write snapshot: %w", err)
+	}
+	return nil
+}
+
+// writeUvarint emits one unsigned varint into the buffered writer.
+// scratch must be at least binary.MaxVarintLen64 bytes.
+func writeUvarint(bw *bufio.Writer, scratch []byte, v uint64) {
+	bw.Write(scratch[:binary.PutUvarint(scratch, v)])
+}
+
+// writeSnapshotJSON streams clones to w in the legacy snapshotFile JSON
+// layout. Production code writes binary snapshots only; this writer
+// survives so the mixed-version recovery tests can fabricate the files
+// an older binary would have left behind.
+func writeSnapshotJSON(w io.Writer, clones []tableClone, walSeq int64) error {
+	bw := bufio.NewWriterSize(w, 64<<10)
 	fmt.Fprintf(bw, `{"version":1,"walSeq":%d,"tables":[`, walSeq)
 	for i, c := range clones {
 		if i > 0 {
@@ -711,34 +815,244 @@ func (db *DB) commitSnapshotTmp(tmp string) error {
 
 // readSnapshotFile parses the snapshot at path into a fresh table set
 // and returns it with the highest WAL segment it covers. A missing file
-// yields an empty table set and seq 0 (fresh or legacy store).
+// yields an empty table set and seq 0 (fresh or legacy store). The
+// first byte selects the format — binary (snapshotMagic) or legacy JSON
+// ('{') — and both readers stream table by table, row by row, so peak
+// memory is the restored tables plus O(one encoded row), never a second
+// whole-store decoded copy.
 func readSnapshotFile(path string) (map[string]*table, int64, error) {
-	tables := make(map[string]*table)
 	f, err := os.Open(path)
 	if err != nil {
 		if os.IsNotExist(err) {
-			return tables, 0, nil
+			return make(map[string]*table), 0, nil
 		}
 		return nil, 0, err
 	}
 	defer f.Close()
-	var snap snapshotFile
-	if err := json.NewDecoder(f).Decode(&snap); err != nil {
-		return nil, 0, fmt.Errorf("relstore: decode snapshot: %w", err)
+	br := bufio.NewReaderSize(f, 64<<10)
+	first, err := br.Peek(1)
+	if err != nil {
+		return nil, 0, fmt.Errorf("relstore: read snapshot: %w", err)
 	}
-	for _, st := range snap.Tables {
-		t := newTable(st.Schema)
-		t.seq = st.Seq
-		for id, enc := range st.Rows {
-			row, err := st.Schema.decodeRow(enc)
+	switch first[0] {
+	case snapshotMagic[0]:
+		return readSnapshotBin(br)
+	case '{':
+		return readSnapshotJSON(br)
+	}
+	return nil, 0, fmt.Errorf("relstore: snapshot %s: unknown format", filepath.Base(path))
+}
+
+// readSnapshotBin parses the binary snapshot layout written by
+// writeSnapshot, one row at a time through a reused buffer.
+func readSnapshotBin(br *bufio.Reader) (map[string]*table, int64, error) {
+	var magic [len(snapshotMagic)]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil || string(magic[:]) != snapshotMagic {
+		return nil, 0, fmt.Errorf("relstore: snapshot: bad magic")
+	}
+	walSeq, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, 0, fmt.Errorf("relstore: snapshot: read walSeq: %w", err)
+	}
+	nTables, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, 0, fmt.Errorf("relstore: snapshot: read table count: %w", err)
+	}
+	tables := make(map[string]*table, nTables)
+	var rowBuf []byte
+	for i := uint64(0); i < nTables; i++ {
+		schemaLen, err := binary.ReadUvarint(br)
+		if err != nil || schemaLen > 1<<20 {
+			return nil, 0, fmt.Errorf("relstore: snapshot: bad schema length")
+		}
+		schemaJSON := make([]byte, schemaLen)
+		if _, err := io.ReadFull(br, schemaJSON); err != nil {
+			return nil, 0, fmt.Errorf("relstore: snapshot: read schema: %w", err)
+		}
+		var s Schema
+		if err := json.Unmarshal(schemaJSON, &s); err != nil {
+			return nil, 0, fmt.Errorf("relstore: snapshot: decode schema: %w", err)
+		}
+		t := newTable(s)
+		seq, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, 0, fmt.Errorf("relstore: snapshot: read table seq: %w", err)
+		}
+		t.seq = int64(seq)
+		nRows, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, 0, fmt.Errorf("relstore: snapshot: read row count: %w", err)
+		}
+		for j := uint64(0); j < nRows; j++ {
+			rowLen, err := binary.ReadUvarint(br)
+			if err != nil || rowLen > 1<<30 {
+				return nil, 0, fmt.Errorf("relstore: snapshot: bad row length")
+			}
+			if uint64(cap(rowBuf)) < rowLen {
+				rowBuf = make([]byte, rowLen)
+			}
+			rowBuf = rowBuf[:rowLen]
+			if _, err := io.ReadFull(br, rowBuf); err != nil {
+				return nil, 0, fmt.Errorf("relstore: snapshot: read row: %w", err)
+			}
+			row, err := t.codec.decodeRow(rowBuf)
 			if err != nil {
-				return nil, 0, err
+				return nil, 0, fmt.Errorf("relstore: snapshot: %w", err)
+			}
+			id, ok := row[s.Key].(string)
+			if !ok || id == "" {
+				return nil, 0, fmt.Errorf("relstore: snapshot: table %q row without string key", s.Name)
 			}
 			t.applyPut(id, row)
 		}
-		tables[st.Schema.Name] = t
+		tables[s.Name] = t
 	}
-	return tables, snap.WALSeq, nil
+	if _, err := br.ReadByte(); err != io.EOF {
+		return nil, 0, fmt.Errorf("relstore: snapshot: trailing bytes after last table")
+	}
+	return tables, int64(walSeq), nil
+}
+
+// readSnapshotJSON parses the legacy snapshotFile JSON layout written by
+// older binaries. Unlike the one-shot Decode it replaces, it walks the
+// token stream and decodes one row at a time, so restoring a large
+// legacy store no longer materialises the whole file's worth of
+// intermediate maps beside the tables being built.
+func readSnapshotJSON(r io.Reader) (map[string]*table, int64, error) {
+	dec := json.NewDecoder(r)
+	if err := expectDelim(dec, '{'); err != nil {
+		return nil, 0, fmt.Errorf("relstore: decode snapshot: %w", err)
+	}
+	tables := make(map[string]*table)
+	var walSeq int64
+	for dec.More() {
+		key, err := jsonKey(dec)
+		if err != nil {
+			return nil, 0, fmt.Errorf("relstore: decode snapshot: %w", err)
+		}
+		switch key {
+		case "walSeq":
+			if err := dec.Decode(&walSeq); err != nil {
+				return nil, 0, fmt.Errorf("relstore: decode snapshot walSeq: %w", err)
+			}
+		case "tables":
+			if err := expectDelim(dec, '['); err != nil {
+				return nil, 0, fmt.Errorf("relstore: decode snapshot: %w", err)
+			}
+			for dec.More() {
+				t, err := readSnapshotJSONTable(dec)
+				if err != nil {
+					return nil, 0, err
+				}
+				tables[t.schema.Name] = t
+			}
+			if err := expectDelim(dec, ']'); err != nil {
+				return nil, 0, fmt.Errorf("relstore: decode snapshot: %w", err)
+			}
+		default: // "version" and any future additions
+			var skip any
+			if err := dec.Decode(&skip); err != nil {
+				return nil, 0, fmt.Errorf("relstore: decode snapshot %q: %w", key, err)
+			}
+		}
+	}
+	if err := expectDelim(dec, '}'); err != nil {
+		return nil, 0, fmt.Errorf("relstore: decode snapshot: %w", err)
+	}
+	return tables, walSeq, nil
+}
+
+// readSnapshotJSONTable parses one element of the "tables" array. The
+// writer emits schema before rows; rows arriving first would leave the
+// row types undefined, so that ordering is required.
+func readSnapshotJSONTable(dec *json.Decoder) (*table, error) {
+	if err := expectDelim(dec, '{'); err != nil {
+		return nil, fmt.Errorf("relstore: decode snapshot table: %w", err)
+	}
+	var t *table
+	for dec.More() {
+		key, err := jsonKey(dec)
+		if err != nil {
+			return nil, fmt.Errorf("relstore: decode snapshot table: %w", err)
+		}
+		switch key {
+		case "schema":
+			var s Schema
+			if err := dec.Decode(&s); err != nil {
+				return nil, fmt.Errorf("relstore: decode snapshot schema: %w", err)
+			}
+			t = newTable(s)
+		case "seq":
+			if t == nil {
+				return nil, fmt.Errorf("relstore: decode snapshot: table seq precedes schema")
+			}
+			if err := dec.Decode(&t.seq); err != nil {
+				return nil, fmt.Errorf("relstore: decode snapshot seq: %w", err)
+			}
+		case "rows":
+			if t == nil {
+				return nil, fmt.Errorf("relstore: decode snapshot: table rows precede schema")
+			}
+			if err := expectDelim(dec, '{'); err != nil {
+				return nil, fmt.Errorf("relstore: decode snapshot rows: %w", err)
+			}
+			for dec.More() {
+				id, err := jsonKey(dec)
+				if err != nil {
+					return nil, fmt.Errorf("relstore: decode snapshot row key: %w", err)
+				}
+				var enc map[string]any
+				if err := dec.Decode(&enc); err != nil {
+					return nil, fmt.Errorf("relstore: decode snapshot row %q: %w", id, err)
+				}
+				row, err := t.schema.decodeRow(enc)
+				if err != nil {
+					return nil, err
+				}
+				t.applyPut(id, row)
+			}
+			if err := expectDelim(dec, '}'); err != nil {
+				return nil, fmt.Errorf("relstore: decode snapshot rows: %w", err)
+			}
+		default:
+			var skip any
+			if err := dec.Decode(&skip); err != nil {
+				return nil, fmt.Errorf("relstore: decode snapshot table %q: %w", key, err)
+			}
+		}
+	}
+	if err := expectDelim(dec, '}'); err != nil {
+		return nil, fmt.Errorf("relstore: decode snapshot table: %w", err)
+	}
+	if t == nil {
+		return nil, fmt.Errorf("relstore: decode snapshot: table without schema")
+	}
+	return t, nil
+}
+
+// expectDelim consumes one token and requires it to be the delimiter d.
+func expectDelim(dec *json.Decoder, d json.Delim) error {
+	tok, err := dec.Token()
+	if err != nil {
+		return err
+	}
+	if got, ok := tok.(json.Delim); !ok || got != d {
+		return fmt.Errorf("expected %q, got %v", d.String(), tok)
+	}
+	return nil
+}
+
+// jsonKey consumes one token and requires it to be an object key.
+func jsonKey(dec *json.Decoder) (string, error) {
+	tok, err := dec.Token()
+	if err != nil {
+		return "", err
+	}
+	s, ok := tok.(string)
+	if !ok {
+		return "", fmt.Errorf("expected object key, got %v", tok)
+	}
+	return s, nil
 }
 
 // loadSnapshot restores the snapshot file if present and returns the

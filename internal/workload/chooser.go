@@ -12,13 +12,15 @@ import (
 	"fmt"
 	"hash/fnv"
 	"math"
-	"math/rand"
+	"math/rand/v2"
 	"sync"
 )
 
 // KeyChooser selects which record a request touches. Implementations are
 // NOT safe for concurrent use unless stated; give each worker goroutine
-// its own chooser (standard YCSB practice).
+// its own chooser with its own rand source (standard YCSB practice) —
+// nothing here touches the process-global generator, so seeded runs
+// replay exactly.
 type KeyChooser interface {
 	// Next returns a record index in [0, n) where n is the chooser's
 	// current item count.
@@ -39,7 +41,7 @@ func NewUniform(n int64) *Uniform {
 }
 
 // Next implements KeyChooser.
-func (u *Uniform) Next(r *rand.Rand) int64 { return r.Int63n(u.n) }
+func (u *Uniform) Next(r *rand.Rand) int64 { return r.Int64N(u.n) }
 
 // ZipfianTheta is the canonical YCSB skew constant.
 const ZipfianTheta = 0.99

@@ -1,0 +1,20 @@
+package workload
+
+import (
+	"os"
+	"strconv"
+)
+
+// SeedFromEnv returns the workload seed for a run, honouring
+// CHRONOS_SESSION_SEED the way the chaos harness does: exporting the
+// seed a failing run logged replays the exact same operation stream.
+// When the variable is unset (or malformed) the fallback applies, so
+// unseeded runs stay deterministic rather than drawing from the clock.
+func SeedFromEnv(fallback int64) int64 {
+	if s := os.Getenv("CHRONOS_SESSION_SEED"); s != "" {
+		if v, err := strconv.ParseInt(s, 10, 64); err == nil {
+			return v
+		}
+	}
+	return fallback
+}

@@ -2,7 +2,7 @@ package workload
 
 import (
 	"fmt"
-	"math/rand"
+	"math/rand/v2"
 	"sort"
 	"strings"
 )
@@ -257,13 +257,15 @@ type Generator struct {
 }
 
 // NewGenerator builds a generator for the given worker index; distinct
-// workers derive distinct deterministic seeds.
+// workers derive distinct deterministic seeds. Each generator owns its
+// rand source (a PCG seeded from cfg.Seed and the worker index), so
+// workers share no generator state and a seeded run replays exactly.
 func NewGenerator(cfg Config, worker int) (*Generator, error) {
 	cfg = cfg.WithDefaults()
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed + int64(worker)*1_000_003 + 17))
+	rng := rand.New(rand.NewPCG(uint64(cfg.Seed), uint64(worker)*1_000_003+17))
 	chooser, err := NewChooser(cfg.Distribution, cfg.RecordCount)
 	if err != nil {
 		return nil, err
@@ -297,7 +299,7 @@ func (g *Generator) NextOp() Op {
 		return Op{
 			Type:       t,
 			Key:        Key(g.chooser.Next(g.rng)),
-			ScanLength: 1 + g.rng.Intn(g.cfg.MaxScanLength),
+			ScanLength: 1 + g.rng.IntN(g.cfg.MaxScanLength),
 		}
 	case OpUpdate, OpReadModifyWrite:
 		return Op{Type: t, Key: Key(g.chooser.Next(g.rng)), Fields: g.OneField()}
@@ -317,7 +319,7 @@ func (g *Generator) Record() map[string][]byte {
 
 // OneField generates a single-field update payload.
 func (g *Generator) OneField() map[string][]byte {
-	i := g.rng.Intn(g.cfg.FieldsPerRecord)
+	i := g.rng.IntN(g.cfg.FieldsPerRecord)
 	return map[string][]byte{fieldName(i): g.fieldValue()}
 }
 
@@ -330,8 +332,8 @@ func (g *Generator) fieldValue() []byte {
 	// Runs of repeated printable characters: compressible like real text.
 	i := 0
 	for i < len(b) {
-		ch := byte('a' + g.rng.Intn(26))
-		run := 1 + g.rng.Intn(8)
+		ch := byte('a' + g.rng.IntN(26))
+		run := 1 + g.rng.IntN(8)
 		for j := 0; j < run && i < len(b); j++ {
 			b[i] = ch
 			i++

@@ -1,11 +1,16 @@
 package workload
 
 import (
-	"math/rand"
+	"math/rand/v2"
 	"strings"
 	"testing"
 	"testing/quick"
 )
+
+// testRand returns a deterministic per-test source.
+func testRand(seed int64) *rand.Rand {
+	return rand.New(rand.NewPCG(uint64(seed), 0))
+}
 
 func TestChooserBoundsProperty(t *testing.T) {
 	// Every chooser must only ever return indexes in [0, n).
@@ -17,7 +22,7 @@ func TestChooserBoundsProperty(t *testing.T) {
 			if err != nil {
 				return false
 			}
-			r := rand.New(rand.NewSource(seed))
+			r := testRand(seed)
 			for i := 0; i < 500; i++ {
 				k := c.Next(r)
 				if k < 0 || k >= n {
@@ -43,7 +48,7 @@ func TestZipfianSkew(t *testing.T) {
 	// With theta=0.99 over 1000 items, the most popular item should draw
 	// far more than the uniform share of 0.1%.
 	z := NewZipfian(1000)
-	r := rand.New(rand.NewSource(42))
+	r := testRand(42)
 	counts := make(map[int64]int)
 	const draws = 200000
 	for i := 0; i < draws; i++ {
@@ -66,7 +71,7 @@ func TestZipfianSkew(t *testing.T) {
 
 func TestScrambledZipfianSpreadsHotKeys(t *testing.T) {
 	s := NewScrambledZipfian(1000)
-	r := rand.New(rand.NewSource(7))
+	r := testRand(7)
 	counts := make(map[int64]int)
 	for i := 0; i < 100000; i++ {
 		counts[s.Next(r)]++
@@ -88,7 +93,7 @@ func TestScrambledZipfianSpreadsHotKeys(t *testing.T) {
 
 func TestLatestPrefersRecent(t *testing.T) {
 	l := NewLatest(1000)
-	r := rand.New(rand.NewSource(3))
+	r := testRand(3)
 	recent := 0
 	const draws = 50000
 	for i := 0; i < draws; i++ {
@@ -113,7 +118,7 @@ func TestLatestPrefersRecent(t *testing.T) {
 
 func TestSequentialWraps(t *testing.T) {
 	s := NewSequential(3)
-	r := rand.New(rand.NewSource(1))
+	r := testRand(1)
 	got := []int64{s.Next(r), s.Next(r), s.Next(r), s.Next(r)}
 	want := []int64{0, 1, 2, 0}
 	for i := range want {
@@ -160,7 +165,7 @@ func TestOpChooserProportions(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	r := rand.New(rand.NewSource(11))
+	r := testRand(11)
 	reads := 0
 	const draws = 100000
 	for i := 0; i < draws; i++ {

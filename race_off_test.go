@@ -1,0 +1,5 @@
+//go:build !race
+
+package chronos
+
+const raceEnabled = false

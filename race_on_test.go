@@ -1,0 +1,7 @@
+//go:build race
+
+package chronos
+
+// raceEnabled gates the BENCH_codec.json / BENCH_scaling.json refreshes:
+// the race detector's slowdown would publish meaningless numbers.
+const raceEnabled = true
