@@ -1,0 +1,120 @@
+package chronos
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"testing"
+	"time"
+
+	"chronos/internal/metrics"
+	"chronos/internal/relstore"
+)
+
+// This file refreshes BENCH_obs.json: the proof that the observability
+// layer's hot-path instrumentation is free in practice. It reruns the
+// writers=4 group-commit bench against a plain store and against one
+// recording every commit into a live metrics registry, and enforces the
+// acceptance bound that the instrumented p50 stays within 10% of the
+// uninstrumented one. Like the other BENCH_*.json recorders, it only
+// runs full and non-race, so the published numbers are real.
+//
+// Both arms run in SyncBatched mode: with per-commit fsync the p50 is
+// the disk's, not the code's — it swings 3x between runs on a busy CI
+// host, which would make any 10% comparison a coin flip. The batched
+// path is CPU-bound, so the registry's recording cost shows up as a
+// real fraction of it; that makes this the stricter bound, since the
+// same absolute cost hides even deeper under a durable commit.
+
+type obsArm struct {
+	Name    string  `json:"name"`
+	NsPerOp float64 `json:"nsPerOp"`
+	P50Ns   float64 `json:"p50Ns"`
+	P99Ns   float64 `json:"p99Ns"`
+}
+
+// measure runs one arm once through testing.Benchmark.
+func measure(name string, f func(*testing.B)) obsArm {
+	r := testing.Benchmark(f)
+	return obsArm{
+		Name:    name,
+		NsPerOp: float64(r.T.Nanoseconds()) / float64(r.N),
+		P50Ns:   r.Extra["p50-ns"],
+		P99Ns:   r.Extra["p99-ns"],
+	}
+}
+
+// TestBenchObsRecord measures the metrics overhead on the WAL
+// group-commit path and refreshes BENCH_obs.json. The 10% p50 bound is
+// asserted here so an instrumentation regression fails CI by name
+// instead of silently rewriting the snapshot.
+//
+// The comparison is paired: each round runs the plain and instrumented
+// arms back to back and takes their p50 ratio, and the bound is applied
+// to the median ratio across rounds. Pairing cancels the slow drift
+// (thermal state, page cache, a neighbouring job) that dominates the
+// difference between two *unpaired* runs on a shared host; the median
+// then discards the odd round that caught a scheduling spike.
+func TestBenchObsRecord(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bench recording skipped in -short runs")
+	}
+	if raceEnabled {
+		t.Skip("bench recording skipped under -race")
+	}
+	const rounds = 5
+	plainBench := func(b *testing.B) {
+		benchGroupCommitOpts(b, 4, false, &relstore.Options{Sync: relstore.SyncBatched})
+	}
+	instrBench := func(b *testing.B) {
+		benchGroupCommitOpts(b, 4, false, &relstore.Options{Sync: relstore.SyncBatched, Metrics: metrics.NewRegistry()})
+	}
+
+	var plain, instr obsArm
+	ratios := make([]float64, 0, rounds)
+	for i := 0; i < rounds; i++ {
+		p := measure("RelstoreWALGroupCommitBatched/writers=4", plainBench)
+		n := measure("RelstoreWALGroupCommitBatchedMetrics/writers=4", instrBench)
+		ratios = append(ratios, n.P50Ns/p.P50Ns)
+		t.Logf("round %d: plain p50 %.0f ns, instrumented p50 %.0f ns (ratio %.3f)", i+1, p.P50Ns, n.P50Ns, n.P50Ns/p.P50Ns)
+		if i == 0 || p.P50Ns < plain.P50Ns {
+			plain = p
+		}
+		if i == 0 || n.P50Ns < instr.P50Ns {
+			instr = n
+		}
+	}
+	sort.Float64s(ratios)
+	median := ratios[len(ratios)/2]
+	if median > 1.10 {
+		t.Errorf("instrumented commit p50 is %+.1f%% over plain (median of %d paired rounds), want within 10%%",
+			100*(median-1), rounds)
+	}
+
+	out := struct {
+		Generated   string    `json:"generated"`
+		CPUs        int       `json:"cpus"`
+		Rounds      int       `json:"pairedRounds"`
+		Arms        []obsArm  `json:"arms"`
+		P50Ratios   []float64 `json:"p50Ratios"`
+		P50Overhead string    `json:"p50OverheadMedian"`
+		Bound       string    `json:"bound"`
+	}{
+		Generated:   time.Now().UTC().Format(time.RFC3339),
+		CPUs:        runtime.NumCPU(),
+		Rounds:      rounds,
+		Arms:        []obsArm{plain, instr},
+		P50Ratios:   ratios,
+		P50Overhead: fmt.Sprintf("%+.1f%%", 100*(median-1)),
+		Bound:       "median instrumented/plain p50 ratio <= 1.10",
+	}
+	b, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_obs.json", append(b, '\n'), 0o644); err != nil {
+		t.Fatalf("writing BENCH_obs.json: %v", err)
+	}
+}

@@ -26,6 +26,7 @@ import (
 	"chronos/internal/core"
 	"chronos/internal/experiments"
 	"chronos/internal/mongoagent"
+	"chronos/internal/metrics"
 	"chronos/internal/mongosim"
 	"chronos/internal/params"
 	"chronos/internal/relstore"
@@ -341,11 +342,30 @@ func BenchmarkRelstoreWALGroupCommit(b *testing.B) {
 	}
 }
 
+// BenchmarkRelstoreWALGroupCommitMetrics is the instrumented twin of
+// the writers=4 group-commit bench: the same load against a store whose
+// commit path records into a live metrics registry. Its p50 must stay
+// within 10% of the uninstrumented figure — the bound TestBenchObsRecord
+// enforces when it refreshes BENCH_obs.json.
+func BenchmarkRelstoreWALGroupCommitMetrics(b *testing.B) {
+	b.Run("writers=4", func(b *testing.B) {
+		benchGroupCommitOpts(b, 4, false, &relstore.Options{Metrics: metrics.NewRegistry()})
+	})
+}
+
 // benchGroupCommit is the body of one BenchmarkRelstoreWALGroupCommit
 // configuration, extracted so the BENCH_codec.json/BENCH_scaling.json
 // recorder tests can rerun it through testing.Benchmark.
 func benchGroupCommit(b *testing.B, par int, compacting bool) {
-	db, err := relstore.Open(b.TempDir(), nil)
+	benchGroupCommitOpts(b, par, compacting, nil)
+}
+
+// benchGroupCommitOpts additionally lets callers tune the store — the
+// observability recorder runs the same load with the commit path
+// instrumented by a live registry, and in SyncBatched mode to take the
+// fsync variance out of its overhead comparison.
+func benchGroupCommitOpts(b *testing.B, par int, compacting bool, opts *relstore.Options) {
+	db, err := relstore.Open(b.TempDir(), opts)
 	if err != nil {
 		b.Fatal(err)
 	}

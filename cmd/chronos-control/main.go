@@ -32,6 +32,7 @@ import (
 	"chronos/internal/auth"
 	"chronos/internal/core"
 	"chronos/internal/extension"
+	"chronos/internal/metrics"
 	"chronos/internal/relstore"
 	"chronos/internal/relstore/repl"
 	"chronos/internal/rest"
@@ -57,6 +58,7 @@ func main() {
 		readAfterWait = flag.Duration("read-after-wait", 0, "with -replicate-from: how long a read carrying an X-Chronos-Read-After token waits for the replica to catch up before answering 503 (0 = 5s default)")
 		claimDelegate = flag.String("claim-delegate", "", "with -replicate-from: serve agent claims locally under a leader-granted lease, identifying as this follower id (must be unique per follower)")
 		claimLeaseTTL = flag.Duration("claim-lease-ttl", 10*time.Second, "with -claim-delegate: requested claim-lease lifetime")
+		slowOp        = flag.Duration("slow-op", 0, "access-log slow-operation threshold (0 = 500ms default)")
 	)
 	flag.Parse()
 
@@ -79,7 +81,7 @@ func main() {
 				log.Fatalf("-%s cannot be combined with -replicate-from: %s", fl.Name, why)
 			}
 		})
-		if err := runFollower(*addr, *dataDir, *replicateFrom, *agentToken, *replToken, *claimDelegate, *compactEvery, *sessionAuth, *maxStaleness, *readAfterWait, *claimLeaseTTL); err != nil {
+		if err := runFollower(*addr, *dataDir, *replicateFrom, *agentToken, *replToken, *claimDelegate, *compactEvery, *sessionAuth, *maxStaleness, *readAfterWait, *claimLeaseTTL, *slowOp); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -94,7 +96,7 @@ func main() {
 		log.Fatal("-max-staleness and -read-after-wait only apply with -replicate-from: a leader is never stale")
 	}
 	storeOpts := &relstore.Options{SegmentBytes: *segmentBytes, CompactEvery: *compactEvery}
-	if err := run(*addr, *dataDir, *agentToken, *replToken, *adminName, *adminPassword, *extensions, *watchdog, *hbTimeout, storeOpts); err != nil {
+	if err := run(*addr, *dataDir, *agentToken, *replToken, *adminName, *adminPassword, *extensions, *watchdog, *hbTimeout, *slowOp, storeOpts); err != nil {
 		log.Fatal(err)
 	}
 }
@@ -106,12 +108,14 @@ func main() {
 // served here: candidates come from the replica under a leader-granted
 // partition lease, and the claim itself commits on the leader via
 // batched intents (every grant stays authoritative).
-func runFollower(addr, dataDir, leader, agentToken, replToken, claimDelegate string, compactEvery int, sessionAuth bool, maxStaleness, readAfterWait, claimLeaseTTL time.Duration) error {
+func runFollower(addr, dataDir, leader, agentToken, replToken, claimDelegate string, compactEvery int, sessionAuth bool, maxStaleness, readAfterWait, claimLeaseTTL, slowOp time.Duration) error {
+	reg := metrics.NewRegistry()
 	cfg := repl.Config{
 		Dir:          dataDir,
 		Leader:       leader,
 		ReplToken:    replToken,
 		CompactEvery: compactEvery,
+		Metrics:      reg,
 	}
 	if maxStaleness > 0 {
 		// Freshness is proven each time a tail poll returns; on an idle
@@ -137,12 +141,15 @@ func runFollower(addr, dataDir, leader, agentToken, replToken, claimDelegate str
 	server.Repl = f
 	server.MaxStaleness = maxStaleness
 	server.ReadAfterWait = readAfterWait
+	server.Registry = reg
+	server.SlowOp = slowOp
 	if maxStaleness > 0 {
 		log.Printf("bounded staleness: reads degrade to 503 beyond %v of unproven freshness", maxStaleness)
 	}
 	if claimDelegate != "" {
 		claimer := repl.NewClaimer(claimDelegate, svc, repl.NewClient(leader, "", replToken, nil))
 		claimer.TTL = claimLeaseTTL
+		claimer.EnableMetrics(reg)
 		server.Claims = claimer
 		log.Printf("claim delegation enabled: serving agent claims as %q under leader leases (ttl %v)", claimDelegate, claimLeaseTTL)
 	}
@@ -165,14 +172,21 @@ func runFollower(addr, dataDir, leader, agentToken, replToken, claimDelegate str
 		return err
 	}
 	mux := http.NewServeMux()
-	mux.Handle("/api/", server.Handler())
+	api := server.Handler()
+	mux.Handle("/api/", api)
+	// Observability endpoints live at the root, beside the UI: route them
+	// to the REST handler (which gates them) rather than the page mux.
+	mux.Handle("GET /metrics", api)
+	mux.Handle("/debug/pprof/", api)
 	mux.Handle("/", ui.Handler())
 
 	log.Printf("chronos-control follower listening on %s (replica of %s in %s)", addr, leader, dataDir)
 	return http.ListenAndServe(addr, mux)
 }
 
-func run(addr, dataDir, agentToken, replToken, adminName, adminPassword, extensions string, watchdog, hbTimeout time.Duration, storeOpts *relstore.Options) error {
+func run(addr, dataDir, agentToken, replToken, adminName, adminPassword, extensions string, watchdog, hbTimeout, slowOp time.Duration, storeOpts *relstore.Options) error {
+	reg := metrics.NewRegistry()
+	storeOpts.Metrics = reg
 	db, err := relstore.Open(dataDir, storeOpts)
 	if err != nil {
 		return err
@@ -183,6 +197,7 @@ func run(addr, dataDir, agentToken, replToken, adminName, adminPassword, extensi
 	if err != nil {
 		return err
 	}
+	svc.SetMetrics(reg)
 	st := svc.Store().StorageStats()
 	log.Printf("store recovered: %d rows in %d tables, %d WAL segment(s), %d bytes of log",
 		st.Rows, st.Tables, st.WALSegments, st.WALSizeB)
@@ -192,6 +207,8 @@ func run(addr, dataDir, agentToken, replToken, adminName, adminPassword, extensi
 	server := rest.NewServer(svc)
 	server.AgentToken = agentToken
 	server.ReplToken = replToken
+	server.Registry = reg
+	server.SlowOp = slowOp
 
 	if adminName != "" {
 		if adminPassword == "" {
@@ -228,7 +245,10 @@ func run(addr, dataDir, agentToken, replToken, adminName, adminPassword, extensi
 		return err
 	}
 	mux := http.NewServeMux()
-	mux.Handle("/api/", server.Handler())
+	api := server.Handler()
+	mux.Handle("/api/", api)
+	mux.Handle("GET /metrics", api)
+	mux.Handle("/debug/pprof/", api)
 	mux.Handle("/", ui.Handler())
 
 	log.Printf("chronos-control listening on %s (data in %s)", addr, dataDir)

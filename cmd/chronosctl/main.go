@@ -14,6 +14,7 @@
 //	users | projects | systems | deployments [systemID] | experiments [projectID]
 //	evaluate <experimentID>           schedule an evaluation
 //	status                            server storage + replication state
+//	status -metrics                   curated summary scraped from GET /metrics
 //	status <evaluationID>             aggregate job states
 //	jobs <evaluationID>               job table
 //	job <jobID>                       job detail with timeline
@@ -42,6 +43,7 @@ func main() {
 		apiVersion = flag.String("api", "v2", "REST API version")
 		token      = flag.String("token", "", "session bearer token")
 		agentToken = flag.String("agent-token", "", "shared agent token (for job commands)")
+		replToken  = flag.String("repl-token", "", "replication token (opens status -metrics on gated servers)")
 	)
 	flag.Parse()
 	if flag.NArg() == 0 {
@@ -54,6 +56,9 @@ func main() {
 	}
 	if *agentToken != "" {
 		opts = append(opts, client.WithAgentToken(*agentToken))
+	}
+	if *replToken != "" {
+		opts = append(opts, client.WithReplToken(*replToken))
 	}
 	c := client.NewClient(*controlURL, opts...)
 
@@ -153,9 +158,14 @@ func dispatch(c *client.Client, args []string) error {
 		fmt.Printf("evaluation %s scheduled with %d jobs\n", ev.ID, len(jobs))
 	case "status":
 		// Without an argument: the server's storage and replication
-		// state. With an evaluation id: that evaluation's job states.
+		// state. With -metrics: a curated summary scraped from
+		// GET /metrics. With an evaluation id: that evaluation's job
+		// states.
 		if len(rest) == 0 {
 			return serverStatus(c)
+		}
+		if rest[0] == "-metrics" {
+			return metricsStatus(c)
 		}
 		st, err := c.EvaluationStatus(rest[0])
 		if err != nil {

@@ -10,6 +10,7 @@ import (
 	"strings"
 
 	"chronos/internal/core"
+	"chronos/internal/httputil"
 	"chronos/internal/params"
 	"chronos/internal/relstore"
 )
@@ -32,6 +33,17 @@ const (
 	// the token's generation can never be satisfied here (a pre-restart
 	// epoch or a foreign store) and only the leader can serve it.
 	HeaderReadAfter = "X-Chronos-Read-After"
+	// HeaderReplToken carries the replication credential. Its canonical
+	// home is here (rather than the repl package, which aliases it) so
+	// pkg/client can open the GET /metrics ship gate without importing
+	// the replication machinery.
+	HeaderReplToken = "X-Chronos-Repl-Token"
+	// HeaderTrace carries the client-minted request id. The server's
+	// access middleware installs it in the request context and echoes it
+	// on the response; a follower forwards it on the leader legs of a
+	// delegated claim, so one request correlates across both servers'
+	// logs (see internal/httputil).
+	HeaderTrace = httputil.HeaderTrace
 )
 
 // CommitToken is a session token: a WAL commit position made portable.

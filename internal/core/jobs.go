@@ -479,6 +479,10 @@ func (s *Service) EvaluationStatusOf(evaluationID string) (EvaluationStatus, err
 // finishes, aborts or heartbeats between the scan and the fail is left
 // alone.
 func (s *Service) CheckHeartbeats() ([]string, error) {
+	if s.met != nil {
+		start := time.Now()
+		defer func() { s.met.observeSweep(time.Since(start)) }()
+	}
 	// Claim-lease expiry rides the same sweep: a follower that stops
 	// renewing loses its partitions here, exactly like an agent that
 	// stops heartbeating loses its job (lease.go).

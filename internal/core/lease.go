@@ -164,6 +164,9 @@ func (s *Service) GrantClaimLease(followerID string, ttl time.Duration) (Lease, 
 	l.TTLMs = ttl.Milliseconds()
 	l.ExpiresInMs = l.TTLMs
 	t.expiry[followerID] = now.Add(ttl)
+	if s.met != nil {
+		s.met.leaseGrants.Inc()
+	}
 	return t.snapshotLocked(l, now), nil
 }
 
@@ -345,6 +348,9 @@ func (s *Service) CommitClaimIntents(leaseID, followerID string, intents []Claim
 		cur.Rejected += rejected
 	}
 	t.mu.Unlock()
+	if s.met != nil {
+		s.met.observeIntents(verdicts)
+	}
 	return verdicts, nil
 }
 

@@ -42,6 +42,10 @@ type Service struct {
 	ClaimPartitions int
 
 	leases leaseTable
+
+	// met carries pre-resolved instrumentation handles (nil until
+	// SetMetrics: instrumentation off).
+	met *svcMetrics
 }
 
 // NewService builds a Service on the given database. clock may be nil for

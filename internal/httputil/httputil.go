@@ -93,24 +93,83 @@ func (r *statusRecorder) WriteHeader(code int) {
 	r.ResponseWriter.WriteHeader(code)
 }
 
-// LogRequests wraps a handler with access logging, request ids and panic
-// recovery. A panicking handler yields a 500 instead of killing the
-// control server (requirement iii: reliability).
-func LogRequests(logger *log.Logger, next http.Handler) http.Handler {
+// defaultSlowOp is the slow-op log threshold when AccessLog.SlowOp is
+// unset: long enough that healthy traffic never trips it, short enough
+// to flag a commit stuck behind a struggling disk or a gated read
+// waiting out its whole budget.
+const defaultSlowOp = 500 * time.Millisecond
+
+// AccessLog is the access-logging middleware with trace propagation,
+// slow-op flagging and per-route metrics. LogRequests remains the
+// zero-config form.
+type AccessLog struct {
+	// Logger receives the access log; nil uses the default logger.
+	Logger *log.Logger
+	// SlowOp is the duration at or above which a request additionally
+	// logs a "slow op" line carrying its trace id, so one slow claim or
+	// gated read can be chased across leader and follower logs. Zero
+	// means the 500ms default; negative flags every request (tests).
+	SlowOp time.Duration
+	// Metrics, when non-nil, records per-route request counts, status
+	// codes and latency.
+	Metrics *RequestMetrics
+}
+
+// Wrap applies the middleware to next. Every request gets a trace id —
+// the caller's X-Chronos-Trace if it sent one, a freshly minted one
+// otherwise — installed in the request context (TraceID), echoed on the
+// response, and printed on every log line for the request.
+func (a AccessLog) Wrap(next http.Handler) http.Handler {
+	logger := a.Logger
 	if logger == nil {
 		logger = log.Default()
 	}
+	slow := a.SlowOp
+	if slow == 0 {
+		slow = defaultSlowOp
+	}
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		id := requestCounter.Add(1)
+		trace := sanitizeTrace(r.Header.Get(HeaderTrace))
+		if trace == "" {
+			trace = MintTraceID()
+		}
+		r = r.WithContext(WithTrace(r.Context(), trace))
+		w.Header().Set(HeaderTrace, trace)
 		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
 		start := time.Now()
+		if a.Metrics != nil {
+			a.Metrics.inFlight.Add(1)
+		}
 		defer func() {
 			if p := recover(); p != nil {
-				logger.Printf("req %d: panic: %v", id, p)
+				logger.Printf("req %d trace=%s: panic: %v", id, trace, p)
 				WriteError(rec, http.StatusInternalServerError, fmt.Errorf("internal error"))
 			}
-			logger.Printf("req %d: %s %s -> %d (%v)", id, r.Method, r.URL.Path, rec.status, time.Since(start).Round(time.Microsecond))
+			elapsed := time.Since(start)
+			// The route pattern the mux matched (set through the request
+			// pointer during ServeHTTP) keys the metrics; unmatched
+			// requests share one series instead of exploding cardinality.
+			route := r.Pattern
+			if route == "" {
+				route = "unrouted"
+			}
+			if a.Metrics != nil {
+				a.Metrics.observe(route, rec.status, elapsed)
+			}
+			logger.Printf("req %d trace=%s: %s %s -> %d (%v)", id, trace, r.Method, r.URL.Path, rec.status, elapsed.Round(time.Microsecond))
+			if elapsed >= slow {
+				logger.Printf("req %d trace=%s: slow op: %s %s -> %d took %v (threshold %v)",
+					id, trace, r.Method, r.URL.Path, rec.status, elapsed.Round(time.Microsecond), slow)
+			}
 		}()
 		next.ServeHTTP(rec, r)
 	})
+}
+
+// LogRequests wraps a handler with access logging, request ids, trace
+// propagation and panic recovery. A panicking handler yields a 500
+// instead of killing the control server (requirement iii: reliability).
+func LogRequests(logger *log.Logger, next http.Handler) http.Handler {
+	return AccessLog{Logger: logger}.Wrap(next)
 }

@@ -1,0 +1,43 @@
+package httputil
+
+// Per-route request metrics for the access middleware
+// (chronos_http_* series).
+
+import (
+	"strconv"
+	"time"
+
+	"chronos/internal/metrics"
+)
+
+// RequestMetrics records per-route request counts, status codes and
+// latency into a registry. Build one with NewRequestMetrics and hand it
+// to AccessLog.
+type RequestMetrics struct {
+	requests *metrics.CounterVec
+	latency  *metrics.SummaryVec
+	inFlight *metrics.Gauge
+}
+
+// NewRequestMetrics resolves the HTTP family handles in reg; returns nil
+// for a nil registry.
+func NewRequestMetrics(reg *metrics.Registry) *RequestMetrics {
+	if reg == nil {
+		return nil
+	}
+	return &RequestMetrics{
+		requests: reg.CounterVec("chronos_http_requests_total",
+			"Requests served, by matched route and status code.", "route", "code"),
+		latency: reg.SummaryVec("chronos_http_request_seconds",
+			"Request latency by matched route.", 1e-9, "route"),
+		inFlight: reg.Gauge("chronos_http_in_flight",
+			"Requests currently being served."),
+	}
+}
+
+// observe records one finished request.
+func (m *RequestMetrics) observe(route string, status int, elapsed time.Duration) {
+	m.requests.With(route, strconv.Itoa(status)).Inc()
+	m.latency.With(route).ObserveDuration(elapsed)
+	m.inFlight.Add(-1)
+}

@@ -1,0 +1,61 @@
+package httputil
+
+// Trace-id propagation. A request id minted in pkg/client rides the
+// X-Chronos-Trace header to the server, where the access middleware
+// installs it in the request context; anything downstream — the claim
+// delegate forwarding a batch to the leader, a gated read waiting on a
+// token — reads it back with TraceID and forwards or logs it, so one
+// slow operation can be correlated across leader and follower logs.
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"strconv"
+	"strings"
+	"sync/atomic"
+)
+
+// HeaderTrace carries the client-minted request id end to end.
+const HeaderTrace = "X-Chronos-Trace"
+
+type traceKey struct{}
+
+// WithTrace returns ctx carrying the trace id.
+func WithTrace(ctx context.Context, id string) context.Context {
+	if id == "" {
+		return ctx
+	}
+	return context.WithValue(ctx, traceKey{}, id)
+}
+
+// TraceID returns the trace id installed by the access middleware ("" if
+// none).
+func TraceID(ctx context.Context) string {
+	id, _ := ctx.Value(traceKey{}).(string)
+	return id
+}
+
+// traceFallback distinguishes minted ids if crypto/rand ever fails.
+var traceFallback atomic.Int64
+
+// MintTraceID returns a fresh 16-hex-char request id.
+func MintTraceID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "t-" + strconv.FormatInt(traceFallback.Add(1), 36)
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// sanitizeTrace bounds what a caller-supplied trace id may inject into
+// logs: printable, no whitespace, at most 64 chars.
+func sanitizeTrace(id string) string {
+	if len(id) > 64 {
+		id = id[:64]
+	}
+	if strings.ContainsFunc(id, func(r rune) bool { return r <= ' ' || r == 0x7f }) {
+		return ""
+	}
+	return id
+}

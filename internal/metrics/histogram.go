@@ -7,6 +7,16 @@
 // The histogram is a log-bucketed (HDR-style) structure: values are placed
 // into buckets whose width grows exponentially, giving a bounded relative
 // error (~3%) over the full int64 range at a fixed memory footprint.
+//
+// The same histogram also backs the server-side observability Registry
+// (registry.go): a concurrency-safe collection of counters, gauges and
+// summary histograms with optional labels that the Chronos Control server
+// uses to instrument its own hot paths — relstore commits, WAL fsyncs,
+// compaction, replication lag, the claim fan-out path and REST routes.
+// The registry renders the Prometheus text exposition format and is
+// served at GET /metrics by internal/rest; instrumentation handles are
+// resolved once at wiring time, so recording on a hot path costs a few
+// atomic adds (counters, gauges and summaries alike — no locks).
 package metrics
 
 import (

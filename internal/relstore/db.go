@@ -10,6 +10,9 @@ import (
 	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"chronos/internal/metrics"
 )
 
 // ErrReadOnly is returned by every local mutation on a store opened in
@@ -56,6 +59,11 @@ type Options struct {
 	// rotating. The directory is still exclusively locked: two followers
 	// must not share a replica directory.
 	Follower bool
+	// Metrics, when non-nil, instruments the store's commit and
+	// compaction paths into the registry (chronos_store_* series).
+	// Handles are resolved once at Open; a nil registry costs the hot
+	// path a single pointer check.
+	Metrics *metrics.Registry
 	// fileHook, when set, wraps every segment file the writer opens.
 	// Test-only failpoint injection (crash simulation); not part of the
 	// public API.
@@ -86,6 +94,11 @@ type table struct {
 	// upgrade. Commits encode rows through it under this table's write
 	// lock, so the bytes a WAL frame ships can never race an upgrade.
 	codec rowCodec
+	// rowCount mirrors len(rows). It is written under the table's write
+	// lock (applyPut/applyDelete are the only mutators of rows) but read
+	// lock-free, so Stats and the rows gauge never queue behind a commit
+	// apply.
+	rowCount atomic.Int64
 }
 
 // DB is an embedded, durable, transactional table store. All methods are
@@ -197,6 +210,10 @@ type DB struct {
 	compactions  atomic.Int64
 	compactErrMu sync.Mutex
 	compactErr   error
+
+	// met carries pre-resolved instrumentation handles (nil when
+	// Options.Metrics was nil: instrumentation off).
+	met *dbMetrics
 
 	group groupCommitter
 }
@@ -317,6 +334,7 @@ func Open(dir string, opts *Options) (*DB, error) {
 	// Recovery replayed every durable byte, so the applied position
 	// starts equal to the durable one.
 	db.appliedSeq, db.appliedOff = db.walSeq, w.size
+	db.met = newDBMetrics(opts.Metrics, db)
 	return db, nil
 }
 
@@ -638,6 +656,7 @@ func (t *table) applyPut(id string, row Row) {
 	}
 	t.keys.add(id)
 	t.rows[id] = row
+	t.rowCount.Add(1)
 	t.addToIndexes(id, row)
 }
 
@@ -694,6 +713,7 @@ func (t *table) applyDelete(id string) {
 	if old, ok := t.rows[id]; ok {
 		t.removeFromIndexes(id, old)
 		delete(t.rows, id)
+		t.rowCount.Add(-1)
 		t.keys.remove(id)
 	}
 }
@@ -1072,6 +1092,12 @@ func (db *DB) awaitCommit(b *walBatch) error {
 // rotates the segment if it has grown past the threshold. Rotation is a
 // close+open — no snapshotting happens on the commit path.
 func (db *DB) writeBatch(recs []walRecord) error {
+	// start stays zero for unsampled batches: the latency summary is
+	// sampled 1-in-8 so the common case pays no clock reads at all.
+	var start time.Time
+	if db.met != nil && db.met.sampleLatency() {
+		start = time.Now()
+	}
 	db.walMu.Lock()
 	defer db.walMu.Unlock()
 	if db.closed {
@@ -1089,6 +1115,9 @@ func (db *DB) writeBatch(recs []walRecord) error {
 	if err := db.wal.commit(); err != nil {
 		db.poisonLocked(err)
 		return err
+	}
+	if db.met != nil {
+		db.met.commitObserved(len(recs), start, db.opts.Sync == SyncEveryCommit)
 	}
 	db.durLSN += int64(len(recs))
 	db.commitCount.Add(int64(len(recs)))
@@ -1197,6 +1226,10 @@ func (db *DB) WaitCompaction() {
 //  4. Fsync + rename the snapshot (the commit point), then delete the
 //     sealed segments it covers.
 func (db *DB) compactCycle() error {
+	var start time.Time
+	if db.met != nil {
+		start = time.Now()
+	}
 	db.snapMu.Lock()
 	defer db.snapMu.Unlock()
 	// Re-arm the trigger up front: if this cycle fails (disk full, say),
@@ -1281,6 +1314,9 @@ func (db *DB) compactCycle() error {
 		}
 	}
 	db.compactions.Add(1)
+	if db.met != nil {
+		db.met.compactSecs.ObserveDuration(time.Since(start))
+	}
 	return nil
 }
 
@@ -1311,11 +1347,24 @@ type Stats struct {
 	LastCompactErr string `json:"lastCompactErr,omitempty"`
 }
 
-// Stats returns current store statistics. Row counts are collected one
-// table at a time under that table's read lock — never more than one
-// lock at once — so Stats can contend with a commit on a single table
-// for at most the length of its apply phase and never queues behind
-// commits to unrelated tables.
+// RowCount reports the rows resident across all tables. It reads the
+// per-table atomic counters maintained at commit apply, so it never
+// takes a table lock and can run at any frequency — it is what the
+// chronos_store_rows gauge scrapes.
+func (db *DB) RowCount() int64 {
+	db.tablesMu.RLock()
+	defer db.tablesMu.RUnlock()
+	var n int64
+	for _, t := range db.tables {
+		n += t.rowCount.Load()
+	}
+	return n
+}
+
+// Stats returns current store statistics. Row counts come from the
+// per-table atomic counters maintained at commit apply, so Stats never
+// takes a table lock and cannot contend with commits at all — a scrape
+// or UI poll is invisible to writers.
 func (db *DB) Stats() Stats {
 	db.tablesMu.RLock()
 	tabs := make([]*table, 0, len(db.tables))
@@ -1325,9 +1374,7 @@ func (db *DB) Stats() Stats {
 	db.tablesMu.RUnlock()
 	st := Stats{Tables: len(tabs)}
 	for _, t := range tabs {
-		t.mu.RLock()
-		st.Rows += len(t.rows)
-		t.mu.RUnlock()
+		st.Rows += int(t.rowCount.Load())
 	}
 	if db.dir != "" {
 		if seqs, err := listSegments(db.dir); err == nil {

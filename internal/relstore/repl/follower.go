@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"chronos/internal/api"
+	"chronos/internal/metrics"
 	"chronos/internal/relstore"
 )
 
@@ -49,6 +50,11 @@ type Config struct {
 	// Logger receives replication progress lines; nil uses the default
 	// logger.
 	Logger *log.Logger
+	// Metrics, when non-nil, instruments both the replica store
+	// (chronos_store_* series, threaded into relstore.Open) and the
+	// replication loop itself (chronos_repl_* gauges: lag, staleness,
+	// re-bootstrap count).
+	Metrics *metrics.Registry
 }
 
 // Follower replicates a leader's store into a local read-only replica
@@ -111,7 +117,7 @@ func Start(cfg Config) (*Follower, error) {
 	if cfg.Logger == nil {
 		cfg.Logger = log.Default()
 	}
-	db, err := relstore.Open(cfg.Dir, &relstore.Options{Follower: true, CompactEvery: cfg.CompactEvery})
+	db, err := relstore.Open(cfg.Dir, &relstore.Options{Follower: true, CompactEvery: cfg.CompactEvery, Metrics: cfg.Metrics})
 	if err != nil {
 		return nil, err
 	}
@@ -128,10 +134,32 @@ func Start(cfg Config) (*Follower, error) {
 		log:    cfg.Logger,
 		done:   make(chan struct{}),
 	}
+	f.registerMetrics(cfg.Metrics)
 	ctx, cancel := context.WithCancel(context.Background())
 	f.cancel = cancel
 	go f.run(ctx)
 	return f, nil
+}
+
+// registerMetrics exposes the replication loop's progress as pull-time
+// gauges: every value is already maintained for Status(), so scrapes
+// cost the loop nothing.
+func (f *Follower) registerMetrics(reg *metrics.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.GaugeFunc("chronos_repl_lag_segments",
+		"Whole WAL segments the follower trails the leader by.",
+		func() float64 { return float64(f.Status().LagSegments) })
+	reg.GaugeFunc("chronos_repl_lag_bytes",
+		"Byte lag behind the leader's durable tip (-1: different segments).",
+		func() float64 { return float64(f.Status().LagBytes) })
+	reg.GaugeFunc("chronos_repl_staleness_ms",
+		"Milliseconds since the follower last proved itself caught up (-1: never).",
+		func() float64 { return float64(f.Status().StalenessMs) })
+	reg.CounterFunc("chronos_repl_bootstraps_total",
+		"Snapshot re-bootstraps (1 is the initial one of a fresh replica).",
+		func() float64 { return float64(f.Status().Bootstraps) })
 }
 
 // DB returns the read-only replica store. Local writes on it fail with

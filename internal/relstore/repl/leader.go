@@ -59,6 +59,7 @@ import (
 	"strconv"
 	"time"
 
+	"chronos/internal/api"
 	"chronos/internal/httputil"
 	"chronos/internal/relstore"
 )
@@ -77,8 +78,9 @@ const (
 	HeaderEnd = "X-Chronos-Wal-End"
 	// HeaderReplToken carries the dedicated replication credential.
 	// Deliberately not the agent token: shipping exposes the whole
-	// store, which the job-execution endpoints never do.
-	HeaderReplToken = "X-Chronos-Repl-Token"
+	// store, which the job-execution endpoints never do. The literal
+	// lives in the api package so pkg/client can reach it.
+	HeaderReplToken = api.HeaderReplToken
 	// HeaderGen carries the serving store's generation as "id:epoch" on
 	// snapshot and WAL responses, so a follower notices a leader restart
 	// (epoch move) on the very chunk it arrives with — even when the

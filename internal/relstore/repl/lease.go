@@ -14,6 +14,7 @@ import (
 	"chronos/internal/api"
 	"chronos/internal/core"
 	"chronos/internal/httputil"
+	"chronos/internal/metrics"
 )
 
 // Claim delegation rides the replication channel: a follower holding a
@@ -44,6 +45,11 @@ func (c *Client) post(ctx context.Context, url string, in any) (int, []byte, err
 	req.Header.Set("Content-Type", "application/json")
 	if c.replToken != "" {
 		req.Header.Set(HeaderReplToken, c.replToken)
+	}
+	// Forward the request's trace id, so a delegated claim's leader leg
+	// logs under the same id as the follower request that caused it.
+	if tr := httputil.TraceID(ctx); tr != "" {
+		req.Header.Set(httputil.HeaderTrace, tr)
 	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
@@ -136,7 +142,40 @@ type Claimer struct {
 	conflicts  int64
 	faults     int64 // lease invalidations observed
 
+	// met carries pre-resolved instrumentation handles (nil until
+	// EnableMetrics: instrumentation off).
+	met *claimerMetrics
+
 	grantMu sync.Mutex // single-flights lease grants
+}
+
+// claimerMetrics holds the delegate's instrumentation handles.
+type claimerMetrics struct {
+	intentBatch *metrics.Summary
+}
+
+// EnableMetrics instruments the delegate into reg: the follower-side
+// intent batch size, plus its Status counters as pull-time series. Call
+// once at startup; a nil registry leaves instrumentation off.
+func (c *Claimer) EnableMetrics(reg *metrics.Registry) {
+	if reg == nil {
+		return
+	}
+	c.mu.Lock()
+	c.met = &claimerMetrics{
+		intentBatch: reg.Summary("chronos_claim_delegate_batch_records",
+			"Claim intents per follower flush batch (one leader round trip each).", 0),
+	}
+	c.mu.Unlock()
+	reg.CounterFunc("chronos_claim_delegated_served_total",
+		"Delegated claims granted through this follower.",
+		func() float64 { return float64(c.Status().Served) })
+	reg.CounterFunc("chronos_claim_delegated_conflicts_total",
+		"Delegated claim races lost (conflict or repartitioned verdicts).",
+		func() float64 { return float64(c.Status().Conflicts) })
+	reg.CounterFunc("chronos_claim_delegated_lease_faults_total",
+		"Lease invalidations observed by this follower.",
+		func() float64 { return float64(c.Status().LeaseFaults) })
 }
 
 // skipTTL bounds how long a job id stays locally non-claimable after
@@ -146,10 +185,14 @@ type Claimer struct {
 const skipTTL = 10 * time.Second
 
 type pendingIntent struct {
-	in   core.ClaimIntent
-	v    core.ClaimVerdict
-	err  error
-	done chan struct{}
+	in core.ClaimIntent
+	// trace is the claim request's trace id; the flush runs on a
+	// detached context, so the id must ride the intent to reach the
+	// leader round trip.
+	trace string
+	v     core.ClaimVerdict
+	err   error
+	done  chan struct{}
 }
 
 // NewClaimer builds a claim delegate over a follower's service (its
@@ -361,7 +404,7 @@ func (c *Claimer) sweepSkipLocked(now time.Time) {
 // intents arriving while a flush is in flight ride the next one — the
 // group-commit door, applied to claims.
 func (c *Claimer) commitIntent(ctx context.Context, in core.ClaimIntent) (core.ClaimVerdict, error) {
-	p := &pendingIntent{in: in, done: make(chan struct{})}
+	p := &pendingIntent{in: in, trace: httputil.TraceID(ctx), done: make(chan struct{})}
 	c.mu.Lock()
 	c.queue = append(c.queue, p)
 	if !c.flushing {
@@ -402,6 +445,7 @@ func (c *Claimer) flushLoop() {
 			return
 		}
 		lease := c.lease
+		met := c.met
 		c.mu.Unlock()
 
 		ins := make([]core.ClaimIntent, len(batch))
@@ -413,8 +457,19 @@ func (c *Claimer) flushLoop() {
 			timeout = 10 * time.Second
 		}
 		// Detached context: the flush serves every queued claim, not
-		// just the caller whose arrival started it.
+		// just the caller whose arrival started it. The round trip still
+		// carries a trace id — the first one in the batch — so the
+		// leader leg of a batched claim remains correlatable.
 		ctx, cancel := context.WithTimeout(context.Background(), timeout)
+		for _, p := range batch {
+			if p.trace != "" {
+				ctx = httputil.WithTrace(ctx, p.trace)
+				break
+			}
+		}
+		if met != nil {
+			met.intentBatch.Observe(int64(len(batch)))
+		}
 		vs, err := c.cl.ClaimIntents(ctx, lease.ID, c.FollowerID, ins)
 		cancel()
 		if err != nil {

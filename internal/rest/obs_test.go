@@ -1,0 +1,302 @@
+package rest
+
+import (
+	"context"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"chronos/internal/core"
+	"chronos/internal/metrics"
+	"chronos/internal/params"
+	"chronos/internal/relstore"
+	"chronos/internal/relstore/repl"
+	"chronos/pkg/client"
+)
+
+// syncBuf collects log output from concurrently serving servers.
+type syncBuf struct {
+	mu sync.Mutex
+	b  strings.Builder
+}
+
+func (s *syncBuf) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuf) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+// TestMetricsExposition drives a registry-wired leader through real
+// traffic and pins the /metrics surface: the ship gate, the exposition
+// content type, and at least ten distinct series spanning the store,
+// claim, watchdog and REST layers.
+func TestMetricsExposition(t *testing.T) {
+	reg := metrics.NewRegistry()
+	db, err := relstore.Open(t.TempDir(), &relstore.Options{SegmentBytes: 4 << 10, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	svc, err := core.NewService(db, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc.SetMetrics(reg)
+	server := NewServer(svc)
+	server.ReplToken = "scrape-secret"
+	server.Logger = log.New(io.Discard, "", 0)
+	server.Registry = reg
+	ts := httptest.NewServer(server.Handler())
+	t.Cleanup(ts.Close)
+
+	// Commit a few rows and serve a few requests so the counters move.
+	c := client.NewClient(ts.URL)
+	u, err := c.CreateUser("marco", core.RoleAdmin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.CreateProject("obs", "", u.ID, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.ListUsers(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The scrape shares the ship gate: no credential, no exposition.
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusUnauthorized {
+		t.Fatalf("GET /metrics without token: %d, want 401", resp.StatusCode)
+	}
+
+	req, _ := http.NewRequest(http.MethodGet, ts.URL+"/metrics", nil)
+	req.Header.Set(repl.HeaderReplToken, "scrape-secret")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics: %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("content type %q", ct)
+	}
+	samples, err := metrics.ParseText(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := map[string]bool{}
+	byKey := map[string]float64{}
+	for _, s := range samples {
+		names[s.Name] = true
+		key := s.Name
+		if q := s.Label("quantile"); q != "" {
+			key += "{q=" + q + "}"
+		}
+		if v := s.Label("verdict"); v != "" {
+			key += "{verdict=" + v + "}"
+		}
+		byKey[key] = s.Value
+	}
+	for _, want := range []string{
+		// store layer
+		"chronos_store_commit_batch_seconds",
+		"chronos_store_commit_batch_records",
+		"chronos_store_commits_total",
+		"chronos_store_wal_fsyncs_total",
+		"chronos_store_commit_records_per_second",
+		"chronos_store_compaction_seconds",
+		"chronos_store_compactions_total",
+		"chronos_store_rows",
+		// claim + watchdog layer
+		"chronos_claim_intents_total",
+		"chronos_claim_lease_grants_total",
+		"chronos_claim_intent_batch_records",
+		"chronos_watchdog_sweep_seconds",
+		// REST layer
+		"chronos_http_requests_total",
+		"chronos_http_request_seconds",
+		"chronos_http_in_flight",
+	} {
+		if !names[want] {
+			t.Errorf("exposition is missing %s", want)
+		}
+	}
+	if len(names) < 10 {
+		t.Fatalf("only %d distinct series names, want >= 10", len(names))
+	}
+	if got := byKey["chronos_store_commits_total"]; got < 2 {
+		t.Fatalf("chronos_store_commits_total = %v after two writes", got)
+	}
+	wantRows := float64(svc.Store().StorageStats().Rows)
+	if got := byKey["chronos_store_rows"]; got != wantRows {
+		t.Fatalf("chronos_store_rows = %v, stats say %v", got, wantRows)
+	}
+	// Requests were observed under their matched route patterns, not a
+	// raw-path or catch-all label.
+	var httpTotal, apiRouted float64
+	for _, s := range samples {
+		if s.Name == "chronos_http_requests_total" {
+			httpTotal += s.Value
+			if s.Label("route") == "unrouted" {
+				t.Fatalf("request series with unrouted label: %+v", s)
+			}
+			if strings.Contains(s.Label("route"), "/api/") {
+				apiRouted += s.Value
+			}
+		}
+	}
+	if httpTotal < 3 || apiRouted < 3 {
+		t.Fatalf("http requests total %v (api-routed %v), want >= 3", httpTotal, apiRouted)
+	}
+}
+
+// TestMetricsNotEnabled pins the no-registry behaviour: 404, not a panic
+// and not an empty 200 a scraper would silently accept.
+func TestMetricsNotEnabled(t *testing.T) {
+	f := newFixture(t, false, "")
+	resp, err := http.Get(f.ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("GET /metrics without registry: %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestTraceCorrelatesLeaderAndFollower proves the trace id travels the
+// whole delegation path: the SDK mints it, the follower's access log
+// carries it on the agent's claim, and the leader's access log carries
+// the same id on the lease/intent legs the follower issued on the
+// request's behalf. SlowOp < 0 makes every request a "slow op" so the
+// test needs no real slowness.
+func TestTraceCorrelatesLeaderAndFollower(t *testing.T) {
+	var leaderLog, followerLog syncBuf
+	db, err := relstore.Open(t.TempDir(), &relstore.Options{SegmentBytes: 4 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	svc, err := core.NewService(db, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	server := NewServer(svc)
+	server.ReplToken = "sesame"
+	server.Logger = log.New(&leaderLog, "", 0)
+	server.SlowOp = -1
+	leaderTS := httptest.NewServer(server.Handler())
+	t.Cleanup(leaderTS.Close)
+
+	// One claimable job, created over the wire.
+	lc := client.NewClient(leaderTS.URL)
+	u, err := lc.CreateUser("marco", core.RoleAdmin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := lc.CreateProject("obs", "", u.ID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := lc.RegisterSystem("mongodb", "", mongoDefs(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dep, err := lc.CreateDeployment(sys.ID, "sim-1", "local", "4.0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	exp, err := lc.CreateExperiment(p.ID, sys.ID, "one", "", map[string][]params.Value{
+		"engine":  {params.String_("wiredtiger")},
+		"threads": {params.Int(1)},
+	}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := lc.CreateEvaluation(exp.ID); err != nil {
+		t.Fatal(err)
+	}
+
+	f, err := repl.Start(repl.Config{
+		Dir:        t.TempDir(),
+		Leader:     leaderTS.URL,
+		ReplToken:  "sesame",
+		PollWait:   250 * time.Millisecond,
+		RetryEvery: 20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { f.Close() })
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	if err := f.WaitCaughtUp(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	fsvc := core.NewFollowerService(f.DB(), nil)
+	fserver := NewServer(fsvc)
+	fserver.Repl = f
+	fserver.Logger = log.New(&followerLog, "", 0)
+	fserver.SlowOp = -1
+	fserver.Claims = repl.NewClaimer("f1", fsvc, repl.NewClient(leaderTS.URL, "v2", "sesame", nil))
+	followerTS := httptest.NewServer(fserver.Handler())
+	t.Cleanup(followerTS.Close)
+
+	// The agent claims against the follower; the SDK mints the trace.
+	fc := client.NewClient(followerTS.URL)
+	j, _, err := fc.ClaimJob(dep.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j == nil {
+		t.Fatal("no job claimed through the delegate")
+	}
+
+	// Pull the claim's trace id out of the follower's slow-op line.
+	claimLine := regexp.MustCompile(`req \d+ trace=([0-9a-f]{16}): slow op: POST /api/v\d/jobs/claim`)
+	m := claimLine.FindStringSubmatch(followerLog.String())
+	if m == nil {
+		t.Fatalf("no slow-op claim line in follower log:\n%s", followerLog.String())
+	}
+	trace := m[1]
+
+	// The leader saw the same id on the delegation legs. Its access-log
+	// line is written in a deferred func that can race the response by a
+	// hair, so poll briefly.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		got := leaderLog.String()
+		if i := strings.Index(got, "trace="+trace); i >= 0 {
+			line := got[i:]
+			if j := strings.IndexByte(line, '\n'); j >= 0 {
+				line = line[:j]
+			}
+			if !strings.Contains(line, "/repl/") {
+				t.Fatalf("leader line with the trace is not a delegation leg: %q", line)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("trace %s never appeared in leader log:\n%s", trace, got)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"errors"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"strings"
 	"time"
 
@@ -23,6 +24,7 @@ import (
 	"chronos/internal/auth"
 	"chronos/internal/core"
 	"chronos/internal/httputil"
+	"chronos/internal/metrics"
 	"chronos/internal/relstore"
 	"chronos/internal/relstore/repl"
 )
@@ -63,6 +65,14 @@ type Server struct {
 	// locally through a claim lease (satisfied by *repl.Claimer)
 	// instead of answering read-only 503. Leaders leave it nil.
 	Claims ClaimDelegate
+	// Registry, when non-nil, is rendered at GET /metrics (Prometheus
+	// text exposition) and feeds the per-route request metrics. The
+	// field is read per request, so it may be assigned any time before
+	// Handler() is called.
+	Registry *metrics.Registry
+	// SlowOp is the access log's slow-operation threshold; zero takes
+	// the 500ms default, negative flags every request (tests).
+	SlowOp time.Duration
 
 	mux *http.ServeMux
 }
@@ -86,9 +96,16 @@ func NewServer(svc *core.Service) *Server {
 	return s
 }
 
-// Handler returns the root handler including middleware.
+// Handler returns the root handler including middleware: trace-id
+// install/echo, access + slow-op logging and, when Registry is set,
+// per-route request metrics.
 func (s *Server) Handler() http.Handler {
-	return httputil.LogRequests(s.Logger, s.withCommitPosition(s.mux))
+	al := httputil.AccessLog{
+		Logger:  s.Logger,
+		SlowOp:  s.SlowOp,
+		Metrics: httputil.NewRequestMetrics(s.Registry),
+	}
+	return al.Wrap(s.withCommitPosition(s.mux))
 }
 
 // routes wires both API versions onto the mux.
@@ -176,6 +193,30 @@ func (s *Server) routes() {
 	}
 	// v2-only: batched agent update.
 	s.mux.HandleFunc("POST /api/v2/jobs/{id}/update", s.agent(s.handleBatchUpdate))
+
+	// Observability. /metrics shares the ship gate: scraping exposes
+	// operational detail (row counts, per-route traffic) that belongs to
+	// operators, and every deployment that wires a follower already
+	// holds the repl token — so one credential covers both servers of a
+	// pair. /debug/pprof is admin-only: profiles can capture memory
+	// contents, a strictly stronger exposure than counters.
+	s.mux.HandleFunc("GET /metrics", s.ship(s.handleMetrics))
+	s.mux.HandleFunc("GET /debug/pprof/", s.admin(pprof.Index))
+	s.mux.HandleFunc("GET /debug/pprof/cmdline", s.admin(pprof.Cmdline))
+	s.mux.HandleFunc("GET /debug/pprof/profile", s.admin(pprof.Profile))
+	s.mux.HandleFunc("GET /debug/pprof/symbol", s.admin(pprof.Symbol))
+	s.mux.HandleFunc("GET /debug/pprof/trace", s.admin(pprof.Trace))
+}
+
+// handleMetrics renders the registry in Prometheus text exposition
+// format 0.0.4. 404 when the server runs without a registry.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if s.Registry == nil {
+		httputil.WriteError(w, http.StatusNotFound, errors.New("rest: metrics not enabled"))
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.Registry.WritePrometheus(w)
 }
 
 // --- middleware ---

@@ -43,6 +43,7 @@ button.danger { background: #c62828; }
 <a href="/projects">Projects</a>
 <a href="/systems">Systems</a>
 <a href="/deployments">Deployments</a>
+<a href="/status">Status</a>
 </nav>
 <main>
 {{end}}
@@ -63,6 +64,90 @@ button.danger { background: #c62828; }
 <p class="muted">Chronos automates the entire evaluation workflow: define experiments,
 schedule evaluations, monitor jobs, analyze results.</p>
 </div>
+{{template "layout_bottom" .}}
+{{end}}
+
+{{define "serverstatus"}}
+{{template "layout_top" .}}
+<h1>Server status</h1>
+<p class="muted">Live view over <code>GET /metrics</code>, sampled every 2s in your browser.
+On an auth-enabled server the scrape needs the replication token or an admin session.</p>
+<div id="obs-err" class="card" style="display:none;color:#c62828"></div>
+<div class="card" id="obs-cards" style="display:none">
+<table>
+<tr><th>Metric</th><th>Now</th><th style="width:240px">Last 2 minutes</th></tr>
+<tr><td>Commit throughput (records/s)</td><td id="v-rate">-</td><td><canvas id="s-rate" width="220" height="28"></canvas></td></tr>
+<tr><td>Commit batch p99 (ms)</td><td id="v-p99">-</td><td><canvas id="s-p99" width="220" height="28"></canvas></td></tr>
+<tr><td>Rows stored</td><td id="v-rows">-</td><td><canvas id="s-rows" width="220" height="28"></canvas></td></tr>
+<tr><td>HTTP requests in flight</td><td id="v-http">-</td><td><canvas id="s-http" width="220" height="28"></canvas></td></tr>
+<tr><td>Replication lag (segments)</td><td id="v-lag">-</td><td><canvas id="s-lag" width="220" height="28"></canvas></td></tr>
+</table>
+</div>
+<script>
+(function () {
+	var hist = {}, MAX = 60;
+	var panels = [
+		["chronos_store_commit_records_per_second", "", "rate", 1],
+		["chronos_store_commit_batch_seconds", 'quantile="0.99"', "p99", 1000],
+		["chronos_store_rows", "", "rows", 1],
+		["chronos_http_in_flight", "", "http", 1],
+		["chronos_repl_lag_segments", "", "lag", 1]
+	];
+	function parse(text) {
+		var out = {};
+		text.split("\n").forEach(function (ln) {
+			if (!ln || ln[0] === "#") return;
+			var sp = ln.lastIndexOf(" ");
+			if (sp < 0) return;
+			out[ln.slice(0, sp)] = parseFloat(ln.slice(sp + 1));
+		});
+		return out;
+	}
+	function spark(id, vals) {
+		var c = document.getElementById(id), ctx = c.getContext("2d");
+		ctx.clearRect(0, 0, c.width, c.height);
+		if (vals.length < 2) return;
+		var max = Math.max.apply(null, vals), min = Math.min.apply(null, vals);
+		if (max === min) max = min + 1;
+		ctx.strokeStyle = "#1b5e20"; ctx.lineWidth = 1.5; ctx.beginPath();
+		vals.forEach(function (v, i) {
+			var x = i / (MAX - 1) * (c.width - 2) + 1;
+			var y = c.height - 3 - (v - min) / (max - min) * (c.height - 6);
+			i ? ctx.lineTo(x, y) : ctx.moveTo(x, y);
+		});
+		ctx.stroke();
+	}
+	function tick() {
+		fetch("/metrics").then(function (r) {
+			if (!r.ok) throw new Error("GET /metrics -> " + r.status);
+			return r.text();
+		}).then(function (text) {
+			var samples = parse(text);
+			document.getElementById("obs-err").style.display = "none";
+			document.getElementById("obs-cards").style.display = "";
+			panels.forEach(function (p) {
+				var key = p[1] ? p[0] + "{" + p[1] + "}" : p[0];
+				var v = samples[key];
+				if (v === undefined) {
+					document.getElementById("v-" + p[2]).textContent = "n/a";
+					return;
+				}
+				v *= p[3];
+				var h = hist[p[2]] = (hist[p[2]] || []).concat([v]).slice(-MAX);
+				document.getElementById("v-" + p[2]).textContent =
+					Math.abs(v) >= 100 ? v.toFixed(0) : v.toPrecision(3);
+				spark("s-" + p[2], h);
+			});
+		}).catch(function (err) {
+			var e = document.getElementById("obs-err");
+			e.textContent = "metrics unavailable: " + err.message;
+			e.style.display = "";
+		});
+	}
+	tick();
+	setInterval(tick, 2000);
+})();
+</script>
 {{template "layout_bottom" .}}
 {{end}}
 

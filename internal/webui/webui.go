@@ -41,6 +41,7 @@ func (u *UI) Handler() http.Handler { return u.mux }
 
 func (u *UI) routes() {
 	u.mux.HandleFunc("GET /{$}", u.dashboard)
+	u.mux.HandleFunc("GET /status", u.status)
 	u.mux.HandleFunc("GET /projects", u.projects)
 	u.mux.HandleFunc("GET /projects/{id}", u.project)
 	u.mux.HandleFunc("GET /systems", u.systems)
@@ -102,6 +103,14 @@ func (u *UI) dashboard(w http.ResponseWriter, r *http.Request) {
 	u.render(w, "dashboard", "Dashboard", struct {
 		Projects, Systems, Deployments int
 	}{len(projects), len(systems), len(deployments)})
+}
+
+// status renders the live server-status page. The page itself is
+// static: a script polls GET /metrics (same origin, so the ship gate
+// applies as it would to any scraper) and draws sparklines client-side;
+// the server renders no metric values into the HTML.
+func (u *UI) status(w http.ResponseWriter, r *http.Request) {
+	u.render(w, "serverstatus", "Server status", nil)
 }
 
 func (u *UI) projects(w http.ResponseWriter, r *http.Request) {

@@ -30,6 +30,7 @@ type Client struct {
 	httpClient *http.Client
 	token      string // session bearer token
 	agentToken string // shared agent token
+	replToken  string // replication token (opens GET /metrics)
 
 	leaderURL  string        // "" = baseURL is the leader
 	reqTimeout time.Duration // per-attempt context deadline
@@ -56,6 +57,11 @@ func WithSessionToken(tok string) Option { return func(c *Client) { c.token = to
 
 // WithAgentToken sets the shared secret for the agent endpoints.
 func WithAgentToken(tok string) Option { return func(c *Client) { c.agentToken = tok } }
+
+// WithReplToken sets the replication credential. The only client-facing
+// endpoint it opens is GET /metrics, which shares the ship gate so
+// scrapers can reuse the secret the follower fleet already holds.
+func WithReplToken(tok string) Option { return func(c *Client) { c.replToken = tok } }
 
 // NewClient creates a client for the server at baseURL (e.g.
 // "http://localhost:8080").

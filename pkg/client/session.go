@@ -188,13 +188,19 @@ func (c *Client) doOnce(base, method, path string, body, out any) error {
 	return nil
 }
 
-// setHeaders applies auth and, on reads, the session token.
+// setHeaders applies auth, a fresh trace id and, on reads, the session
+// token. Each HTTP attempt gets its own trace id — a retried read is
+// two requests and shows up as two traces, which is what an operator
+// correlating server logs wants to see.
 func (c *Client) setHeaders(req *http.Request, read bool) {
 	if c.token != "" {
 		req.Header.Set("Authorization", "Bearer "+c.token)
 	}
 	if c.agentToken != "" {
 		req.Header.Set("X-Chronos-Agent-Token", c.agentToken)
+	}
+	if req.Header.Get(api.HeaderTrace) == "" {
+		req.Header.Set(api.HeaderTrace, httputil.MintTraceID())
 	}
 	if read {
 		if tok, ok := c.LastCommit(); ok {
@@ -251,4 +257,34 @@ func (c *Client) rawGet(base, path string) ([]byte, error) {
 		return nil, fmt.Errorf("client: export: %s", data)
 	}
 	return data, nil
+}
+
+// MetricsText fetches the server's Prometheus text exposition
+// (GET /metrics — a root-path endpoint, outside the versioned API
+// prefix). An admin session token or WithReplToken satisfies the
+// endpoint's gate; chronosctl's `status -metrics` builds on this.
+func (c *Client) MetricsText() (string, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), c.reqTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.baseURL+"/metrics", nil)
+	if err != nil {
+		return "", err
+	}
+	c.setHeaders(req, false)
+	if c.replToken != "" {
+		req.Header.Set(api.HeaderReplToken, c.replToken)
+	}
+	resp, err := c.httpClient.Do(req)
+	if err != nil {
+		return "", fmt.Errorf("client: GET /metrics: %w: %v", ErrUnavailable, err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, httputil.MaxBodyBytes))
+	if err != nil {
+		return "", fmt.Errorf("client: GET /metrics: %w: %v", ErrUnavailable, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("client: GET /metrics: %s: %s", resp.Status, envelopeMsg(data))
+	}
+	return string(data), nil
 }
