@@ -1,12 +1,14 @@
-// Command chronos-agent runs a generic Chronos Agent hosting the MongoDB
-// simulator evaluation client (the paper's demo agent): it polls Chronos
-// Control for jobs of one deployment, executes the benchmark phases, and
-// uploads results over HTTP or to an FTP archive store.
+// Command chronos-agent runs a generic Chronos Agent hosting one of the
+// simulated evaluation clients: the MongoDB simulator (the paper's demo
+// agent) or the time-series store. It polls Chronos Control for jobs of
+// one deployment, executes the benchmark phases, and uploads results
+// over HTTP or to an FTP archive store.
 //
 // Usage:
 //
 //	chronos-agent -control http://localhost:8080 -deployment deployment-000000001 \
-//	    [-api v2] [-agent-token SECRET] [-ftp host:21 -ftp-user u -ftp-pass p]
+//	    [-system mongodb-sim|timeseries-sim] [-api v2] [-agent-token SECRET] \
+//	    [-ftp host:21 -ftp-user u -ftp-pass p]
 package main
 
 import (
@@ -22,6 +24,8 @@ import (
 	"chronos/internal/ftpx"
 	"chronos/internal/mongoagent"
 	"chronos/internal/mongosim"
+	"chronos/internal/tsagent"
+	"chronos/internal/tssim"
 	"chronos/pkg/client"
 )
 
@@ -37,6 +41,7 @@ func main() {
 		poll       = flag.Duration("poll", time.Second, "idle poll interval")
 		report     = flag.Duration("report", 2*time.Second, "progress/log reporting interval")
 		ioLatency  = flag.Duration("write-latency", 0, "simulated engine write latency (0 = engine default)")
+		system     = flag.String("system", mongoagent.SystemName, "SUT family this agent hosts (mongodb-sim or timeseries-sim)")
 	)
 	flag.Parse()
 	if *deployment == "" {
@@ -47,6 +52,16 @@ func main() {
 	if *agentToken != "" {
 		opts = append(opts, client.WithAgentToken(*agentToken))
 	}
+	var factory func() agent.Runner
+	switch *system {
+	case mongoagent.SystemName:
+		factory = mongoagent.NewFactory(mongosim.Options{WriteLatency: *ioLatency})
+	case tsagent.SystemName:
+		factory = tsagent.NewFactory(tssim.Options{})
+	default:
+		log.Fatalf("chronos-agent: unknown -system %q (use %s or %s)", *system, mongoagent.SystemName, tsagent.SystemName)
+	}
+
 	c := client.NewClient(*controlURL, opts...)
 	if pong, err := c.Ping(); err != nil {
 		log.Fatalf("chronos-agent: cannot reach control at %s: %v", *controlURL, err)
@@ -55,11 +70,9 @@ func main() {
 	}
 
 	a := &agent.Agent{
-		Control:      c,
-		DeploymentID: *deployment,
-		Factory: mongoagent.NewFactory(mongosim.Options{
-			WriteLatency: *ioLatency,
-		}),
+		Control:        c,
+		DeploymentID:   *deployment,
+		Factory:        factory,
 		PollInterval:   *poll,
 		ReportInterval: *report,
 	}
@@ -70,7 +83,7 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	log.Printf("agent polling for deployment %s", *deployment)
+	log.Printf("agent hosting %s, polling for deployment %s", *system, *deployment)
 	if err := a.Run(ctx); err != nil && err != context.Canceled {
 		log.Fatal(err)
 	}

@@ -22,7 +22,7 @@ import (
 
 func main() {
 	var (
-		which = flag.String("experiment", "all", "experiment id (e1..e8) or 'all'")
+		which = flag.String("experiment", "all", "experiment id (e1..e9) or 'all'")
 		full  = flag.Bool("full", false, "full-scale configuration (slower, EXPERIMENTS.md numbers)")
 	)
 	flag.Parse()
@@ -49,6 +49,10 @@ func main() {
 		}, "Fig. 3d + demo"},
 		{"e7", experiments.E7APIVersioning, "§2.2 REST"},
 		{"e8", func() (*experiments.Report, error) { return experiments.E8FailureRecovery(cfg) }, "§1 req. iii/iv"},
+		{"e9", func() (*experiments.Report, error) {
+			rep, _, err := experiments.E9DynamicDrift(cfg)
+			return rep, err
+		}, "dynamic drift"},
 	}
 
 	sel := strings.ToLower(*which)
@@ -68,7 +72,7 @@ func main() {
 		ran++
 	}
 	if ran == 0 {
-		fmt.Fprintf(os.Stderr, "chronos-bench: unknown experiment %q (use e1..e8 or all)\n", *which)
+		fmt.Fprintf(os.Stderr, "chronos-bench: unknown experiment %q (use e1..e9 or all)\n", *which)
 		os.Exit(2)
 	}
 	fmt.Printf("ran %d experiment(s) in %v\n", ran, time.Since(start).Round(time.Millisecond))

@@ -21,6 +21,7 @@ import (
 	"chronos/internal/mongosim"
 	"chronos/internal/params"
 	"chronos/internal/relstore"
+	"chronos/internal/tsagent"
 )
 
 // Config scales the experiments.
@@ -121,6 +122,20 @@ func (tb *testbed) registerMongo() (*core.System, *core.Deployment, error) {
 		return nil, nil, err
 	}
 	dep, err := tb.svc.CreateDeployment(sys.ID, "sim-1", "inprocess", "1.0")
+	if err != nil {
+		return nil, nil, err
+	}
+	return sys, dep, nil
+}
+
+// registerTS registers the time-series SuE and one deployment.
+func (tb *testbed) registerTS() (*core.System, *core.Deployment, error) {
+	defs, diagrams := tsagent.SystemDefinition()
+	sys, err := tb.svc.RegisterSystem(tsagent.SystemName, "simulated time-series store", defs, diagrams)
+	if err != nil {
+		return nil, nil, err
+	}
+	dep, err := tb.svc.CreateDeployment(sys.ID, "tsdb-1", "inprocess", "1.0")
 	if err != nil {
 		return nil, nil, err
 	}

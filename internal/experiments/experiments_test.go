@@ -218,3 +218,67 @@ func TestEngineOptionsPassThrough(t *testing.T) {
 	}
 	_ = time.Second
 }
+
+func TestE9DynamicDriftShape(t *testing.T) {
+	t.Setenv("CHRONOS_SESSION_SEED", "1234")
+	cfg := fastConfig()
+	cfg.Records = 400
+	cfg.Operations = 2000
+	rep, res, err := E9DynamicDrift(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total, ok := workloadTotal(res.Schedule)
+	if !ok || total != cfg.Operations {
+		t.Fatalf("schedule volume = %d (%v)", total, ok)
+	}
+	for _, system := range []string{"mongodb-sim", "timeseries-sim"} {
+		fam := res.Families[system]
+		if fam == nil {
+			t.Fatalf("family %s missing", system)
+		}
+		if len(fam.Phases) != 3 {
+			t.Fatalf("%s phases = %d", system, len(fam.Phases))
+		}
+		var sum int64
+		for i, name := range []string{"steady", "shift", "surge"} {
+			p := fam.Phases[i]
+			if p.Phase != name || p.Index != i {
+				t.Fatalf("%s phase %d = %+v", system, i, p)
+			}
+			if p.Operations <= 0 || p.Throughput <= 0 || p.DurationMs <= 0 {
+				t.Fatalf("%s phase %s empty: %+v", system, name, p)
+			}
+			sum += p.Operations
+		}
+		if sum != cfg.Operations {
+			t.Fatalf("%s executed %d ops, want %d", system, sum, cfg.Operations)
+		}
+		// The surge phase's inserts grew the dataset in both families.
+		if fam.Growth <= 0 {
+			t.Fatalf("%s dataset did not grow: %d", system, fam.Growth)
+		}
+	}
+	if !strings.Contains(rep.String(), "surge") {
+		t.Fatalf("report:\n%s", rep)
+	}
+
+	// Replay determinism: the seeded session reproduces the exact same
+	// per-phase op/error/growth outcome (timings legitimately differ).
+	_, res2, err := E9DynamicDrift(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for system, fam := range res.Families {
+		fam2 := res2.Families[system]
+		if fam.Growth != fam2.Growth {
+			t.Fatalf("%s replay growth %d vs %d", system, fam.Growth, fam2.Growth)
+		}
+		for i := range fam.Phases {
+			a, b := fam.Phases[i], fam2.Phases[i]
+			if a.Operations != b.Operations || a.Errors != b.Errors || a.Mix != b.Mix {
+				t.Fatalf("%s replay phase %d diverged: %+v vs %+v", system, i, a, b)
+			}
+		}
+	}
+}

@@ -17,7 +17,6 @@ package mongoagent
 import (
 	"fmt"
 	"sync"
-	"time"
 
 	"chronos/internal/agent"
 	"chronos/internal/core"
@@ -68,6 +67,11 @@ func SystemDefinition() ([]params.Definition, []core.DiagramSpec) {
 			Default:     params.String_("zipfian"),
 			Description: "key access distribution",
 		},
+		{
+			Name: "schedule", Label: "Dynamic Schedule", Type: params.TypeValue,
+			ValueKind: params.KindString, Default: params.String_(""),
+			Description: "phase DSL for dynamic workloads (phase=...,ops=...,mix=op:w+...,dist=...,rate=shape:start:end,grow=1;...); empty runs the static mix",
+		},
 	}
 	diagrams := []core.DiagramSpec{
 		{Type: "line", Title: "Throughput vs Threads", Metric: "throughput",
@@ -88,8 +92,10 @@ type Runner struct {
 	server  *mongosim.Server
 	coll    *mongosim.Collection
 	cfg     workload.Config
+	sched   workload.Schedule
 	threads int
 	meas    metrics.Measurements
+	phases  []workload.PhaseMeasurement
 }
 
 var _ agent.Runner = (*Runner)(nil)
@@ -99,12 +105,18 @@ func NewFactory(opts mongosim.Options) func() agent.Runner {
 	return func() agent.Runner { return &Runner{EngineOptions: opts} }
 }
 
-// configFromParams derives the workload configuration from job params.
-func configFromParams(a params.Assignment) (workload.Config, int, string, error) {
+// configFromParams derives the workload configuration and schedule from
+// job params. With no "schedule" parameter the schedule is the config's
+// one-phase degenerate case; a non-empty schedule DSL replaces the phase
+// list while keeping the config's table shape and seed.
+func configFromParams(a params.Assignment) (workload.Config, workload.Schedule, int, string, error) {
+	fail := func(err error) (workload.Config, workload.Schedule, int, string, error) {
+		return workload.Config{}, workload.Schedule{}, 0, "", err
+	}
 	engine := a.String("engine", mongosim.EngineWiredTiger)
 	threads := int(a.Int("threads", 1))
 	if threads < 1 {
-		return workload.Config{}, 0, "", fmt.Errorf("mongoagent: %d threads", threads)
+		return fail(fmt.Errorf("mongoagent: %d threads", threads))
 	}
 	mixVal, ok := a["mix"]
 	readPart, updatePart := 50, 50
@@ -126,19 +138,31 @@ func configFromParams(a params.Assignment) (workload.Config, int, string, error)
 	}
 	cfg = cfg.WithDefaults()
 	if err := cfg.Validate(); err != nil {
-		return workload.Config{}, 0, "", err
+		return fail(err)
 	}
-	return cfg, threads, engine, nil
+	sched := cfg.Schedule()
+	if spec := a.String("schedule", ""); spec != "" {
+		phases, err := workload.ParseSchedulePhases(spec)
+		if err != nil {
+			return fail(err)
+		}
+		sched.Phases = phases
+		sched = sched.WithDefaults()
+		if err := sched.Validate(); err != nil {
+			return fail(err)
+		}
+	}
+	return cfg, sched, threads, engine, nil
 }
 
 // Prepare creates the simulator deployment and loads the records
 // (paper §1: "the generation of benchmark data and their ingestion").
 func (r *Runner) Prepare(rc *agent.RunContext) error {
-	cfg, threads, engine, err := configFromParams(rc.Params())
+	cfg, sched, threads, engine, err := configFromParams(rc.Params())
 	if err != nil {
 		return err
 	}
-	r.cfg, r.threads = cfg, threads
+	r.cfg, r.sched, r.threads = cfg, sched, threads
 	opts := r.EngineOptions
 	if opts.Seed == 0 {
 		// Pin engine-internal randomness (skiplist tower heights) to the
@@ -174,21 +198,21 @@ func (r *Runner) WarmUp(rc *agent.RunContext) error {
 	return nil
 }
 
-// Execute runs the measured operation mix.
+// Execute runs the measured operation schedule.
 func (r *Runner) Execute(rc *agent.RunContext) error {
-	rc.Logf("execute: ops=%d threads=%d mix=%s dist=%s",
-		r.cfg.OperationCount, r.threads, r.cfg.Mix, r.cfg.Distribution)
-	meas, err := RunWorkload(r.coll, r.cfg, r.threads, func(done, total int64) {
+	total, _ := r.sched.TotalOperations()
+	rc.Logf("execute: phases=%d ops=%d threads=%d", len(r.sched.Phases), total, r.threads)
+	for i, p := range r.sched.Phases {
+		rc.Logf("  phase %d %q: mix=%s dist=%s", i, p.Name, p.Mix, p.Distribution)
+	}
+	sm, err := RunScheduleWorkload(r.coll, r.sched, r.threads, func(done, total int64) {
 		rc.SetProgress(done * 100 / total)
-		if rc.Err() != nil {
-			// Returning through the progress callback aborts workers.
-			return
-		}
 	}, rc.Err)
 	if err != nil {
 		return err
 	}
-	r.meas = meas
+	r.meas = sm.Total
+	r.phases = sm.Phases
 	return rc.Err()
 }
 
@@ -213,6 +237,9 @@ func (r *Runner) Analyze(rc *agent.RunContext) (map[string]any, error) {
 			"moves":            st.Moves,
 			"checkpoints":      st.Checkpoints,
 		},
+	}
+	if len(r.phases) > 1 {
+		result[core.PhaseResultsKey] = core.PhaseResultsFrom(r.sched, r.phases)
 	}
 	// Per-operation latency CSV as auxiliary artefact.
 	csv := "operation,count,mean_ns,p50_ns,p95_ns,p99_ns\n"
@@ -280,100 +307,22 @@ func recordToDoc(key string, fields map[string][]byte) mongosim.Document {
 
 // RunWorkload executes the configured mix against the collection with the
 // given number of client threads and returns the standard measurements.
-// progress (may be nil) receives (done, total) after every batch; abortErr
-// (may be nil) is polled between batches and stops workers when non-nil.
+// progress (may be nil) receives (done, total) counts of *completed*
+// operations; abortErr (may be nil) is polled between batches and stops
+// workers when non-nil. Exactly cfg.OperationCount operations execute:
+// the remainder of an uneven split lands on the low worker indexes, and
+// surplus workers stay idle when threads exceed the op count.
 func RunWorkload(coll *mongosim.Collection, cfg workload.Config, threads int, progress func(done, total int64), abortErr func() error) (metrics.Measurements, error) {
-	if threads < 1 {
-		return metrics.Measurements{}, fmt.Errorf("mongoagent: %d threads", threads)
-	}
-	total := cfg.OperationCount
-	perWorker := total / int64(threads)
-	if perWorker == 0 {
-		perWorker = 1
-	}
+	sm, err := RunScheduleWorkload(coll, cfg.Schedule(), threads, progress, abortErr)
+	return sm.Total, err
+}
 
-	type workerOut struct {
-		hist   metrics.Histogram
-		perOp  map[string]*metrics.Histogram
-		errors int64
-		done   int64
-	}
-	outs := make([]workerOut, threads)
-	var doneOps int64
-	var doneMu sync.Mutex
-
-	meter := metrics.NewMeter(nil)
-	meter.Start()
-	var wg sync.WaitGroup
-	for w := 0; w < threads; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			out := &outs[w]
-			out.perOp = make(map[string]*metrics.Histogram)
-			gen, err := workload.NewGenerator(cfg, w)
-			if err != nil {
-				out.errors++
-				return
-			}
-			const batch = 128
-			for i := int64(0); i < perWorker; i++ {
-				if i%batch == 0 {
-					if abortErr != nil && abortErr() != nil {
-						return
-					}
-					doneMu.Lock()
-					doneOps += min64(batch, perWorker-i)
-					if progress != nil {
-						progress(doneOps, total)
-					}
-					doneMu.Unlock()
-				}
-				op := gen.NextOp()
-				start := time.Now()
-				if err := applyOp(coll, op); err != nil {
-					out.errors++
-				}
-				lat := time.Since(start).Nanoseconds()
-				out.hist.Record(lat)
-				h := out.perOp[string(op.Type)]
-				if h == nil {
-					h = &metrics.Histogram{}
-					out.perOp[string(op.Type)] = h
-				}
-				h.Record(lat)
-				out.done++
-			}
-		}(w)
-	}
-	wg.Wait()
-	meter.Stop()
-
-	// Merge worker histograms.
-	var meas metrics.Measurements
-	var all metrics.Histogram
-	perOp := map[string]*metrics.Histogram{}
-	for i := range outs {
-		all.Merge(&outs[i].hist)
-		meas.Errors += outs[i].errors
-		meas.Operations += outs[i].done
-		for name, h := range outs[i].perOp {
-			dst := perOp[name]
-			if dst == nil {
-				dst = &metrics.Histogram{}
-				perOp[name] = dst
-			}
-			dst.Merge(h)
-		}
-	}
-	meter.Add(meas.Operations)
-	meas.Throughput = float64(meas.Operations) / meter.Elapsed().Seconds()
-	meas.Latency = all.Snapshot()
-	meas.PerOperation = map[string]metrics.Snapshot{}
-	for name, h := range perOp {
-		meas.PerOperation[name] = h.Snapshot()
-	}
-	return meas, nil
+// RunScheduleWorkload drives a multi-phase schedule against the
+// collection and returns whole-run plus per-phase measurements.
+func RunScheduleWorkload(coll *mongosim.Collection, sched workload.Schedule, threads int, progress func(done, total int64), abortErr func() error) (workload.ScheduleMeasurements, error) {
+	return workload.RunSchedule(sched, threads, func(op workload.Op) error {
+		return applyOp(coll, op)
+	}, progress, abortErr)
 }
 
 // applyOp maps one generated operation onto the collection API.
@@ -414,11 +363,4 @@ func ignoreMissing(err error) error {
 		return nil
 	}
 	return err
-}
-
-func min64(a, b int64) int64 {
-	if a < b {
-		return a
-	}
-	return b
 }

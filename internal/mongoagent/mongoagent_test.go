@@ -49,7 +49,7 @@ func TestConfigFromParams(t *testing.T) {
 		"mix":          params.Ratio(95, 5),
 		"distribution": params.String_("uniform"),
 	}
-	cfg, threads, engine, err := configFromParams(a)
+	cfg, sched, threads, engine, err := configFromParams(a)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -59,8 +59,13 @@ func TestConfigFromParams(t *testing.T) {
 	if cfg.Mix[workload.OpRead] != 95 || cfg.Mix[workload.OpUpdate] != 5 {
 		t.Fatalf("mix = %v", cfg.Mix)
 	}
+	// Without a schedule param the schedule is the one-phase degenerate
+	// case of the static config.
+	if len(sched.Phases) != 1 || sched.Phases[0].OperationCount != 1000 {
+		t.Fatalf("schedule = %+v", sched)
+	}
 	// Defaults.
-	cfg, threads, engine, err = configFromParams(params.Assignment{})
+	cfg, _, threads, engine, err = configFromParams(params.Assignment{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -68,8 +73,22 @@ func TestConfigFromParams(t *testing.T) {
 		t.Fatalf("defaults: %+v %d %s", cfg, threads, engine)
 	}
 	// Invalid thread count.
-	if _, _, _, err := configFromParams(params.Assignment{"threads": params.Int(0)}); err == nil {
+	if _, _, _, _, err := configFromParams(params.Assignment{"threads": params.Int(0)}); err == nil {
 		t.Fatal("0 threads accepted")
+	}
+	// A schedule DSL replaces the phase list but keeps the table shape.
+	a["schedule"] = params.String_("phase=warm,ops=400,mix=read:95+update:5;phase=churn,ops=600,mix=insert:50+read:50,dist=latest,grow=1")
+	_, sched, _, _, err = configFromParams(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sched.Phases) != 2 || sched.Phases[1].Name != "churn" || sched.RecordCount != 500 {
+		t.Fatalf("schedule = %+v", sched)
+	}
+	// A malformed schedule fails the job up front, not mid-run.
+	a["schedule"] = params.String_("phase=broken,ops=ten")
+	if _, _, _, _, err := configFromParams(a); err == nil {
+		t.Fatal("malformed schedule accepted")
 	}
 }
 
@@ -115,6 +134,166 @@ func TestRunWorkloadMeasures(t *testing.T) {
 	}
 	if len(meas.PerOperation) != 2 {
 		t.Fatalf("per-op = %v", meas.PerOperation)
+	}
+}
+
+// TestRunWorkloadExactCount is the remainder-drop regression test: the
+// old loop executed threads*(total/threads) ops, silently dropping the
+// remainder, and over-ran to one op per thread when threads > total.
+func TestRunWorkloadExactCount(t *testing.T) {
+	srv, err := mongosim.NewServer(mongosim.EngineWiredTiger, fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	coll := srv.Database("db").Collection("usertable")
+	load := workload.Config{
+		RecordCount: 200, OperationCount: 1,
+		Mix: workload.MixFromRatio(100, 0), Distribution: "uniform", Seed: 3,
+	}.WithDefaults()
+	if err := LoadCollection(coll, load, 2); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		ops     int64
+		threads int
+	}{
+		{4001, 4},  // remainder 1 was dropped
+		{1000, 7},  // remainder 6 was dropped
+		{3, 8},     // over-ran to 8 ops
+		{1, 16},    // over-ran to 16 ops
+		{4000, 4},  // even split: unchanged
+	}
+	for _, tc := range cases {
+		cfg := workload.Config{
+			RecordCount: 200, OperationCount: tc.ops,
+			Mix: workload.MixFromRatio(100, 0), Distribution: "uniform", Seed: 3,
+		}.WithDefaults()
+		meas, err := RunWorkload(coll, cfg, tc.threads, nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if meas.Operations != tc.ops {
+			t.Errorf("ops=%d threads=%d: executed %d", tc.ops, tc.threads, meas.Operations)
+		}
+	}
+}
+
+// TestConcurrentInsertKeysUnique is the duplicate-insert-key regression
+// test: with the old per-worker generators every thread inserted the
+// same key sequence, so concurrent ReplaceOne calls overwrote each other
+// and the table grew by far fewer rows than the insert count.
+func TestConcurrentInsertKeysUnique(t *testing.T) {
+	srv, err := mongosim.NewServer(mongosim.EngineWiredTiger, fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	coll := srv.Database("db").Collection("usertable")
+	cfg := workload.Config{
+		RecordCount: 100, OperationCount: 4000,
+		Mix:          workload.Mix{workload.OpInsert: 0.5, workload.OpRead: 0.5},
+		Distribution: "latest", Seed: 13,
+	}.WithDefaults()
+	if err := LoadCollection(coll, cfg, 2); err != nil {
+		t.Fatal(err)
+	}
+	meas, err := RunWorkload(coll, cfg, 4, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inserts := int64(meas.PerOperation["insert"].Count)
+	if inserts == 0 {
+		t.Fatal("no inserts executed")
+	}
+	// Every insert key was distinct, so every insert grew the table.
+	want := cfg.RecordCount + inserts
+	if got := int64(coll.Count()); got != want {
+		t.Fatalf("table has %d rows after %d inserts over %d records, want %d (duplicate insert keys)",
+			got, inserts, cfg.RecordCount, want)
+	}
+}
+
+// TestRunWorkloadProgressNeverOvercounts is the abort-progress
+// regression test: the old loop added a full batch to the progress
+// counter before executing it, so an aborted run reported work that
+// never happened.
+func TestRunWorkloadProgressNeverOvercounts(t *testing.T) {
+	srv, _ := mongosim.NewServer(mongosim.EngineWiredTiger, fastOpts())
+	defer srv.Close()
+	coll := srv.Database("db").Collection("usertable")
+	cfg := workload.Config{
+		RecordCount: 100, OperationCount: 1_000_000,
+		Mix:          workload.MixFromRatio(100, 0),
+		Distribution: "uniform", Seed: 3,
+	}.WithDefaults()
+	LoadCollection(coll, cfg, 2)
+	var lastDone int64
+	calls := 0
+	abort := func() error {
+		calls++
+		if calls > 3 {
+			return agent.ErrAborted
+		}
+		return nil
+	}
+	meas, err := RunWorkload(coll, cfg, 4, func(done, total int64) {
+		lastDone = done
+	}, abort)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meas.Operations >= cfg.OperationCount {
+		t.Fatal("abort did not stop the run")
+	}
+	if lastDone > meas.Operations {
+		t.Fatalf("progress reported %d ops but only %d executed", lastDone, meas.Operations)
+	}
+}
+
+// TestScheduleEndToEnd drives a three-phase dynamic schedule through the
+// public RunScheduleWorkload entry point and checks the per-phase slices.
+func TestScheduleEndToEnd(t *testing.T) {
+	srv, err := mongosim.NewServer(mongosim.EngineWiredTiger, fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	coll := srv.Database("db").Collection("usertable")
+	cfg := workload.Config{
+		RecordCount: 300, OperationCount: 1,
+		Mix: workload.MixFromRatio(100, 0), Distribution: "uniform", Seed: 11,
+	}.WithDefaults()
+	if err := LoadCollection(coll, cfg, 4); err != nil {
+		t.Fatal(err)
+	}
+	phases, err := workload.ParseSchedulePhases(
+		"phase=steady,ops=900,mix=read:95+update:5;" +
+			"phase=shift,ops=600,mix=read:50+update:50,dist=uniform;" +
+			"phase=surge,ops=500,mix=insert:40+read:60,dist=latest,grow=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := cfg.Schedule()
+	sched.Phases = phases
+	sm, err := RunScheduleWorkload(coll, sched, 4, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sm.Total.Operations != 2000 || sm.Total.Errors != 0 {
+		t.Fatalf("total = %+v", sm.Total)
+	}
+	if len(sm.Phases) != 3 {
+		t.Fatalf("phases = %d", len(sm.Phases))
+	}
+	for i, want := range []int64{900, 600, 500} {
+		if sm.Phases[i].Measurements.Operations != want {
+			t.Fatalf("phase %d ops = %d", i, sm.Phases[i].Measurements.Operations)
+		}
+	}
+	// The surge phase's inserts grew the table.
+	if coll.Count() <= 300 {
+		t.Fatalf("table did not grow: %d rows", coll.Count())
 	}
 }
 

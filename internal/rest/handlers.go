@@ -335,6 +335,17 @@ func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) {
 	httputil.WriteJSON(w, http.StatusOK, res)
 }
 
+// handleJobPhases returns the per-phase result rows of a dynamic-
+// workload job; a static job yields an empty list.
+func (s *Server) handleJobPhases(w http.ResponseWriter, r *http.Request) {
+	phases, err := s.svc.JobPhaseResults(r.PathValue("id"))
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	httputil.WriteJSON(w, http.StatusOK, phases)
+}
+
 func (s *Server) handleJobLogs(w http.ResponseWriter, r *http.Request) {
 	logs, err := s.svc.JobLogs(r.PathValue("id"))
 	if err != nil {

@@ -265,3 +265,63 @@ func TestStatusResponseJSONShape(t *testing.T) {
 		t.Fatalf("wire shape = %s", data)
 	}
 }
+
+func TestJobPhasesEndpoint(t *testing.T) {
+	f := newFixture(t, false, "")
+	c := client.NewClient(f.ts.URL)
+	u, _ := c.CreateUser("u", core.RoleAdmin)
+	p, _ := c.CreateProject("p", "", u.ID, nil)
+	sys, _ := c.RegisterSystem("s", "", nil, nil)
+	dep, _ := c.CreateDeployment(sys.ID, "d", "", "")
+	exp, _ := c.CreateExperiment(p.ID, sys.ID, "e", "", nil, 0)
+	_, jobs, _ := c.CreateEvaluation(exp.ID)
+
+	// Unfinished job has no result -> 404.
+	code, _ := f.raw(t, "GET", "/api/v1/jobs/"+jobs[0].ID+"/phases", "")
+	if code != 404 {
+		t.Fatalf("phases of unfinished job: %d", code)
+	}
+
+	j, _, err := c.ClaimJob(dep.ID)
+	if err != nil || j == nil {
+		t.Fatal(err)
+	}
+	result := `{"throughput": 9, "phaseResults": [` +
+		`{"index":0,"phase":"steady","operations":900,"throughput":4500,"durationMs":200},` +
+		`{"index":1,"phase":"surge","operations":500,"throughput":9000,"durationMs":55.5}]}`
+	if err := c.Complete(j.ID, []byte(result), nil); err != nil {
+		t.Fatal(err)
+	}
+	phases, err := c.JobPhases(j.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(phases) != 2 || phases[0].Phase != "steady" || phases[1].Operations != 500 {
+		t.Fatalf("phases = %+v", phases)
+	}
+	if phases[1].DurationMs != 55.5 {
+		t.Fatalf("durationMs = %v", phases[1].DurationMs)
+	}
+}
+
+func TestJobPhasesEmptyForStaticResult(t *testing.T) {
+	f := newFixture(t, false, "")
+	c := client.NewClient(f.ts.URL)
+	u, _ := c.CreateUser("u", core.RoleAdmin)
+	p, _ := c.CreateProject("p", "", u.ID, nil)
+	sys, _ := c.RegisterSystem("s", "", nil, nil)
+	dep, _ := c.CreateDeployment(sys.ID, "d", "", "")
+	exp, _ := c.CreateExperiment(p.ID, sys.ID, "e", "", nil, 0)
+	_, _, _ = c.CreateEvaluation(exp.ID)
+	j, _, _ := c.ClaimJob(dep.ID)
+	if err := c.Complete(j.ID, []byte(`{"throughput": 5}`), nil); err != nil {
+		t.Fatal(err)
+	}
+	phases, err := c.JobPhases(j.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(phases) != 0 {
+		t.Fatalf("static job has phases: %+v", phases)
+	}
+}

@@ -180,6 +180,7 @@ func (s *Server) routes() {
 		s.mux.HandleFunc("POST "+p+"/jobs/{id}/abort", s.member(s.handleAbortJob))
 		s.mux.HandleFunc("POST "+p+"/jobs/{id}/reschedule", s.member(s.handleRescheduleJob))
 		s.mux.HandleFunc("GET "+p+"/jobs/{id}/result", view(s.handleJobResult))
+		s.mux.HandleFunc("GET "+p+"/jobs/{id}/phases", view(s.handleJobPhases))
 		s.mux.HandleFunc("GET "+p+"/jobs/{id}/logs", view(s.handleJobLogs))
 		s.mux.HandleFunc("GET "+p+"/jobs/{id}/timeline", view(s.handleJobTimeline))
 

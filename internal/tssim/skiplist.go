@@ -1,0 +1,91 @@
+package tssim
+
+import "math/rand/v2"
+
+// skiplist is the ordered series-name catalogue, borrowing the idiom of
+// mongosim's key index: seeded tower heights for reproducibility, caller
+// does the locking (DB wraps it in its map lock). Towers are allocated
+// per node at their drawn height instead of at max level, since a
+// catalogue holds far fewer entries than a storage engine's key index.
+type skiplist struct {
+	head   *slnode
+	length int
+	rng    *rand.Rand
+}
+
+const slMaxLevel = 20
+
+type slnode struct {
+	key  string
+	next []*slnode
+}
+
+// newSkiplist returns an empty catalogue with seeded tower heights.
+func newSkiplist(seed int64) *skiplist {
+	return &skiplist{
+		head: &slnode{next: make([]*slnode, slMaxLevel)},
+		rng:  rand.New(rand.NewPCG(uint64(seed), 0x74737369)),
+	}
+}
+
+// randomLevel draws a tower height with P(level > k) = 2^-k.
+func (s *skiplist) randomLevel() int {
+	lvl := 1
+	for lvl < slMaxLevel && s.rng.IntN(2) == 0 {
+		lvl++
+	}
+	return lvl
+}
+
+// insert adds key; inserting an existing key is a no-op. Reports whether
+// the key was newly added.
+func (s *skiplist) insert(key string) bool {
+	update := make([]*slnode, slMaxLevel)
+	x := s.head
+	for i := slMaxLevel - 1; i >= 0; i-- {
+		for x.next[i] != nil && x.next[i].key < key {
+			x = x.next[i]
+		}
+		update[i] = x
+	}
+	if n := x.next[0]; n != nil && n.key == key {
+		return false
+	}
+	n := &slnode{key: key, next: make([]*slnode, s.randomLevel())}
+	for i := range n.next {
+		n.next[i] = update[i].next[i]
+		update[i].next[i] = n
+	}
+	s.length++
+	return true
+}
+
+// contains reports whether key is in the catalogue.
+func (s *skiplist) contains(key string) bool {
+	x := s.head
+	for i := slMaxLevel - 1; i >= 0; i-- {
+		for x.next[i] != nil && x.next[i].key < key {
+			x = x.next[i]
+		}
+	}
+	n := x.next[0]
+	return n != nil && n.key == key
+}
+
+// from returns up to limit keys >= start in ascending order.
+func (s *skiplist) from(start string, limit int) []string {
+	x := s.head
+	for i := slMaxLevel - 1; i >= 0; i-- {
+		for x.next[i] != nil && x.next[i].key < start {
+			x = x.next[i]
+		}
+	}
+	out := make([]string, 0, limit)
+	for n := x.next[0]; n != nil && len(out) < limit; n = n.next[0] {
+		out = append(out, n.key)
+	}
+	return out
+}
+
+// len returns the number of catalogued names.
+func (s *skiplist) len() int { return s.length }

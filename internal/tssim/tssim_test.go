@@ -1,0 +1,259 @@
+package tssim
+
+import (
+	"errors"
+	"fmt"
+	"math/rand/v2"
+	"sort"
+	"sync"
+	"testing"
+)
+
+// refStore is the naive reference model: a map of unsorted point slices,
+// sorted on every query. The chunked engine must agree with it on every
+// window and latest query — the same conformance idiom the mongosim
+// engine tests use against their map-based reference.
+type refStore struct {
+	series map[string][]Point
+}
+
+func newRef() *refStore { return &refStore{series: map[string][]Point{}} }
+
+func (r *refStore) append(name string, ts int64, v float64) {
+	r.series[name] = append(r.series[name], Point{TS: ts, Value: v})
+}
+
+func (r *refStore) window(name string, from, to int64) []Point {
+	var out []Point
+	for _, p := range r.series[name] {
+		if p.TS >= from && p.TS <= to {
+			out = append(out, p)
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].TS < out[j].TS })
+	return out
+}
+
+func (r *refStore) latest(name string) (Point, bool) {
+	pts := r.series[name]
+	if len(pts) == 0 {
+		return Point{}, false
+	}
+	best := pts[0]
+	for _, p := range pts[1:] {
+		if p.TS >= best.TS {
+			best = p
+		}
+	}
+	return best, true
+}
+
+func TestAppendWindowConformance(t *testing.T) {
+	// Small chunks force frequent seals so windows span chunk boundaries.
+	db := NewDB(Options{ChunkPoints: 8, Seed: 1})
+	ref := newRef()
+	rng := rand.New(rand.NewPCG(42, 0))
+
+	names := make([]string, 5)
+	for i := range names {
+		names[i] = fmt.Sprintf("sensor%09d", i)
+	}
+	var clock int64
+	for i := 0; i < 4000; i++ {
+		name := names[rng.IntN(len(names))]
+		clock++
+		ts := clock
+		if rng.IntN(10) == 0 {
+			// One in ten samples arrives late.
+			ts -= int64(rng.IntN(20)) + 1
+		}
+		v := float64(i)
+		db.Append(name, ts, v)
+		ref.append(name, ts, v)
+
+		if i%37 == 0 {
+			from := clock - int64(rng.IntN(100))
+			to := from + int64(rng.IntN(60))
+			got, err := db.Window(name, from, to)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := ref.window(name, from, to)
+			if !samePoints(got, want) {
+				t.Fatalf("window(%s, %d, %d): got %v want %v", name, from, to, got, want)
+			}
+		}
+	}
+	// Full-range windows and latest must agree per series.
+	for _, name := range names {
+		got, err := db.Window(name, 0, clock+1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := ref.window(name, 0, clock+1)
+		if !samePoints(got, want) {
+			t.Fatalf("full window %s: %d pts vs %d", name, len(got), len(want))
+		}
+		lp, err := db.Latest(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if wp, _ := ref.latest(name); lp.TS != wp.TS {
+			t.Fatalf("latest %s: ts %d want %d", name, lp.TS, wp.TS)
+		}
+	}
+	st := db.Stats()
+	if st.Series != len(names) || st.Points != 4000 || st.Appends != 4000 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.OutOfOrder == 0 || st.ChunksSealed == 0 || st.Windows == 0 {
+		t.Fatalf("counters did not move: %+v", st)
+	}
+}
+
+// samePoints compares timestamp sequences and the multiset of values per
+// timestamp (ties may legally order differently between engine and ref).
+func samePoints(a, b []Point) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	va, vb := map[int64][]float64{}, map[int64][]float64{}
+	for i := range a {
+		if a[i].TS != b[i].TS {
+			return false
+		}
+		va[a[i].TS] = append(va[a[i].TS], a[i].Value)
+		vb[b[i].TS] = append(vb[b[i].TS], b[i].Value)
+	}
+	for ts, xs := range va {
+		ys := vb[ts]
+		sort.Float64s(xs)
+		sort.Float64s(ys)
+		for i := range xs {
+			if xs[i] != ys[i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestInOrderFastPath(t *testing.T) {
+	db := NewDB(Options{ChunkPoints: 4, Seed: 1})
+	for i := int64(1); i <= 10; i++ {
+		db.Append("s", i, float64(i))
+	}
+	st := db.Stats()
+	if st.OutOfOrder != 0 {
+		t.Fatalf("in-order appends counted as out-of-order: %+v", st)
+	}
+	if st.ChunksSealed != 2 {
+		t.Fatalf("chunks sealed = %d, want 2", st.ChunksSealed)
+	}
+	pts, err := db.Window("s", 3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 5 || pts[0].TS != 3 || pts[4].TS != 7 {
+		t.Fatalf("window = %v", pts)
+	}
+	if p, _ := db.Latest("s"); p.TS != 10 || p.Value != 10 {
+		t.Fatalf("latest = %v", p)
+	}
+}
+
+func TestMissingSeries(t *testing.T) {
+	db := NewDB(Options{})
+	if _, err := db.Window("nope", 0, 1); !errors.Is(err, ErrNoSeries) {
+		t.Fatalf("window err = %v", err)
+	}
+	if _, err := db.Latest("nope"); !errors.Is(err, ErrNoSeries) {
+		t.Fatalf("latest err = %v", err)
+	}
+}
+
+func TestSeriesNamesOrdered(t *testing.T) {
+	db := NewDB(Options{Seed: 7})
+	for _, n := range []string{"cpu", "mem", "disk", "net", "cpu"} {
+		db.Append(n, 1, 0)
+	}
+	if got := db.NumSeries(); got != 4 {
+		t.Fatalf("cardinality = %d", got)
+	}
+	names := db.SeriesNames("", 10)
+	want := []string{"cpu", "disk", "mem", "net"}
+	if len(names) != len(want) {
+		t.Fatalf("names = %v", names)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("names = %v, want %v", names, want)
+		}
+	}
+	if got := db.SeriesNames("disk", 2); len(got) != 2 || got[0] != "disk" || got[1] != "mem" {
+		t.Fatalf("paged names = %v", got)
+	}
+}
+
+func TestSkiplistSeeded(t *testing.T) {
+	a, b := newSkiplist(3), newSkiplist(3)
+	for i := 0; i < 200; i++ {
+		k := fmt.Sprintf("k%03d", (i*97)%200)
+		a.insert(k)
+		b.insert(k)
+	}
+	if a.len() != 200 || b.len() != 200 {
+		t.Fatalf("len = %d/%d", a.len(), b.len())
+	}
+	if !a.contains("k050") || a.contains("k999") {
+		t.Fatal("contains is wrong")
+	}
+	ka, kb := a.from("", 200), b.from("", 200)
+	for i := range ka {
+		if ka[i] != kb[i] {
+			t.Fatalf("seeded skiplists diverge at %d", i)
+		}
+	}
+	if !sort.StringsAreSorted(ka) {
+		t.Fatal("iteration not ordered")
+	}
+}
+
+func TestConcurrentAppendsAndWindows(t *testing.T) {
+	db := NewDB(Options{ChunkPoints: 16, Seed: 9})
+	var wg sync.WaitGroup
+	const workers, perWorker = 8, 500
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewPCG(uint64(w), 1))
+			for i := 0; i < perWorker; i++ {
+				name := fmt.Sprintf("sensor%09d", rng.IntN(6))
+				db.Append(name, int64(w*perWorker+i), float64(i))
+				if i%25 == 0 {
+					db.Window(name, 0, int64(workers*perWorker))
+					db.Latest(name)
+					db.SeriesNames("", 10)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	st := db.Stats()
+	if st.Points != workers*perWorker {
+		t.Fatalf("points = %d", st.Points)
+	}
+	// Every stored point is visible through a full-range window.
+	var total int
+	for _, name := range db.SeriesNames("", 100) {
+		pts, err := db.Window(name, 0, int64(workers*perWorker))
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += len(pts)
+	}
+	if total != workers*perWorker {
+		t.Fatalf("windows returned %d points", total)
+	}
+}

@@ -347,6 +347,19 @@ On an auth-enabled server the scrape needs the replication token or an admin ses
 <button type="submit">Re-schedule</button></form>
 {{end}}
 </div>
+{{if .Data.Phases}}
+<h2>Workload Phases</h2>
+<table>
+<tr><th>#</th><th>Phase</th><th>Mix</th><th>Distribution</th><th>Ops</th><th>Errors</th>
+<th>Throughput</th><th>Duration (ms)</th><th>p50 (µs)</th><th>p95 (µs)</th><th>p99 (µs)</th></tr>
+{{range .Data.Phases}}
+<tr><td>{{.Index}}</td><td>{{.Phase}}</td><td class="muted">{{.Mix}}</td>
+<td class="muted">{{.Distribution}}</td><td>{{.Operations}}</td><td>{{.Errors}}</td>
+<td>{{printf "%.0f" .Throughput}}</td><td>{{printf "%.1f" .DurationMs}}</td>
+<td>{{.LatencyP50Us}}</td><td>{{.LatencyP95Us}}</td><td>{{.LatencyP99Us}}</td></tr>
+{{end}}
+</table>
+{{end}}
 <h2>Timeline</h2>
 <table>
 <tr><th>Time</th><th>Event</th><th>Message</th></tr>

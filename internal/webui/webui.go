@@ -243,14 +243,21 @@ func (u *UI) job(w http.ResponseWriter, r *http.Request) {
 	for _, c := range logs {
 		log.WriteString(c.Text)
 	}
+	// Dynamic-workload jobs carry per-phase rows; unfinished or static
+	// jobs simply have none.
+	phases, err := u.svc.JobPhaseResults(j.ID)
+	if err != nil {
+		phases = nil
+	}
 	u.render(w, "job", "Job "+j.ID, struct {
 		Job           *core.Job
 		Timeline      []*core.Event
 		Log           string
+		Phases        []core.PhaseResult
 		CanAbort      bool
 		CanReschedule bool
 	}{
-		Job: j, Timeline: timeline, Log: log.String(),
+		Job: j, Timeline: timeline, Log: log.String(), Phases: phases,
 		CanAbort:      j.Status == core.StatusScheduled || j.Status == core.StatusRunning,
 		CanReschedule: j.Status == core.StatusFailed,
 	})

@@ -230,3 +230,44 @@ func TestAbortAndRescheduleFromUI(t *testing.T) {
 		t.Fatalf("double abort -> %d", resp.StatusCode)
 	}
 }
+
+func TestJobPageShowsWorkloadPhases(t *testing.T) {
+	f := newFixture(t)
+	// A dynamic schedule produces per-phase rows on the job page.
+	exp, err := f.svc.CreateExperiment(f.projectID, f.systemID, "drift", "", map[string][]params.Value{
+		"records":    {params.Int(200)},
+		"operations": {params.Int(300)},
+		"schedule": {params.String_(
+			"phase=steady,ops=200,mix=read:95+update:5;" +
+				"phase=surge,ops=100,mix=insert:50+read:50,dist=latest,grow=1")},
+	}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, jobs, err := f.svc.CreateEvaluation(exp.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := &agent.Agent{
+		Control:      &agent.LocalControl{Svc: f.svc},
+		DeploymentID: f.deploymentID,
+		Factory: mongoagent.NewFactory(mongosim.Options{
+			WriteLatency: mongosim.NoIO, Seed: 1,
+		}),
+		ReportInterval: 5 * time.Millisecond,
+	}
+	if _, err := a.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	body := f.get(t, "/jobs/"+jobs[0].ID, 200)
+	for _, want := range []string{"Workload Phases", "steady", "surge", "insert=50%"} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("job page missing %q", want)
+		}
+	}
+	// Static jobs render no phase table.
+	body = f.get(t, "/jobs/"+f.jobIDs[0], 200)
+	if strings.Contains(body, "Workload Phases") {
+		t.Fatal("static job page shows phase table")
+	}
+}

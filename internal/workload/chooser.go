@@ -6,6 +6,14 @@
 // The Chronos MongoDB demo drives its two storage-engine deployments with
 // these workloads; the generators are deterministic given a seed so that
 // evaluation runs are reproducible.
+//
+// Beyond static mixes, the package models *dynamic* workloads: a
+// Schedule is an ordered list of Phases, each with its own Mix, key
+// distribution, arrival-rate curve and dataset-growth knob, bounded by
+// an op count or a wall duration (see schedule.go for the engine and
+// the textual phase DSL). A static Config is the one-phase degenerate
+// case of a Schedule, and RunSchedule is the shared multi-threaded run
+// loop every SUT agent drives its engine with.
 package workload
 
 import (
@@ -150,12 +158,30 @@ func NewLatest(n int64) *Latest {
 // Grow tells the chooser a record was appended.
 func (l *Latest) Grow() {
 	l.mu.Lock()
-	l.n++
+	l.growTo(l.n + 1)
+	l.mu.Unlock()
+}
+
+// GrowTo raises the chooser's item count to at least n; lower values are
+// ignored. Concurrent workers each report their own insert high-water
+// mark and the chooser converges on the global maximum of *distinct*
+// keys, instead of double-counting one insert per worker.
+func (l *Latest) GrowTo(n int64) {
+	l.mu.Lock()
+	l.growTo(n)
+	l.mu.Unlock()
+}
+
+// growTo implements Grow/GrowTo under l.mu.
+func (l *Latest) growTo(n int64) {
+	if n <= l.n {
+		return
+	}
+	l.n = n
 	// Rebuild lazily in powers of two to avoid O(n) zeta on every insert.
 	if l.n >= 2*l.z.items {
 		l.z = NewZipfian(l.n)
 	}
-	l.mu.Unlock()
 }
 
 // Next implements KeyChooser.

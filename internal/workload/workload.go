@@ -147,6 +147,9 @@ func (c *Config) Validate() error {
 	if _, err := NewChooser(c.Distribution, c.RecordCount); err != nil {
 		return err
 	}
+	if err := checkFieldKnobs(c.FieldsPerRecord, c.FieldLength, c.MaxScanLength); err != nil {
+		return err
+	}
 	return nil
 }
 
@@ -239,105 +242,75 @@ type Op struct {
 	Type OpType
 	// Key is the record key for read/update/insert/rmw and the scan start.
 	Key string
+	// KeyIndex is the numeric record index behind Key, so engines with
+	// non-"user" key naming (e.g. time-series series names) can derive
+	// their own keys without parsing.
+	KeyIndex int64
 	// ScanLength is the number of records a scan touches.
 	ScanLength int
 	// Fields holds generated field values for insert/update/rmw.
 	Fields map[string][]byte
+	// Phase is the index of the schedule phase that produced the op.
+	Phase int
 }
 
 // Generator produces the operation stream of a run. Each worker should
-// own one Generator (they share nothing).
+// own one Generator (they share nothing). It is the single-stream view
+// of a ScheduleGenerator over the config's one-phase schedule.
 type Generator struct {
-	cfg      Config
-	rng      *rand.Rand
-	chooser  KeyChooser
-	ops      *opChooser
-	latest   *Latest // non-nil when distribution is latest (insert feedback)
-	inserted int64
+	sg *ScheduleGenerator
 }
 
 // NewGenerator builds a generator for the given worker index; distinct
 // workers derive distinct deterministic seeds. Each generator owns its
 // rand source (a PCG seeded from cfg.Seed and the worker index), so
 // workers share no generator state and a seeded run replays exactly.
+//
+// NewGenerator does NOT partition the insert keyspace: every instance
+// starts inserting at cfg.RecordCount. Concurrent workers that insert
+// must use NewGeneratorWorkers so their insert keys stay distinct.
 func NewGenerator(cfg Config, worker int) (*Generator, error) {
+	return NewGeneratorWorkers(cfg, worker, 1)
+}
+
+// NewGeneratorWorkers builds a generator for worker (0-based) of workers
+// concurrent streams. The insert keyspace is partitioned YCSB-style:
+// worker w owns key indexes RecordCount+w, RecordCount+w+workers, ... so
+// concurrent workers never generate the same insert key.
+func NewGeneratorWorkers(cfg Config, worker, workers int) (*Generator, error) {
 	cfg = cfg.WithDefaults()
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	rng := rand.New(rand.NewPCG(uint64(cfg.Seed), uint64(worker)*1_000_003+17))
-	chooser, err := NewChooser(cfg.Distribution, cfg.RecordCount)
+	sg, err := NewScheduleGenerator(cfg.Schedule(), worker, workers)
 	if err != nil {
 		return nil, err
 	}
-	ops, err := newOpChooser(cfg.Mix)
-	if err != nil {
-		return nil, err
-	}
-	g := &Generator{cfg: cfg, rng: rng, chooser: chooser, ops: ops, inserted: cfg.RecordCount}
-	if l, ok := chooser.(*Latest); ok {
-		g.latest = l
-	}
-	return g, nil
+	return &Generator{sg: sg}, nil
 }
 
 // Key renders record index i as its canonical key, zero-padded so that
 // lexicographic and numeric orders agree (YCSB's "user" keys).
 func Key(i int64) string { return fmt.Sprintf("user%012d", i) }
 
-// NextOp generates the next operation.
+// NextOp generates the next operation. The generator does not stop at
+// cfg.OperationCount — callers that count ops themselves keep drawing
+// from the same stream past the configured volume.
 func (g *Generator) NextOp() Op {
-	t := g.ops.next(g.rng)
-	switch t {
-	case OpInsert:
-		g.inserted++
-		if g.latest != nil {
-			g.latest.Grow()
-		}
-		return Op{Type: t, Key: Key(g.inserted - 1), Fields: g.Record()}
-	case OpScan:
-		return Op{
-			Type:       t,
-			Key:        Key(g.chooser.Next(g.rng)),
-			ScanLength: 1 + g.rng.IntN(g.cfg.MaxScanLength),
-		}
-	case OpUpdate, OpReadModifyWrite:
-		return Op{Type: t, Key: Key(g.chooser.Next(g.rng)), Fields: g.OneField()}
-	default:
-		return Op{Type: OpRead, Key: Key(g.chooser.Next(g.rng))}
+	if op, ok := g.sg.Next(); ok {
+		return op
 	}
+	return g.sg.emit()
 }
 
 // Record generates a full record payload.
-func (g *Generator) Record() map[string][]byte {
-	fields := make(map[string][]byte, g.cfg.FieldsPerRecord)
-	for i := 0; i < g.cfg.FieldsPerRecord; i++ {
-		fields[fieldName(i)] = g.fieldValue()
-	}
-	return fields
-}
+func (g *Generator) Record() map[string][]byte { return g.sg.Record() }
 
 // OneField generates a single-field update payload.
-func (g *Generator) OneField() map[string][]byte {
-	i := g.rng.IntN(g.cfg.FieldsPerRecord)
-	return map[string][]byte{fieldName(i): g.fieldValue()}
-}
+func (g *Generator) OneField() map[string][]byte { return g.sg.OneField() }
 
 func fieldName(i int) string { return fmt.Sprintf("field%d", i) }
 
 // fieldValue produces a compressible-but-not-constant byte string, so
 // engines with block compression see realistic ratios (~2-4x).
-func (g *Generator) fieldValue() []byte {
-	b := make([]byte, g.cfg.FieldLength)
-	// Runs of repeated printable characters: compressible like real text.
-	i := 0
-	for i < len(b) {
-		ch := byte('a' + g.rng.IntN(26))
-		run := 1 + g.rng.IntN(8)
-		for j := 0; j < run && i < len(b); j++ {
-			b[i] = ch
-			i++
-		}
-	}
-	return b
-}
+func (g *Generator) fieldValue() []byte { return g.sg.fieldValue() }

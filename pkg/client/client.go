@@ -300,6 +300,14 @@ func (c *Client) JobResult(id string) (*core.Result, error) {
 	return &out, err
 }
 
+// JobPhases fetches the per-phase result rows of a dynamic-workload
+// job; static jobs yield an empty list.
+func (c *Client) JobPhases(id string) ([]core.PhaseResult, error) {
+	var out []core.PhaseResult
+	err := c.do(http.MethodGet, "/jobs/"+id+"/phases", nil, &out)
+	return out, err
+}
+
 // JobLogs fetches a job's log chunks.
 func (c *Client) JobLogs(id string) ([]*core.LogChunk, error) {
 	var out []*core.LogChunk
